@@ -1,0 +1,77 @@
+//! Criterion micro-benchmarks: generator compile time (Stages 1-3),
+//! VM execution throughput, and the Stage-3 pass pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slingen::{apps, Options};
+use slingen_cir::passes::{optimize, PassConfig};
+use slingen_lgen::{lower_program, LowerOptions};
+use slingen_synth::{synthesize_program, AlgorithmDb, Policy};
+use slingen_vm::{BufferSet, NullMonitor};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generation");
+    g.sample_size(10);
+    for n in [8usize, 16, 32] {
+        let program = apps::potrf(n);
+        g.bench_function(format!("potrf_{n}_full_pipeline"), |b| {
+            b.iter(|| slingen::generate(&program, &Options::default()).unwrap())
+        });
+    }
+    let program = apps::kf(8);
+    g.bench_function("kf_8_full_pipeline", |b| {
+        b.iter(|| slingen::generate(&program, &Options::default()).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stages");
+    g.sample_size(10);
+    let program = apps::potrf(24);
+    g.bench_function("stage1_synthesis", |b| {
+        b.iter(|| {
+            let mut db = AlgorithmDb::new();
+            synthesize_program(&program, Policy::Lazy, 4, &mut db).unwrap()
+        })
+    });
+    let mut db = AlgorithmDb::new();
+    let basic = synthesize_program(&program, Policy::Lazy, 4, &mut db).unwrap();
+    g.bench_function("stage2_lowering", |b| {
+        b.iter(|| {
+            lower_program(&program, &basic, "potrf", &LowerOptions::default()).unwrap()
+        })
+    });
+    let f0 = lower_program(&program, &basic, "potrf", &LowerOptions::default()).unwrap();
+    g.bench_function("stage3_passes", |b| {
+        b.iter(|| {
+            let mut f = f0.clone();
+            optimize(&mut f, &PassConfig::default());
+            f
+        })
+    });
+    g.finish();
+}
+
+fn bench_vm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vm");
+    g.sample_size(20);
+    let program = apps::potrf(24);
+    let generated = slingen::generate(&program, &Options::default()).unwrap();
+    let mut fb = slingen_cir::FunctionBuilder::new("probe", 4);
+    let map = slingen_lgen::BufferMap::build(&program, &mut fb);
+    let inputs = slingen::workload::inputs(&program, 3);
+    g.bench_function("execute_potrf_24", |b| {
+        b.iter(|| {
+            let mut bufs = BufferSet::for_function(&generated.function);
+            for (op, data) in &inputs {
+                bufs.set(map.buf(*op), data);
+            }
+            slingen_vm::execute(&generated.function, &mut bufs, &mut NullMonitor).unwrap();
+            bufs
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_stages, bench_vm);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Regenerates the paper's Fig. 14: HLAC benchmarks (potrf, trsyl, trlya,
+//! trtri) — SLinGen vs MKL, ReLAPACK, (RECSY), Eigen, icc, clang/Polly on
+//! the left; SLinGen variants vs Cl1ck+MKL (nb ∈ {4, n/2, n}) on the
+//! right. Performance in flops/cycle vs n, double precision.
+//!
+//! Usage: `fig14 [potrf|trsyl|trlya|trtri|all] [--full]`
+
+use slingen::apps::nominal_flops;
+use slingen_baselines::Flavor;
+use slingen_bench::*;
+use slingen_synth::Policy;
+
+fn run_kernel(kernel: &str, full: bool) {
+    println!("== Fig. 14 ({kernel}) — performance [f/c] vs n, peak 8 f/c ==");
+    println!("-- left plot: SLinGen vs libraries and compilers --");
+    for n in hlac_sizes(full) {
+        let p = program_for(kernel, n);
+        let fl = nominal_flops(kernel, n, 0);
+        let mut row = vec![measure_slingen(&p, n, fl)];
+        let mut flavors = vec![
+            Flavor::Mkl,
+            Flavor::Relapack,
+            Flavor::Eigen,
+            Flavor::Icc,
+            Flavor::ClangPolly,
+        ];
+        if kernel == "trsyl" {
+            flavors.insert(2, Flavor::Recsy);
+        }
+        for f in flavors {
+            row.push(measure_baseline(&p, f, n, fl));
+        }
+        println!("{}", format_row(&row));
+    }
+    println!("-- right plot: algorithmic variants vs Cl1ck+MKL --");
+    for n in hlac_sizes(full) {
+        let p = program_for(kernel, n);
+        let fl = nominal_flops(kernel, n, 0);
+        let mut row = Vec::new();
+        for policy in Policy::ALL {
+            row.push(measure_slingen_variant(&p, policy, n, fl));
+        }
+        for nb in [4usize, (n / 2).max(1), n] {
+            let flavor = if nb >= n {
+                Flavor::Mkl // nb = n: unblocked, one LAPACK call
+            } else {
+                Flavor::Cl1ckMkl { nb }
+            };
+            let mut m = measure_baseline(&p, flavor, n, fl);
+            m.label = format!("Cl1ck+MKL (nb={nb})");
+            row.push(m);
+        }
+        println!("{}", format_row(&row));
+    }
+    println!();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+    let kernels: Vec<&str> = match which.as_str() {
+        "all" => vec!["potrf", "trsyl", "trlya", "trtri"],
+        k => vec![match k {
+            "potrf" | "trsyl" | "trlya" | "trtri" => k,
+            other => panic!("unknown kernel `{other}`"),
+        }],
+    };
+    for k in kernels {
+        run_kernel(k, full);
+    }
+}

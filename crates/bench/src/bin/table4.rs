@@ -1,0 +1,38 @@
+//! Regenerates the paper's Table 4: ERM-style bottleneck analysis of the
+//! SLinGen-generated HLAC code — hardware bottleneck, shuffle/blend issue
+//! rates, and the achievable-peak limits implied by shuffle and blend
+//! pressure.
+//!
+//! Usage: `table4 [--full]`
+
+use slingen_bench::*;
+use slingen_cir::InstrClass;
+use slingen_perf::Resource;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let sizes: Vec<usize> = if full { vec![4, 76, 124] } else { vec![4, 28, 60] };
+    println!("== Table 4 — bottleneck analysis of generated code ==");
+    println!(
+        "{:<8} {:>5} {:>14} {:>22} {:>16} {:>15}",
+        "kernel", "n", "bottleneck", "shuffle+blend issue", "limit(shuffles)", "limit(blends)"
+    );
+    for kernel in ["potrf", "trsyl", "trlya", "trtri"] {
+        for &n in &sizes {
+            let p = program_for(kernel, n);
+            let fl = slingen::apps::nominal_flops(kernel, n, 0);
+            let m = measure_slingen(&p, n, fl);
+            let r = &m.report;
+            let issue = r.issue_rate(InstrClass::Shuffle) + r.issue_rate(InstrClass::Blend);
+            println!(
+                "{:<8} {:>5} {:>14} {:>21.0}% {:>15.1} {:>15.1}",
+                kernel,
+                n,
+                r.bottleneck().label(),
+                100.0 * issue,
+                r.perf_limit(Resource::Shuffle),
+                r.perf_limit(Resource::Blend),
+            );
+        }
+    }
+}

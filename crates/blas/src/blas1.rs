@@ -1,0 +1,63 @@
+//! Level-1 BLAS: vector-vector operations.
+
+/// Dot product `xᵀ y`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn ddot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// `y ← alpha·x + y`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn daxpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x ← alpha·x`.
+pub fn dscal(alpha: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// Euclidean norm `‖x‖₂`.
+pub fn dnrm2(x: &[f64]) -> f64 {
+    ddot(x, x).sqrt()
+}
+
+/// Sum of absolute values `‖x‖₁`.
+pub fn dasum(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_axpy_scal() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [4.0, 5.0, 6.0];
+        assert_eq!(ddot(&x, &y), 32.0);
+        daxpy(2.0, &x, &mut y);
+        assert_eq!(y, [6.0, 9.0, 12.0]);
+        dscal(0.5, &mut y);
+        assert_eq!(y, [3.0, 4.5, 6.0]);
+    }
+
+    #[test]
+    fn norms() {
+        assert_eq!(dnrm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(dasum(&[-1.0, 2.0, -3.0]), 6.0);
+        assert_eq!(dnrm2(&[]), 0.0);
+    }
+}

@@ -1,0 +1,303 @@
+//! Level-2 BLAS: matrix-vector operations (row-major, explicit leading
+//! dimension `lda` = row stride).
+
+use crate::{Diag, Trans, Uplo};
+
+/// `y ← alpha·op(A)·x + beta·y` where `A` is `m × n` (as stored).
+///
+/// # Panics
+///
+/// Panics if slices are too short for the given dimensions.
+pub fn dgemv(
+    trans: Trans,
+    m: usize,
+    n: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    x: &[f64],
+    beta: f64,
+    y: &mut [f64],
+) {
+    match trans {
+        Trans::No => {
+            assert!(x.len() >= n && y.len() >= m);
+            for i in 0..m {
+                let mut acc = 0.0;
+                for j in 0..n {
+                    acc += a[i * lda + j] * x[j];
+                }
+                y[i] = alpha * acc + beta * y[i];
+            }
+        }
+        Trans::Yes => {
+            assert!(x.len() >= m && y.len() >= n);
+            for j in 0..n {
+                let mut acc = 0.0;
+                for i in 0..m {
+                    acc += a[i * lda + j] * x[i];
+                }
+                y[j] = alpha * acc + beta * y[j];
+            }
+        }
+    }
+}
+
+/// Rank-1 update `A ← A + alpha·x·yᵀ` (`A` is `m × n`).
+pub fn dger(m: usize, n: usize, alpha: f64, x: &[f64], y: &[f64], a: &mut [f64], lda: usize) {
+    for i in 0..m {
+        for j in 0..n {
+            a[i * lda + j] += alpha * x[i] * y[j];
+        }
+    }
+}
+
+/// Symmetric matrix-vector product `y ← alpha·A·x + beta·y` reading only
+/// the `uplo` triangle of the `n × n` matrix `A`.
+pub fn dsymv(
+    uplo: Uplo,
+    n: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    x: &[f64],
+    beta: f64,
+    y: &mut [f64],
+) {
+    for i in 0..n {
+        let mut acc = 0.0;
+        for j in 0..n {
+            let v = match uplo {
+                Uplo::Upper => {
+                    if i <= j {
+                        a[i * lda + j]
+                    } else {
+                        a[j * lda + i]
+                    }
+                }
+                Uplo::Lower => {
+                    if i >= j {
+                        a[i * lda + j]
+                    } else {
+                        a[j * lda + i]
+                    }
+                }
+            };
+            acc += v * x[j];
+        }
+        y[i] = alpha * acc + beta * y[i];
+    }
+}
+
+/// Triangular matrix-vector product `x ← op(T)·x`.
+pub fn dtrmv(
+    uplo: Uplo,
+    trans: Trans,
+    diag: Diag,
+    n: usize,
+    t: &[f64],
+    ldt: usize,
+    x: &mut [f64],
+) {
+    let get = |i: usize, j: usize| -> f64 {
+        if i == j && diag == Diag::Unit {
+            1.0
+        } else {
+            t[i * ldt + j]
+        }
+    };
+    let stored = |i: usize, j: usize| -> bool {
+        match uplo {
+            Uplo::Lower => i >= j,
+            Uplo::Upper => i <= j,
+        }
+    };
+    let mut out = vec![0.0; n];
+    for i in 0..n {
+        for j in 0..n {
+            let v = match trans {
+                Trans::No => {
+                    if stored(i, j) {
+                        get(i, j)
+                    } else {
+                        0.0
+                    }
+                }
+                Trans::Yes => {
+                    if stored(j, i) {
+                        get(j, i)
+                    } else {
+                        0.0
+                    }
+                }
+            };
+            out[i] += v * x[j];
+        }
+    }
+    x[..n].copy_from_slice(&out);
+}
+
+/// Triangular solve `op(T)·x = b`, overwriting `x` (initially `b`).
+///
+/// # Panics
+///
+/// Panics if a diagonal entry is exactly zero (matrix must be
+/// non-singular, the LA `NS` property).
+pub fn dtrsv(
+    uplo: Uplo,
+    trans: Trans,
+    diag: Diag,
+    n: usize,
+    t: &[f64],
+    ldt: usize,
+    x: &mut [f64],
+) {
+    let get = |i: usize, j: usize| -> f64 {
+        if i == j && diag == Diag::Unit {
+            1.0
+        } else {
+            t[i * ldt + j]
+        }
+    };
+    // effective orientation after transposition
+    let lower = match (uplo, trans) {
+        (Uplo::Lower, Trans::No) | (Uplo::Upper, Trans::Yes) => true,
+        _ => false,
+    };
+    let coeff = |i: usize, j: usize| -> f64 {
+        match trans {
+            Trans::No => get(i, j),
+            Trans::Yes => get(j, i),
+        }
+    };
+    if lower {
+        for i in 0..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= coeff(i, j) * x[j];
+            }
+            let d = coeff(i, i);
+            assert!(d != 0.0, "singular triangular matrix");
+            x[i] = acc / d;
+        }
+    } else {
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in i + 1..n {
+                acc -= coeff(i, j) * x[j];
+            }
+            let d = coeff(i, i);
+            assert!(d != 0.0, "singular triangular matrix");
+            x[i] = acc / d;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mat::Mat;
+    use crate::testgen;
+
+    #[test]
+    fn gemv_matches_dense() {
+        let a = Mat::from_fn(3, 4, |i, j| (i * 4 + j) as f64 + 1.0);
+        let x = [1.0, -1.0, 2.0, 0.5];
+        let mut y = [1.0, 1.0, 1.0];
+        dgemv(Trans::No, 3, 4, 2.0, a.as_slice(), 4, &x, 3.0, &mut y);
+        // reference
+        let mut expect = [0.0; 3];
+        for i in 0..3 {
+            let mut acc = 0.0;
+            for j in 0..4 {
+                acc += a[(i, j)] * x[j];
+            }
+            expect[i] = 2.0 * acc + 3.0;
+        }
+        assert_eq!(y, expect);
+    }
+
+    #[test]
+    fn gemv_transposed() {
+        let a = Mat::from_fn(3, 2, |i, j| (i + j) as f64);
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [0.0, 0.0];
+        dgemv(Trans::Yes, 3, 2, 1.0, a.as_slice(), 2, &x, 0.0, &mut y);
+        assert_eq!(y, [0.0 + 2.0 + 6.0, 1.0 + 4.0 + 9.0]);
+    }
+
+    #[test]
+    fn ger_rank1() {
+        let mut a = Mat::zeros(2, 3);
+        dger(2, 3, 2.0, &[1.0, 2.0], &[3.0, 4.0, 5.0], a.as_mut_slice(), 3);
+        assert_eq!(a.as_slice(), &[6.0, 8.0, 10.0, 12.0, 16.0, 20.0]);
+    }
+
+    #[test]
+    fn symv_reads_one_triangle() {
+        // store only the upper triangle; garbage below
+        let mut a = Mat::from_fn(3, 3, |i, j| if i <= j { (i + j) as f64 + 1.0 } else { 777.0 });
+        let x = [1.0, 1.0, 1.0];
+        let mut y = [0.0; 3];
+        dsymv(Uplo::Upper, 3, 1.0, a.as_mut_slice(), 3, &x, 0.0, &mut y);
+        // full symmetric matrix rows: [1,2,3],[2,3,4],[3,4,5]
+        assert_eq!(y, [6.0, 9.0, 12.0]);
+    }
+
+    #[test]
+    fn trsv_solves_all_orientations() {
+        let n = 6;
+        let l = testgen::well_conditioned_triangular(n, Uplo::Lower, 42);
+        for (uplo, t) in [
+            (Uplo::Lower, Trans::No),
+            (Uplo::Lower, Trans::Yes),
+            (Uplo::Upper, Trans::No),
+            (Uplo::Upper, Trans::Yes),
+        ] {
+            let tri = match uplo {
+                Uplo::Lower => l.clone(),
+                Uplo::Upper => l.transposed(),
+            };
+            let x_true: Vec<f64> = (0..n).map(|i| (i as f64) - 2.5).collect();
+            // b = op(T) x_true
+            let mut b = x_true.clone();
+            dtrmv(uplo, t, Diag::NonUnit, n, tri.as_slice(), n, &mut b);
+            let mut x = b.clone();
+            dtrsv(uplo, t, Diag::NonUnit, n, tri.as_slice(), n, &mut x);
+            for i in 0..n {
+                assert!(
+                    (x[i] - x_true[i]).abs() < 1e-9,
+                    "uplo={uplo:?} trans={t:?} lane {i}: {} vs {}",
+                    x[i],
+                    x_true[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trsv_unit_diagonal() {
+        let n = 4;
+        let mut l = testgen::well_conditioned_triangular(n, Uplo::Lower, 7);
+        // unit diag means stored diagonal is ignored
+        for i in 0..n {
+            l[(i, i)] = 999.0;
+        }
+        let x_true = [1.0, -2.0, 0.5, 3.0];
+        let mut b = x_true;
+        dtrmv(Uplo::Lower, Trans::No, Diag::Unit, n, l.as_slice(), n, &mut b);
+        let mut x = b;
+        dtrsv(Uplo::Lower, Trans::No, Diag::Unit, n, l.as_slice(), n, &mut x);
+        for i in 0..n {
+            assert!((x[i] - x_true[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn trsv_rejects_singular() {
+        let t = Mat::zeros(2, 2);
+        let mut x = [1.0, 1.0];
+        dtrsv(Uplo::Lower, Trans::No, Diag::NonUnit, 2, t.as_slice(), 2, &mut x);
+    }
+}

@@ -1,0 +1,515 @@
+//! Level-3 BLAS: matrix-matrix operations (row-major, explicit leading
+//! dimensions).
+
+use crate::{Diag, Side, Trans, Uplo};
+
+/// `C ← alpha·op(A)·op(B) + beta·C` with `C` of size `m × n` and inner
+/// dimension `k`.
+///
+/// # Panics
+///
+/// Panics (in debug builds) on out-of-range accesses implied by wrong
+/// dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn dgemm(
+    trans_a: Trans,
+    trans_b: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    let ga = |i: usize, p: usize| -> f64 {
+        match trans_a {
+            Trans::No => a[i * lda + p],
+            Trans::Yes => a[p * lda + i],
+        }
+    };
+    let gb = |p: usize, j: usize| -> f64 {
+        match trans_b {
+            Trans::No => b[p * ldb + j],
+            Trans::Yes => b[j * ldb + p],
+        }
+    };
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += ga(i, p) * gb(p, j);
+            }
+            c[i * ldc + j] = alpha * acc + beta * c[i * ldc + j];
+        }
+    }
+}
+
+/// Symmetric rank-k update: `C ← alpha·op(A)·op(A)ᵀ + beta·C`, writing only
+/// the `uplo` triangle of the `n × n` matrix `C`. With `trans = Yes` the
+/// update is `alpha·Aᵀ·A + beta·C` (`A` is `k × n`); otherwise `A` is
+/// `n × k`.
+#[allow(clippy::too_many_arguments)]
+pub fn dsyrk(
+    uplo: Uplo,
+    trans: Trans,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    let g = |i: usize, p: usize| -> f64 {
+        match trans {
+            Trans::No => a[i * lda + p],
+            Trans::Yes => a[p * lda + i],
+        }
+    };
+    for i in 0..n {
+        for j in 0..n {
+            let in_triangle = match uplo {
+                Uplo::Upper => j >= i,
+                Uplo::Lower => j <= i,
+            };
+            if !in_triangle {
+                continue;
+            }
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += g(i, p) * g(j, p);
+            }
+            c[i * ldc + j] = alpha * acc + beta * c[i * ldc + j];
+        }
+    }
+}
+
+/// Triangular solve with multiple right-hand sides:
+/// `op(T)·X = alpha·B` (left) or `X·op(T) = alpha·B` (right), overwriting
+/// `B` with `X`. `B` is `m × n`.
+///
+/// # Panics
+///
+/// Panics if the triangular matrix is singular.
+#[allow(clippy::too_many_arguments)]
+pub fn dtrsm(
+    side: Side,
+    uplo: Uplo,
+    trans: Trans,
+    diag: Diag,
+    m: usize,
+    n: usize,
+    alpha: f64,
+    t: &[f64],
+    ldt: usize,
+    b: &mut [f64],
+    ldb: usize,
+) {
+    if alpha != 1.0 {
+        for i in 0..m {
+            for j in 0..n {
+                b[i * ldb + j] *= alpha;
+            }
+        }
+    }
+    let dim = match side {
+        Side::Left => m,
+        Side::Right => n,
+    };
+    let get = |i: usize, j: usize| -> f64 {
+        if i == j && diag == Diag::Unit {
+            1.0
+        } else {
+            t[i * ldt + j]
+        }
+    };
+    let coeff = |i: usize, j: usize| -> f64 {
+        match trans {
+            Trans::No => get(i, j),
+            Trans::Yes => get(j, i),
+        }
+    };
+    // effective orientation of op(T)
+    let lower = matches!(
+        (uplo, trans),
+        (Uplo::Lower, Trans::No) | (Uplo::Upper, Trans::Yes)
+    );
+    match side {
+        Side::Left => {
+            // solve op(T) X = B column-block-wise via forward/back subst
+            let order: Vec<usize> = if lower {
+                (0..dim).collect()
+            } else {
+                (0..dim).rev().collect()
+            };
+            for &i in &order {
+                let d = coeff(i, i);
+                assert!(d != 0.0, "singular triangular matrix");
+                let deps: Vec<usize> = if lower {
+                    (0..i).collect()
+                } else {
+                    (i + 1..dim).collect()
+                };
+                for j in 0..n {
+                    let mut acc = b[i * ldb + j];
+                    for &p in &deps {
+                        acc -= coeff(i, p) * b[p * ldb + j];
+                    }
+                    b[i * ldb + j] = acc / d;
+                }
+            }
+        }
+        Side::Right => {
+            // solve X op(T) = B row-wise: xᵢ op(T) = bᵢ, i.e. op(T)ᵀ xᵢᵀ = bᵢᵀ
+            let effective_lower = !lower; // transposing flips orientation
+            let order: Vec<usize> = if effective_lower {
+                (0..dim).collect()
+            } else {
+                (0..dim).rev().collect()
+            };
+            for &j in &order {
+                let d = coeff(j, j);
+                assert!(d != 0.0, "singular triangular matrix");
+                let deps: Vec<usize> = if effective_lower {
+                    (0..j).collect()
+                } else {
+                    (j + 1..dim).collect()
+                };
+                for i in 0..m {
+                    let mut acc = b[i * ldb + j];
+                    for &p in &deps {
+                        acc -= b[i * ldb + p] * coeff(p, j);
+                    }
+                    b[i * ldb + j] = acc / d;
+                }
+            }
+        }
+    }
+}
+
+/// Triangular matrix-matrix product: `B ← op(T)·B` (left) or `B ← B·op(T)`
+/// (right). `B` is `m × n`.
+#[allow(clippy::too_many_arguments)]
+pub fn dtrmm(
+    side: Side,
+    uplo: Uplo,
+    trans: Trans,
+    diag: Diag,
+    m: usize,
+    n: usize,
+    alpha: f64,
+    t: &[f64],
+    ldt: usize,
+    b: &mut [f64],
+    ldb: usize,
+) {
+    let get = |i: usize, j: usize| -> f64 {
+        if i == j && diag == Diag::Unit {
+            1.0
+        } else {
+            t[i * ldt + j]
+        }
+    };
+    let stored = |i: usize, j: usize| -> bool {
+        match uplo {
+            Uplo::Lower => i >= j,
+            Uplo::Upper => i <= j,
+        }
+    };
+    let coeff = |i: usize, j: usize| -> f64 {
+        match trans {
+            Trans::No => {
+                if stored(i, j) {
+                    get(i, j)
+                } else {
+                    0.0
+                }
+            }
+            Trans::Yes => {
+                if stored(j, i) {
+                    get(j, i)
+                } else {
+                    0.0
+                }
+            }
+        }
+    };
+    match side {
+        Side::Left => {
+            let mut out = vec![0.0; m * n];
+            for i in 0..m {
+                for p in 0..m {
+                    let v = coeff(i, p);
+                    if v == 0.0 {
+                        continue;
+                    }
+                    for j in 0..n {
+                        out[i * n + j] += v * b[p * ldb + j];
+                    }
+                }
+            }
+            for i in 0..m {
+                for j in 0..n {
+                    b[i * ldb + j] = alpha * out[i * n + j];
+                }
+            }
+        }
+        Side::Right => {
+            let mut out = vec![0.0; m * n];
+            for i in 0..m {
+                for p in 0..n {
+                    let v = b[i * ldb + p];
+                    if v == 0.0 {
+                        continue;
+                    }
+                    for j in 0..n {
+                        out[i * n + j] += v * coeff(p, j);
+                    }
+                }
+            }
+            for i in 0..m {
+                for j in 0..n {
+                    b[i * ldb + j] = alpha * out[i * n + j];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mat::Mat;
+    use crate::testgen;
+
+    #[test]
+    fn gemm_matches_dense_reference() {
+        let a = testgen::general(3, 5, 1);
+        let b = testgen::general(5, 4, 2);
+        let mut c = testgen::general(3, 4, 3);
+        let expect = a.matmul(&b).scale(2.0).add(&c.scale(0.5));
+        dgemm(
+            Trans::No,
+            Trans::No,
+            3,
+            4,
+            5,
+            2.0,
+            a.as_slice(),
+            5,
+            b.as_slice(),
+            4,
+            0.5,
+            c.as_mut_slice(),
+            4,
+        );
+        assert!(c.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn gemm_transposed_operands() {
+        let a = testgen::general(5, 3, 4); // Aᵀ is 3x5
+        let b = testgen::general(4, 5, 5); // Bᵀ is 5x4
+        let mut c = Mat::zeros(3, 4);
+        let expect = a.transposed().matmul(&b.transposed());
+        dgemm(
+            Trans::Yes,
+            Trans::Yes,
+            3,
+            4,
+            5,
+            1.0,
+            a.as_slice(),
+            3,
+            b.as_slice(),
+            5,
+            0.0,
+            c.as_mut_slice(),
+            4,
+        );
+        assert!(c.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn gemm_with_submatrix_strides() {
+        // multiply the top-left 2x2 blocks of two 4x4 matrices
+        let a = testgen::general(4, 4, 6);
+        let b = testgen::general(4, 4, 7);
+        let mut c = Mat::zeros(2, 2);
+        dgemm(
+            Trans::No,
+            Trans::No,
+            2,
+            2,
+            2,
+            1.0,
+            a.as_slice(),
+            4,
+            b.as_slice(),
+            4,
+            0.0,
+            c.as_mut_slice(),
+            2,
+        );
+        let a2 = Mat::from_fn(2, 2, |i, j| a[(i, j)]);
+        let b2 = Mat::from_fn(2, 2, |i, j| b[(i, j)]);
+        assert!(c.approx_eq(&a2.matmul(&b2), 1e-12));
+    }
+
+    #[test]
+    fn syrk_updates_one_triangle_only() {
+        let a = testgen::general(4, 3, 8);
+        let mut c = Mat::zeros(4, 4);
+        dsyrk(Uplo::Upper, Trans::No, 4, 3, 1.0, a.as_slice(), 3, 0.0, c.as_mut_slice(), 4);
+        let full = a.matmul(&a.transposed());
+        for i in 0..4 {
+            for j in 0..4 {
+                if j >= i {
+                    assert!((c[(i, j)] - full[(i, j)]).abs() < 1e-12);
+                } else {
+                    assert_eq!(c[(i, j)], 0.0, "lower triangle must be untouched");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn syrk_transposed() {
+        let a = testgen::general(3, 4, 9); // AᵀA is 4x4
+        let mut c = Mat::zeros(4, 4);
+        dsyrk(Uplo::Lower, Trans::Yes, 4, 3, 1.0, a.as_slice(), 4, 0.0, c.as_mut_slice(), 4);
+        let full = a.transposed().matmul(&a);
+        for i in 0..4 {
+            for j in 0..=i {
+                assert!((c[(i, j)] - full[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_all_sides_and_orientations() {
+        let m = 5;
+        let n = 3;
+        for side in [Side::Left, Side::Right] {
+            for uplo in [Uplo::Lower, Uplo::Upper] {
+                for trans in [Trans::No, Trans::Yes] {
+                    let dim = match side {
+                        Side::Left => m,
+                        Side::Right => n,
+                    };
+                    let t = testgen::well_conditioned_triangular(dim, uplo, 11);
+                    let x_true = testgen::general(m, n, 13);
+                    // b = op(T) X or X op(T)
+                    let opt = match trans {
+                        Trans::No => t.clone(),
+                        Trans::Yes => t.transposed(),
+                    };
+                    let b = match side {
+                        Side::Left => opt.matmul(&x_true),
+                        Side::Right => x_true.matmul(&opt),
+                    };
+                    let mut x = b.clone();
+                    dtrsm(
+                        side,
+                        uplo,
+                        trans,
+                        Diag::NonUnit,
+                        m,
+                        n,
+                        1.0,
+                        t.as_slice(),
+                        dim,
+                        x.as_mut_slice(),
+                        n,
+                    );
+                    assert!(
+                        x.approx_eq(&x_true, 1e-9),
+                        "side={side:?} uplo={uplo:?} trans={trans:?}\n{x}\nvs\n{x_true}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trmm_matches_dense() {
+        let m = 4;
+        let n = 3;
+        let t = testgen::well_conditioned_triangular(m, Uplo::Lower, 21);
+        let b0 = testgen::general(m, n, 22);
+        let mut b = b0.clone();
+        dtrmm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::No,
+            Diag::NonUnit,
+            m,
+            n,
+            1.0,
+            t.as_slice(),
+            m,
+            b.as_mut_slice(),
+            n,
+        );
+        assert!(b.approx_eq(&t.matmul(&b0), 1e-12));
+
+        let tr = testgen::well_conditioned_triangular(n, Uplo::Upper, 23);
+        let mut b = b0.clone();
+        dtrmm(
+            Side::Right,
+            Uplo::Upper,
+            Trans::Yes,
+            Diag::NonUnit,
+            m,
+            n,
+            1.0,
+            tr.as_slice(),
+            n,
+            b.as_mut_slice(),
+            n,
+        );
+        assert!(b.approx_eq(&b0.matmul(&tr.transposed()), 1e-12));
+    }
+
+    #[test]
+    fn trsm_inverts_trmm() {
+        let m = 6;
+        let n = 4;
+        let t = testgen::well_conditioned_triangular(m, Uplo::Upper, 31);
+        let x0 = testgen::general(m, n, 32);
+        let mut b = x0.clone();
+        dtrmm(
+            Side::Left,
+            Uplo::Upper,
+            Trans::Yes,
+            Diag::NonUnit,
+            m,
+            n,
+            1.0,
+            t.as_slice(),
+            m,
+            b.as_mut_slice(),
+            n,
+        );
+        dtrsm(
+            Side::Left,
+            Uplo::Upper,
+            Trans::Yes,
+            Diag::NonUnit,
+            m,
+            n,
+            1.0,
+            t.as_slice(),
+            m,
+            b.as_mut_slice(),
+            n,
+        );
+        assert!(b.approx_eq(&x0, 1e-9));
+    }
+}

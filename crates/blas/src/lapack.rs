@@ -1,0 +1,311 @@
+//! Unblocked LAPACK-style routines: the reference semantics for every HLAC
+//! in the paper's Table 3.
+
+use crate::Uplo;
+
+/// Cholesky factorization (unblocked).
+///
+/// With [`Uplo::Upper`]: computes upper-triangular `U` with `Uᵀ·U = S`,
+/// overwriting the upper triangle of `s` (the paper's `potrf` benchmark,
+/// eq. (5)). With [`Uplo::Lower`]: computes `L` with `L·Lᵀ = S`.
+/// Entries of the other triangle are zeroed (full storage).
+///
+/// # Panics
+///
+/// Panics if `S` is not positive definite (non-positive pivot).
+pub fn dpotrf(uplo: Uplo, n: usize, s: &mut [f64], lds: usize) {
+    match uplo {
+        Uplo::Upper => {
+            for i in 0..n {
+                let mut d = s[i * lds + i];
+                for k in 0..i {
+                    d -= s[k * lds + i] * s[k * lds + i];
+                }
+                assert!(d > 0.0, "matrix not positive definite at pivot {i}");
+                let uii = d.sqrt();
+                s[i * lds + i] = uii;
+                for j in i + 1..n {
+                    let mut v = s[i * lds + j];
+                    for k in 0..i {
+                        v -= s[k * lds + i] * s[k * lds + j];
+                    }
+                    s[i * lds + j] = v / uii;
+                }
+                for j in 0..i {
+                    s[i * lds + j] = 0.0;
+                }
+            }
+        }
+        Uplo::Lower => {
+            for i in 0..n {
+                let mut d = s[i * lds + i];
+                for k in 0..i {
+                    d -= s[i * lds + k] * s[i * lds + k];
+                }
+                assert!(d > 0.0, "matrix not positive definite at pivot {i}");
+                let lii = d.sqrt();
+                s[i * lds + i] = lii;
+                for j in i + 1..n {
+                    let mut v = s[j * lds + i];
+                    for k in 0..i {
+                        v -= s[j * lds + k] * s[i * lds + k];
+                    }
+                    s[j * lds + i] = v / lii;
+                }
+                for j in i + 1..n {
+                    s[i * lds + j] = 0.0;
+                }
+            }
+        }
+    }
+}
+
+/// Triangular matrix inversion (unblocked): `T ← T⁻¹` in place, keeping
+/// the triangle (the paper's `trtri` benchmark).
+///
+/// # Panics
+///
+/// Panics on a zero diagonal entry (`T` must be non-singular).
+pub fn dtrtri(uplo: Uplo, n: usize, t: &mut [f64], ldt: usize) {
+    match uplo {
+        Uplo::Lower => {
+            // X L = I (column-oriented): X[j][j] = 1/L[j][j];
+            // X[i][j] = -(Σ_{k=j..i-1} L[i][k]·X[k][j]) / L[i][i]
+            for j in 0..n {
+                let d = t[j * ldt + j];
+                assert!(d != 0.0, "singular triangular matrix");
+                t[j * ldt + j] = 1.0 / d;
+                for i in j + 1..n {
+                    let mut acc = 0.0;
+                    for k in j..i {
+                        acc += t[i * ldt + k] * t[k * ldt + j];
+                    }
+                    let dii = t[i * ldt + i];
+                    assert!(dii != 0.0, "singular triangular matrix");
+                    t[i * ldt + j] = -acc / dii;
+                }
+            }
+        }
+        Uplo::Upper => {
+            for j in (0..n).rev() {
+                let d = t[j * ldt + j];
+                assert!(d != 0.0, "singular triangular matrix");
+                t[j * ldt + j] = 1.0 / d;
+                for i in (0..j).rev() {
+                    let mut acc = 0.0;
+                    for k in i + 1..=j {
+                        acc += t[i * ldt + k] * t[k * ldt + j];
+                    }
+                    let dii = t[i * ldt + i];
+                    assert!(dii != 0.0, "singular triangular matrix");
+                    t[i * ldt + j] = -acc / dii;
+                }
+            }
+        }
+    }
+}
+
+/// Triangular continuous-time Sylvester equation `L·X + X·U = C` with `L`
+/// lower triangular (`m × m`) and `U` upper triangular (`n × n`),
+/// overwriting the `m × n` matrix `c` with `X` (the paper's `trsyl`).
+///
+/// # Panics
+///
+/// Panics if `L[i,i] + U[j,j] = 0` for some `(i, j)` (no unique solution).
+pub fn dtrsyl(
+    m: usize,
+    n: usize,
+    l: &[f64],
+    ldl: usize,
+    u: &[f64],
+    ldu: usize,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = c[i * ldc + j];
+            for k in 0..i {
+                acc -= l[i * ldl + k] * c[k * ldc + j];
+            }
+            for k in 0..j {
+                acc -= c[i * ldc + k] * u[k * ldu + j];
+            }
+            let d = l[i * ldl + i] + u[j * ldu + j];
+            assert!(d != 0.0, "singular Sylvester operator at ({i},{j})");
+            c[i * ldc + j] = acc / d;
+        }
+    }
+}
+
+/// Triangular continuous-time Lyapunov equation `L·X + X·Lᵀ = S` with `L`
+/// lower triangular and `S` symmetric, overwriting `s` with the symmetric
+/// solution `X` in full storage (the paper's `trlya`).
+///
+/// # Panics
+///
+/// Panics if `L[i,i] + L[j,j] = 0` for some `(i, j)`.
+pub fn dtrlya(n: usize, l: &[f64], ldl: usize, s: &mut [f64], lds: usize) {
+    // Solve the lower triangle in dependency order, mirroring as we go.
+    for i in 0..n {
+        for j in 0..=i {
+            let mut acc = s[i * lds + j];
+            for k in 0..i {
+                acc -= l[i * ldl + k] * s[k * lds + j];
+            }
+            for k in 0..j {
+                acc -= s[i * lds + k] * l[j * ldl + k];
+            }
+            let d = l[i * ldl + i] + l[j * ldl + j];
+            assert!(d != 0.0, "singular Lyapunov operator at ({i},{j})");
+            let x = acc / d;
+            s[i * lds + j] = x;
+            s[j * lds + i] = x;
+        }
+    }
+}
+
+/// LU factorization without pivoting: `A = L·U` with unit-diagonal `L`
+/// stored below the diagonal and `U` on/above it (valid for the LA `NS`
+/// matrices the language targets).
+///
+/// # Panics
+///
+/// Panics on a zero pivot.
+pub fn dgetrf_nopiv(n: usize, a: &mut [f64], lda: usize) {
+    for k in 0..n {
+        let piv = a[k * lda + k];
+        assert!(piv != 0.0, "zero pivot at {k}");
+        for i in k + 1..n {
+            a[i * lda + k] /= piv;
+            let lik = a[i * lda + k];
+            for j in k + 1..n {
+                a[i * lda + j] -= lik * a[k * lda + j];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mat::Mat;
+    use crate::testgen;
+
+    #[test]
+    fn potrf_upper_reconstructs() {
+        for n in [1, 2, 3, 5, 8, 13] {
+            let s = testgen::spd(n, 100 + n as u64);
+            let mut u = s.clone();
+            dpotrf(Uplo::Upper, n, u.as_mut_slice(), n);
+            let rebuilt = u.transposed().matmul(&u);
+            assert!(rebuilt.approx_eq(&s, 1e-10), "n={n}\n{rebuilt}\nvs\n{s}");
+            // upper triangular with positive diagonal
+            for i in 0..n {
+                assert!(u[(i, i)] > 0.0);
+                for j in 0..i {
+                    assert_eq!(u[(i, j)], 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn potrf_lower_reconstructs() {
+        for n in [1, 3, 6, 9] {
+            let s = testgen::spd(n, 200 + n as u64);
+            let mut l = s.clone();
+            dpotrf(Uplo::Lower, n, l.as_mut_slice(), n);
+            let rebuilt = l.matmul(&l.transposed());
+            assert!(rebuilt.approx_eq(&s, 1e-10), "n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not positive definite")]
+    fn potrf_rejects_indefinite() {
+        let mut s = Mat::from_slice(2, 2, &[1.0, 2.0, 2.0, 1.0]); // eigenvalues 3, -1
+        dpotrf(Uplo::Upper, 2, s.as_mut_slice(), 2);
+    }
+
+    #[test]
+    fn trtri_gives_inverse() {
+        for uplo in [Uplo::Lower, Uplo::Upper] {
+            for n in [1, 2, 4, 7, 10] {
+                let t = testgen::well_conditioned_triangular(n, uplo, 300 + n as u64);
+                let mut x = t.clone();
+                dtrtri(uplo, n, x.as_mut_slice(), n);
+                let prod = t.matmul(&x);
+                assert!(
+                    prod.approx_eq(&Mat::identity(n), 1e-10),
+                    "uplo={uplo:?} n={n}\n{prod}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trsyl_residual_is_small() {
+        for (m, n) in [(1, 1), (3, 2), (5, 5), (8, 6)] {
+            let l = testgen::well_conditioned_triangular(m, Uplo::Lower, 401);
+            let u = testgen::well_conditioned_triangular(n, Uplo::Upper, 402);
+            let c0 = testgen::general(m, n, 403);
+            let mut x = c0.clone();
+            dtrsyl(m, n, l.as_slice(), m, u.as_slice(), n, x.as_mut_slice(), n);
+            let residual = l.matmul(&x).add(&x.matmul(&u));
+            assert!(residual.approx_eq(&c0, 1e-10), "m={m} n={n}");
+        }
+    }
+
+    #[test]
+    fn trlya_solution_is_symmetric_and_solves() {
+        for n in [1, 2, 4, 6, 9] {
+            let l = testgen::well_conditioned_triangular(n, Uplo::Lower, 500 + n as u64);
+            let s0 = testgen::symmetrize(&testgen::general(n, n, 501), Uplo::Upper);
+            let mut x = s0.clone();
+            dtrlya(n, l.as_slice(), n, x.as_mut_slice(), n);
+            assert!(x.approx_eq(&x.transposed(), 1e-12), "X must be symmetric");
+            let residual = l.matmul(&x).add(&x.matmul(&l.transposed()));
+            assert!(residual.approx_eq(&s0, 1e-10), "n={n}");
+        }
+    }
+
+    #[test]
+    fn trlya_agrees_with_trsyl() {
+        // Lyapunov is Sylvester with U = Lᵀ; the dedicated solver must
+        // agree with the general one.
+        let n = 7;
+        let l = testgen::well_conditioned_triangular(n, Uplo::Lower, 600);
+        let s0 = testgen::symmetrize(&testgen::general(n, n, 601), Uplo::Upper);
+        let mut via_lya = s0.clone();
+        dtrlya(n, l.as_slice(), n, via_lya.as_mut_slice(), n);
+        let lt = l.transposed();
+        let mut via_syl = s0.clone();
+        dtrsyl(n, n, l.as_slice(), n, lt.as_slice(), n, via_syl.as_mut_slice(), n);
+        assert!(via_lya.approx_eq(&via_syl, 1e-10));
+    }
+
+    #[test]
+    fn getrf_reconstructs() {
+        for n in [1, 3, 5, 8] {
+            // diagonally dominant => no pivoting needed
+            let mut a = testgen::general(n, n, 700 + n as u64);
+            for i in 0..n {
+                a[(i, i)] += n as f64 + 2.0;
+            }
+            let a0 = a.clone();
+            dgetrf_nopiv(n, a.as_mut_slice(), n);
+            let l = Mat::from_fn(n, n, |i, j| {
+                if i == j {
+                    1.0
+                } else if i > j {
+                    a[(i, j)]
+                } else {
+                    0.0
+                }
+            });
+            let u = Mat::from_fn(n, n, |i, j| if i <= j { a[(i, j)] } else { 0.0 });
+            assert!(l.matmul(&u).approx_eq(&a0, 1e-10), "n={n}");
+        }
+    }
+}

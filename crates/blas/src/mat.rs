@@ -1,0 +1,215 @@
+//! A minimal row-major dense matrix used by tests, examples, and the
+//! workload generators.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A row-major `rows × cols` matrix of `f64`.
+///
+/// ```
+/// use slingen_blas::Mat;
+/// let mut a = Mat::zeros(2, 3);
+/// a[(0, 1)] = 5.0;
+/// assert_eq!(a[(0, 1)], 5.0);
+/// assert_eq!(a.transposed()[(1, 0)], 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// A zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Mat {
+        Mat { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// The identity matrix.
+    pub fn identity(n: usize) -> Mat {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a row-major slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_slice(rows: usize, cols: usize, data: &[f64]) -> Mat {
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        Mat { rows, cols, data: data.to_vec() }
+    }
+
+    /// Build from a function of the index.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Mat {
+        let mut m = Mat::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row-major backing data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable row-major backing data.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// The transpose.
+    pub fn transposed(&self) -> Mat {
+        Mat::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Dense matrix product `self * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn matmul(&self, other: &Mat) -> Mat {
+        assert_eq!(self.cols, other.rows, "inner dimensions differ");
+        let mut out = Mat::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                for j in 0..other.cols {
+                    out[(i, j)] += aik * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Mat) -> Mat {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        Mat::from_fn(self.rows, self.cols, |i, j| self[(i, j)] + other[(i, j)])
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, other: &Mat) -> Mat {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        Mat::from_fn(self.rows, self.cols, |i, j| self[(i, j)] - other[(i, j)])
+    }
+
+    /// `alpha * self`.
+    pub fn scale(&self, alpha: f64) -> Mat {
+        Mat::from_fn(self.rows, self.cols, |i, j| alpha * self[(i, j)])
+    }
+
+    /// Max-norm distance to `other`.
+    pub fn max_diff(&self, other: &Mat) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        let mut d: f64 = 0.0;
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                d = d.max((self[(i, j)] - other[(i, j)]).abs());
+            }
+        }
+        d
+    }
+
+    /// Frobenius norm.
+    pub fn fro_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Whether all entries are within `tol` of `other`, scaled by the
+    /// magnitude of the operands (a pragmatic mixed absolute/relative
+    /// comparison for factorization results).
+    pub fn approx_eq(&self, other: &Mat, tol: f64) -> bool {
+        let scale = self.fro_norm().max(other.fro_norm()).max(1.0);
+        self.max_diff(other) <= tol * scale
+    }
+}
+
+impl Index<(usize, usize)> for Mat {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Mat {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Display for Mat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                write!(f, "{:10.4} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = Mat::from_slice(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(1, 2)], 6.0);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let a = Mat::from_fn(3, 3, |i, j| (i * 3 + j) as f64);
+        assert_eq!(a.matmul(&Mat::identity(3)), a);
+        assert_eq!(Mat::identity(3).matmul(&a), a);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Mat::from_fn(2, 4, |i, j| (i + 10 * j) as f64);
+        assert_eq!(a.transposed().transposed(), a);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Mat::from_fn(2, 2, |i, j| (i + j) as f64);
+        let b = Mat::from_fn(2, 2, |i, j| (i * j) as f64);
+        assert_eq!(a.add(&b).sub(&b), a);
+        assert_eq!(a.scale(2.0).max_diff(&a.add(&a)), 0.0);
+    }
+
+    #[test]
+    fn norms_and_comparison() {
+        let a = Mat::from_slice(1, 2, &[3.0, 4.0]);
+        assert_eq!(a.fro_norm(), 5.0);
+        let b = Mat::from_slice(1, 2, &[3.0, 4.0 + 1e-12]);
+        assert!(a.approx_eq(&b, 1e-10));
+        assert!(!a.approx_eq(&Mat::from_slice(1, 2, &[3.0, 5.0]), 1e-10));
+    }
+}

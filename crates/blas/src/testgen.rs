@@ -1,0 +1,153 @@
+//! Deterministic workload generators.
+//!
+//! The paper benchmarks on random inputs; factorizations additionally need
+//! *valid* inputs (symmetric positive definite for Cholesky, non-singular
+//! triangular for solvers). These generators produce well-conditioned
+//! instances from a seed, with no dependency on a RNG crate so that every
+//! crate in the workspace can use them.
+
+use crate::mat::Mat;
+use crate::Uplo;
+
+/// A tiny deterministic PRNG (xorshift64*), sufficient for workloads.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seeded generator (seed 0 is remapped).
+    pub fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+
+    /// Next u64.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform in [-1, 1).
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+    }
+}
+
+/// A dense matrix with entries in [-1, 1).
+pub fn general(rows: usize, cols: usize, seed: u64) -> Mat {
+    let mut rng = Rng::new(seed);
+    Mat::from_fn(rows, cols, |_, _| rng.unit())
+}
+
+/// A vector with entries in [-1, 1).
+pub fn vector(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = Rng::new(seed);
+    (0..n).map(|_| rng.unit()).collect()
+}
+
+/// A symmetric positive definite matrix `A·Aᵀ + n·I` (full storage).
+pub fn spd(n: usize, seed: u64) -> Mat {
+    let a = general(n, n, seed);
+    let mut s = a.matmul(&a.transposed());
+    for i in 0..n {
+        s[(i, i)] += n as f64;
+    }
+    s
+}
+
+/// A well-conditioned triangular matrix: unit-scale entries with a
+/// dominant diagonal (ensures `NS` and keeps solves stable).
+pub fn well_conditioned_triangular(n: usize, uplo: Uplo, seed: u64) -> Mat {
+    let mut rng = Rng::new(seed);
+    Mat::from_fn(n, n, |i, j| {
+        let stored = match uplo {
+            Uplo::Lower => i >= j,
+            Uplo::Upper => i <= j,
+        };
+        if !stored {
+            0.0
+        } else if i == j {
+            2.0 + rng.unit().abs() + n as f64 / 8.0
+        } else {
+            rng.unit() * 0.5
+        }
+    })
+}
+
+/// Mirror the `uplo` triangle onto the other half (symmetric full storage,
+/// the paper's storage scheme for `UpSym`/`LoSym`).
+pub fn symmetrize(m: &Mat, uplo: Uplo) -> Mat {
+    let n = m.rows();
+    Mat::from_fn(n, n, |i, j| {
+        let (si, sj) = match uplo {
+            Uplo::Upper => (i.min(j), i.max(j)),
+            Uplo::Lower => (i.max(j), i.min(j)),
+        };
+        m[(si, sj)]
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_by_seed() {
+        assert_eq!(general(3, 3, 5), general(3, 3, 5));
+        assert_ne!(general(3, 3, 5), general(3, 3, 6));
+    }
+
+    #[test]
+    fn spd_is_symmetric_with_positive_diag() {
+        let s = spd(6, 9);
+        for i in 0..6 {
+            assert!(s[(i, i)] > 0.0);
+            for j in 0..6 {
+                assert!((s[(i, j)] - s[(j, i)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn triangular_has_zero_other_half() {
+        let l = well_conditioned_triangular(5, Uplo::Lower, 3);
+        for i in 0..5 {
+            for j in 0..5 {
+                if j > i {
+                    assert_eq!(l[(i, j)], 0.0);
+                }
+            }
+        }
+        let u = well_conditioned_triangular(5, Uplo::Upper, 3);
+        for i in 0..5 {
+            for j in 0..5 {
+                if j < i {
+                    assert_eq!(u[(i, j)], 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symmetrize_mirrors() {
+        let a = general(4, 4, 1);
+        let s = symmetrize(&a, Uplo::Upper);
+        for i in 0..4 {
+            for j in i..4 {
+                assert_eq!(s[(i, j)], a[(i, j)]);
+                assert_eq!(s[(j, i)], a[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn rng_unit_in_range() {
+        let mut rng = Rng::new(123);
+        for _ in 0..1000 {
+            let v = rng.unit();
+            assert!((-1.0..1.0).contains(&v));
+        }
+    }
+}

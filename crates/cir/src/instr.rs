@@ -1,0 +1,514 @@
+//! C-IR instructions.
+//!
+//! The instruction set mirrors what SLinGen's backend needs to express
+//! vectorized small-scale linear algebra: scalar FP arithmetic, vector FP
+//! arithmetic of a fixed width ν, and the data-movement vocabulary of the
+//! paper — `Vecload`/`Vecstore` with per-lane position maps, broadcasts,
+//! shuffles, and blends (Figs. 11–12).
+//!
+//! Vector loads and stores carry an explicit *lane map*: lane `i` of the
+//! register corresponds to memory element `base + lane[i]` (`None` = lane
+//! is not accessed; loads fill such lanes with zero). A contiguous map
+//! `[0, 1, .., ν-1]` is a plain (unaligned) vector access; anything else
+//! models the paper's Loaders/Storers for leftovers, strided (vertical)
+//! access, and structured matrices, and is *costed* accordingly by the
+//! performance model.
+
+use crate::affine::Affine;
+use crate::func::BufId;
+use std::fmt;
+
+/// A scalar (double-precision) register variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SReg(pub usize);
+
+impl fmt::Display for SReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A vector register variable of the function's width ν.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VReg(pub usize);
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A memory reference: element index `offset` into buffer `buf`.
+///
+/// Offsets are in *elements* (doubles), not bytes, and may involve loop
+/// variables.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    /// The referenced buffer.
+    pub buf: BufId,
+    /// Affine element offset.
+    pub offset: Affine,
+}
+
+impl MemRef {
+    /// Reference `buf[offset]`.
+    pub fn new(buf: BufId, offset: impl Into<Affine>) -> MemRef {
+        MemRef { buf, offset: offset.into() }
+    }
+
+    /// This reference displaced by a constant number of elements.
+    pub fn displaced(&self, delta: i64) -> MemRef {
+        MemRef { buf: self.buf, offset: self.offset.offset(delta) }
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.buf, self.offset)
+    }
+}
+
+/// Scalar operand: a register or an immediate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SOperand {
+    /// A scalar register.
+    Reg(SReg),
+    /// An immediate double constant.
+    Imm(f64),
+}
+
+impl From<SReg> for SOperand {
+    fn from(r: SReg) -> SOperand {
+        SOperand::Reg(r)
+    }
+}
+
+impl From<f64> for SOperand {
+    fn from(v: f64) -> SOperand {
+        SOperand::Imm(v)
+    }
+}
+
+impl fmt::Display for SOperand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SOperand::Reg(r) => write!(f, "{r}"),
+            SOperand::Imm(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Binary floating-point operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+}
+
+impl BinOp {
+    /// Apply to concrete values.
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            BinOp::Add => a + b,
+            BinOp::Sub => a - b,
+            BinOp::Mul => a * b,
+            BinOp::Div => a / b,
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+        })
+    }
+}
+
+/// One lane of a two-source shuffle: pick lane `lane` from source `a`/`b`,
+/// or produce zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LaneSel {
+    /// Take the given lane of the first source.
+    A(usize),
+    /// Take the given lane of the second source.
+    B(usize),
+    /// Produce 0.0.
+    Zero,
+}
+
+impl fmt::Display for LaneSel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LaneSel::A(i) => write!(f, "a{i}"),
+            LaneSel::B(i) => write!(f, "b{i}"),
+            LaneSel::Zero => write!(f, "0"),
+        }
+    }
+}
+
+/// A C-IR instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    // ---- scalar ----
+    /// `dst = mem`
+    SLoad {
+        /// Destination scalar register.
+        dst: SReg,
+        /// Source memory location.
+        src: MemRef,
+    },
+    /// `mem = src`
+    SStore {
+        /// Stored value.
+        src: SOperand,
+        /// Destination memory location.
+        dst: MemRef,
+    },
+    /// `dst = a op b`
+    SBin {
+        /// Operation.
+        op: BinOp,
+        /// Destination.
+        dst: SReg,
+        /// First operand.
+        a: SOperand,
+        /// Second operand.
+        b: SOperand,
+    },
+    /// `dst = sqrt(a)`
+    SSqrt {
+        /// Destination.
+        dst: SReg,
+        /// Operand.
+        a: SOperand,
+    },
+    /// `dst = a` (register copy / immediate materialization)
+    SMov {
+        /// Destination.
+        dst: SReg,
+        /// Source.
+        a: SOperand,
+    },
+    // ---- vector ----
+    /// Vector load with per-lane offsets relative to `base` (the paper's
+    /// `Vecload`). Lane `i` reads `base + lanes[i]`; `None` lanes are 0.
+    VLoad {
+        /// Destination vector register.
+        dst: VReg,
+        /// Base address.
+        base: MemRef,
+        /// Per-lane element offsets.
+        lanes: Vec<Option<i64>>,
+    },
+    /// Vector store with per-lane offsets (the paper's `Vecstore`). Lane
+    /// `i` writes `base + lanes[i]`; `None` lanes are suppressed (masked).
+    VStore {
+        /// Source vector register.
+        src: VReg,
+        /// Base address.
+        base: MemRef,
+        /// Per-lane element offsets.
+        lanes: Vec<Option<i64>>,
+    },
+    /// `dst = src` (vector register copy; inserted by CSE).
+    VMov {
+        /// Destination.
+        dst: VReg,
+        /// Source.
+        src: VReg,
+    },
+    /// `dst = a op b`, element-wise.
+    VBin {
+        /// Operation.
+        op: BinOp,
+        /// Destination.
+        dst: VReg,
+        /// First operand.
+        a: VReg,
+        /// Second operand.
+        b: VReg,
+    },
+    /// Broadcast a scalar register/immediate into all lanes.
+    VBroadcast {
+        /// Destination.
+        dst: VReg,
+        /// Broadcast value.
+        src: SOperand,
+    },
+    /// Two-source lane permute (`dst[i] = sel[i]`); subsumes unpacks,
+    /// permutes, and single-source shuffles (set `b = a`).
+    VShuffle {
+        /// Destination.
+        dst: VReg,
+        /// First source.
+        a: VReg,
+        /// Second source.
+        b: VReg,
+        /// Per-lane selection.
+        sel: Vec<LaneSel>,
+    },
+    /// Per-lane select: `dst[i] = if mask[i] { b[i] } else { a[i] }`
+    /// (AVX `blend` with an immediate mask).
+    VBlend {
+        /// Destination.
+        dst: VReg,
+        /// First source (mask bit 0).
+        a: VReg,
+        /// Second source (mask bit 1).
+        b: VReg,
+        /// Per-lane mask.
+        mask: Vec<bool>,
+    },
+    /// Extract one lane into a scalar register.
+    VExtract {
+        /// Destination scalar.
+        dst: SReg,
+        /// Source vector.
+        src: VReg,
+        /// Lane index.
+        lane: usize,
+    },
+    /// Horizontal sum of all lanes into a scalar register.
+    VReduceAdd {
+        /// Destination scalar.
+        dst: SReg,
+        /// Source vector.
+        src: VReg,
+    },
+    /// Opaque call into a pre-built library kernel (used only by the
+    /// library-based *baselines*; SLinGen's own output never contains
+    /// calls). The callee is named so the VM can dispatch, and the cost
+    /// model charges the interface overhead the paper attributes to
+    /// fixed library APIs.
+    Call {
+        /// Kernel name (resolved by the VM's kernel registry).
+        kernel: String,
+        /// Buffer arguments.
+        bufs: Vec<BufId>,
+        /// Integer arguments (sizes, leading dimensions, flags).
+        ints: Vec<i64>,
+    },
+}
+
+/// Instruction classes used by the performance model (issue ports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum InstrClass {
+    /// Memory read.
+    Load,
+    /// Memory write.
+    Store,
+    /// FP add/sub (scalar or vector).
+    FAdd,
+    /// FP multiply.
+    FMul,
+    /// FP divide or square root (the unpipelined divider).
+    FDivSqrt,
+    /// Lane permute (shuffle port).
+    Shuffle,
+    /// Blend.
+    Blend,
+    /// Register move / broadcast from register.
+    Mov,
+    /// Library call overhead.
+    Call,
+}
+
+impl fmt::Display for InstrClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InstrClass::Load => "load",
+            InstrClass::Store => "store",
+            InstrClass::FAdd => "fadd",
+            InstrClass::FMul => "fmul",
+            InstrClass::FDivSqrt => "fdiv",
+            InstrClass::Shuffle => "shuffle",
+            InstrClass::Blend => "blend",
+            InstrClass::Mov => "mov",
+            InstrClass::Call => "call",
+        };
+        f.write_str(s)
+    }
+}
+
+impl Instr {
+    /// The primary issue class of this instruction.
+    pub fn class(&self) -> InstrClass {
+        match self {
+            Instr::SLoad { .. } | Instr::VLoad { .. } => InstrClass::Load,
+            Instr::SStore { .. } | Instr::VStore { .. } => InstrClass::Store,
+            Instr::SBin { op, .. } | Instr::VBin { op, .. } => match op {
+                BinOp::Add | BinOp::Sub => InstrClass::FAdd,
+                BinOp::Mul => InstrClass::FMul,
+                BinOp::Div => InstrClass::FDivSqrt,
+            },
+            Instr::SSqrt { .. } => InstrClass::FDivSqrt,
+            Instr::SMov { .. } | Instr::VMov { .. } => InstrClass::Mov,
+            Instr::VBroadcast { .. } => InstrClass::Mov,
+            Instr::VShuffle { .. } => InstrClass::Shuffle,
+            Instr::VBlend { .. } => InstrClass::Blend,
+            Instr::VExtract { .. } => InstrClass::Shuffle,
+            Instr::VReduceAdd { .. } => InstrClass::FAdd,
+            Instr::Call { .. } => InstrClass::Call,
+        }
+    }
+
+    /// Scalar registers read by this instruction.
+    pub fn sreg_reads(&self) -> Vec<SReg> {
+        let mut out = Vec::new();
+        let mut push = |o: &SOperand| {
+            if let SOperand::Reg(r) = o {
+                out.push(*r);
+            }
+        };
+        match self {
+            Instr::SStore { src, .. } => push(src),
+            Instr::SBin { a, b, .. } => {
+                push(a);
+                push(b);
+            }
+            Instr::SSqrt { a, .. } | Instr::SMov { a, .. } => push(a),
+            Instr::VBroadcast { src, .. } => push(src),
+            _ => {}
+        }
+        out
+    }
+
+    /// Vector registers read by this instruction.
+    pub fn vreg_reads(&self) -> Vec<VReg> {
+        match self {
+            Instr::VStore { src, .. } | Instr::VMov { src, .. } => vec![*src],
+            Instr::VBin { a, b, .. } => vec![*a, *b],
+            Instr::VShuffle { a, b, .. } => vec![*a, *b],
+            Instr::VBlend { a, b, .. } => vec![*a, *b],
+            Instr::VExtract { src, .. } | Instr::VReduceAdd { src, .. } => vec![*src],
+            _ => Vec::new(),
+        }
+    }
+
+    /// The scalar register written, if any.
+    pub fn sreg_write(&self) -> Option<SReg> {
+        match self {
+            Instr::SLoad { dst, .. }
+            | Instr::SBin { dst, .. }
+            | Instr::SSqrt { dst, .. }
+            | Instr::SMov { dst, .. }
+            | Instr::VExtract { dst, .. }
+            | Instr::VReduceAdd { dst, .. } => Some(*dst),
+            _ => None,
+        }
+    }
+
+    /// The vector register written, if any.
+    pub fn vreg_write(&self) -> Option<VReg> {
+        match self {
+            Instr::VLoad { dst, .. }
+            | Instr::VMov { dst, .. }
+            | Instr::VBin { dst, .. }
+            | Instr::VBroadcast { dst, .. }
+            | Instr::VShuffle { dst, .. }
+            | Instr::VBlend { dst, .. } => Some(*dst),
+            _ => None,
+        }
+    }
+
+    /// Whether this instruction touches memory (including calls).
+    pub fn touches_memory(&self) -> bool {
+        matches!(
+            self,
+            Instr::SLoad { .. }
+                | Instr::SStore { .. }
+                | Instr::VLoad { .. }
+                | Instr::VStore { .. }
+                | Instr::Call { .. }
+        )
+    }
+
+    /// Double-precision flops performed (vector ops count ν per active
+    /// lane set; used for flops/cycle reporting).
+    pub fn flops(&self, width: usize) -> u64 {
+        match self {
+            Instr::SBin { .. } | Instr::SSqrt { .. } => 1,
+            Instr::VBin { .. } => width as u64,
+            Instr::VReduceAdd { .. } => width.saturating_sub(1) as u64,
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::Affine;
+
+    #[test]
+    fn classes() {
+        let m = MemRef::new(BufId(0), Affine::zero());
+        assert_eq!(Instr::SLoad { dst: SReg(0), src: m.clone() }.class(), InstrClass::Load);
+        assert_eq!(
+            Instr::SBin { op: BinOp::Div, dst: SReg(0), a: SReg(1).into(), b: SReg(2).into() }
+                .class(),
+            InstrClass::FDivSqrt
+        );
+        assert_eq!(
+            Instr::VBin { op: BinOp::Mul, dst: VReg(0), a: VReg(1), b: VReg(2) }.class(),
+            InstrClass::FMul
+        );
+        assert_eq!(
+            Instr::VBlend { dst: VReg(0), a: VReg(1), b: VReg(2), mask: vec![true, false] }
+                .class(),
+            InstrClass::Blend
+        );
+    }
+
+    #[test]
+    fn read_write_sets() {
+        let i = Instr::SBin { op: BinOp::Add, dst: SReg(3), a: SReg(1).into(), b: 2.0.into() };
+        assert_eq!(i.sreg_reads(), vec![SReg(1)]);
+        assert_eq!(i.sreg_write(), Some(SReg(3)));
+        assert_eq!(i.vreg_write(), None);
+
+        let v = Instr::VShuffle {
+            dst: VReg(0),
+            a: VReg(1),
+            b: VReg(2),
+            sel: vec![LaneSel::A(0), LaneSel::B(1)],
+        };
+        assert_eq!(v.vreg_reads(), vec![VReg(1), VReg(2)]);
+        assert_eq!(v.vreg_write(), Some(VReg(0)));
+    }
+
+    #[test]
+    fn flop_counting() {
+        let add = Instr::VBin { op: BinOp::Add, dst: VReg(0), a: VReg(1), b: VReg(2) };
+        assert_eq!(add.flops(4), 4);
+        let red = Instr::VReduceAdd { dst: SReg(0), src: VReg(1) };
+        assert_eq!(red.flops(4), 3);
+        let mov = Instr::SMov { dst: SReg(0), a: 1.0.into() };
+        assert_eq!(mov.flops(4), 0);
+    }
+
+    #[test]
+    fn memref_displacement() {
+        let m = MemRef::new(BufId(2), Affine::constant(5));
+        assert_eq!(m.displaced(3).offset.as_constant(), Some(8));
+        assert_eq!(m.to_string(), "buf2[5]");
+    }
+
+    #[test]
+    fn binop_apply() {
+        assert_eq!(BinOp::Add.apply(2.0, 3.0), 5.0);
+        assert_eq!(BinOp::Sub.apply(2.0, 3.0), -1.0);
+        assert_eq!(BinOp::Mul.apply(2.0, 3.0), 6.0);
+        assert_eq!(BinOp::Div.apply(6.0, 3.0), 2.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! # slingen-cir
+//!
+//! The C-like intermediate representation (**C-IR**) of SLinGen (paper
+//! §3, Fig. 11) and its code-level optimizations (paper §3.3).
+//!
+//! C-IR sits between the mathematical stages and C code. It provides:
+//!
+//! 1. *special pointers* for accessing portions of matrices and vectors —
+//!    here, [`MemRef`]s: a buffer plus an affine offset in loop variables,
+//!    with vector accesses carrying an explicit per-lane offset map (the
+//!    paper's `Vecload(addr, [p0, p1, ...], hor/vert)`);
+//! 2. mathematical operations on scalar and vector registers;
+//! 3. `For` and `If` constructs with affine conditions on induction
+//!    variables.
+//!
+//! The optimization passes in [`passes`] implement loop unrolling, scalar
+//! replacement, the domain-specific load/store analysis that turns memory
+//! round-trips into register shuffles and blends (paper Fig. 12), plus the
+//! supporting CSE/DCE/copy-propagation cleanups.
+//!
+//! [`unparse`] renders a C-IR function as single-source C99 with AVX
+//! intrinsics — the system's final output format.
+
+pub mod affine;
+pub mod func;
+pub mod instr;
+pub mod passes;
+pub mod pretty;
+pub mod unparse;
+
+pub use affine::{Affine, CmpOp, Cond, LoopVar};
+pub use func::{BufId, BufKind, BufferDecl, CStmt, Function, FunctionBuilder};
+pub use instr::{BinOp, Instr, InstrClass, LaneSel, MemRef, SOperand, SReg, VReg};

@@ -1,0 +1,341 @@
+//! Common-subexpression elimination within straight-line regions.
+//!
+//! Pure register computations (arithmetic, broadcasts, shuffles, blends)
+//! and loads are keyed on their operation and the *versions* of their
+//! inputs; a repeated computation is replaced by a register move, which
+//! copy propagation and DCE then dissolve. Loads participate with a
+//! per-buffer epoch that is bumped by any store to the buffer (distinct
+//! buffers never alias, by C-IR construction).
+
+use crate::func::{CStmt, Function};
+use crate::instr::{Instr, SOperand, SReg, VReg};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Key {
+    SBin(crate::instr::BinOp, SKey, SKey),
+    SSqrt(SKey),
+    SLoad(usize, i64, u64),
+    VBin(crate::instr::BinOp, VKey, VKey),
+    VBroadcast(SKey),
+    VShuffle(VKey, VKey, Vec<crate::instr::LaneSel>),
+    VBlend(VKey, VKey, Vec<bool>),
+    VLoad(usize, String, Vec<Option<i64>>, u64),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum SKey {
+    Reg(SReg, u32),
+    Imm(u64),
+}
+
+type VKey = (VReg, u32);
+
+#[derive(Default)]
+struct Cse {
+    svers: HashMap<SReg, u32>,
+    vvers: HashMap<VReg, u32>,
+    epochs: HashMap<usize, u64>,
+    avail_s: HashMap<Key, (SReg, u32)>,
+    avail_v: HashMap<Key, (VReg, u32)>,
+}
+
+impl Cse {
+    fn sver(&self, r: SReg) -> u32 {
+        self.svers.get(&r).copied().unwrap_or(0)
+    }
+    fn vver(&self, r: VReg) -> u32 {
+        self.vvers.get(&r).copied().unwrap_or(0)
+    }
+    fn epoch(&self, b: usize) -> u64 {
+        self.epochs.get(&b).copied().unwrap_or(0)
+    }
+    fn skey(&self, o: &SOperand) -> SKey {
+        match o {
+            SOperand::Reg(r) => SKey::Reg(*r, self.sver(*r)),
+            SOperand::Imm(v) => SKey::Imm(v.to_bits()),
+        }
+    }
+    fn vkey(&self, r: VReg) -> VKey {
+        (r, self.vver(r))
+    }
+}
+
+fn instr_key(st: &Cse, ins: &Instr) -> Option<Key> {
+    match ins {
+        Instr::SBin { op, a, b, .. } => {
+            let (ka, kb) = (st.skey(a), st.skey(b));
+            // commutative ops: canonical operand order
+            let (ka, kb) = match op {
+                crate::instr::BinOp::Add | crate::instr::BinOp::Mul => {
+                    if format!("{ka:?}") <= format!("{kb:?}") {
+                        (ka, kb)
+                    } else {
+                        (kb, ka)
+                    }
+                }
+                _ => (ka, kb),
+            };
+            Some(Key::SBin(*op, ka, kb))
+        }
+        Instr::SSqrt { a, .. } => Some(Key::SSqrt(st.skey(a))),
+        Instr::SLoad { src, .. } => src
+            .offset
+            .as_constant()
+            .map(|off| Key::SLoad(src.buf.0, off, st.epoch(src.buf.0))),
+        Instr::VBin { op, a, b, .. } => {
+            let (ka, kb) = (st.vkey(*a), st.vkey(*b));
+            let (ka, kb) = match op {
+                crate::instr::BinOp::Add | crate::instr::BinOp::Mul => {
+                    if ka <= kb {
+                        (ka, kb)
+                    } else {
+                        (kb, ka)
+                    }
+                }
+                _ => (ka, kb),
+            };
+            Some(Key::VBin(*op, ka, kb))
+        }
+        Instr::VBroadcast { src, .. } => Some(Key::VBroadcast(st.skey(src))),
+        Instr::VShuffle { a, b, sel, .. } => {
+            Some(Key::VShuffle(st.vkey(*a), st.vkey(*b), sel.clone()))
+        }
+        Instr::VBlend { a, b, mask, .. } => {
+            Some(Key::VBlend(st.vkey(*a), st.vkey(*b), mask.clone()))
+        }
+        Instr::VLoad { base, lanes, .. } => base.offset.as_constant().map(|off| {
+            Key::VLoad(
+                base.buf.0,
+                off.to_string(),
+                lanes.clone(),
+                st.epoch(base.buf.0),
+            )
+        }),
+        _ => None,
+    }
+}
+
+fn cse_block(instrs: Vec<Instr>, st: &mut Cse) -> Vec<Instr> {
+    let mut out = Vec::new();
+    for ins in instrs {
+        let key = instr_key(st, &ins);
+        let mut replaced = false;
+        if let Some(k) = &key {
+            if let Some(sdst) = ins.sreg_write() {
+                if let Some((r, v)) = st.avail_s.get(k) {
+                    if st.sver(*r) == *v && *r != sdst {
+                        out.push(Instr::SMov { dst: sdst, a: (*r).into() });
+                        replaced = true;
+                    }
+                }
+            } else if let Some(vdst) = ins.vreg_write() {
+                if let Some((r, v)) = st.avail_v.get(k) {
+                    if st.vver(*r) == *v && *r != vdst {
+                        out.push(Instr::VMov { dst: vdst, src: *r });
+                        replaced = true;
+                    }
+                }
+            }
+        }
+        if !replaced {
+            out.push(ins.clone());
+        }
+        // effects: bump versions/epochs, then record availability
+        match &ins {
+            Instr::SStore { dst, .. } => {
+                *st.epochs.entry(dst.buf.0).or_insert(0) += 1;
+            }
+            Instr::VStore { base, .. } => {
+                *st.epochs.entry(base.buf.0).or_insert(0) += 1;
+            }
+            Instr::Call { .. } => {
+                st.epochs.values_mut().for_each(|e| *e += 1);
+                // calls clobber nothing in registers, but be safe:
+                st.avail_s.clear();
+                st.avail_v.clear();
+            }
+            _ => {}
+        }
+        if let Some(r) = ins.sreg_write() {
+            *st.svers.entry(r).or_insert(0) += 1;
+        }
+        if let Some(r) = ins.vreg_write() {
+            *st.vvers.entry(r).or_insert(0) += 1;
+        }
+        if let Some(k) = key {
+            if let Some(r) = ins.sreg_write() {
+                st.avail_s.insert(k, (r, st.sver(r)));
+            } else if let Some(r) = ins.vreg_write() {
+                st.avail_v.insert(k, (r, st.vver(r)));
+            }
+        }
+    }
+    out
+}
+
+fn walk(stmts: Vec<CStmt>) -> Vec<CStmt> {
+    let mut out = Vec::new();
+    let mut st = Cse::default();
+    let mut run: Vec<Instr> = Vec::new();
+    let flush = |run: &mut Vec<Instr>, st: &mut Cse, out: &mut Vec<CStmt>| {
+        if !run.is_empty() {
+            out.extend(cse_block(std::mem::take(run), st).into_iter().map(CStmt::I));
+        }
+    };
+    for s in stmts {
+        match s {
+            CStmt::I(i) => run.push(i),
+            CStmt::For { var, lo, hi, step, body } => {
+                flush(&mut run, &mut st, &mut out);
+                out.push(CStmt::For { var, lo, hi, step, body: walk(body) });
+                st = Cse::default();
+            }
+            CStmt::If { cond, then_, else_ } => {
+                flush(&mut run, &mut st, &mut out);
+                out.push(CStmt::If { cond, then_: walk(then_), else_: walk(else_) });
+                st = Cse::default();
+            }
+        }
+    }
+    flush(&mut run, &mut st, &mut out);
+    out
+}
+
+/// Eliminate common subexpressions in `f`.
+pub fn cse(f: &mut Function) {
+    let body = std::mem::take(&mut f.body);
+    f.body = walk(body);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::{BufKind, FunctionBuilder};
+    use crate::instr::{BinOp, MemRef};
+
+    #[test]
+    fn repeated_scalar_computation_becomes_mov() {
+        let mut b = FunctionBuilder::new("f", 1);
+        let t = b.buffer("t", 2, BufKind::ParamOut);
+        let a = b.smov(3.0);
+        let x = b.sbin(BinOp::Mul, a, a);
+        let y = b.sbin(BinOp::Mul, a, a);
+        b.sstore(x, MemRef::new(t, 0));
+        b.sstore(y, MemRef::new(t, 1));
+        let mut f = b.finish();
+        cse(&mut f);
+        let mut muls = 0;
+        let mut movs = 0;
+        f.for_each_instr(&mut |i| match i {
+            Instr::SBin { op: BinOp::Mul, .. } => muls += 1,
+            Instr::SMov { .. } => movs += 1,
+            _ => {}
+        });
+        assert_eq!(muls, 1);
+        assert_eq!(movs, 2); // the original mov + the CSE replacement
+    }
+
+    #[test]
+    fn commutative_ops_match_reversed_operands() {
+        let mut b = FunctionBuilder::new("f", 1);
+        let t = b.buffer("t", 2, BufKind::ParamOut);
+        let a = b.smov(3.0);
+        let c = b.smov(4.0);
+        let x = b.sbin(BinOp::Add, a, c);
+        let y = b.sbin(BinOp::Add, c, a);
+        b.sstore(x, MemRef::new(t, 0));
+        b.sstore(y, MemRef::new(t, 1));
+        let mut f = b.finish();
+        cse(&mut f);
+        let mut adds = 0;
+        f.for_each_instr(&mut |i| {
+            if matches!(i, Instr::SBin { op: BinOp::Add, .. }) {
+                adds += 1;
+            }
+        });
+        assert_eq!(adds, 1);
+    }
+
+    #[test]
+    fn subtraction_is_not_commuted() {
+        let mut b = FunctionBuilder::new("f", 1);
+        let t = b.buffer("t", 2, BufKind::ParamOut);
+        let a = b.smov(3.0);
+        let c = b.smov(4.0);
+        let x = b.sbin(BinOp::Sub, a, c);
+        let y = b.sbin(BinOp::Sub, c, a);
+        b.sstore(x, MemRef::new(t, 0));
+        b.sstore(y, MemRef::new(t, 1));
+        let mut f = b.finish();
+        cse(&mut f);
+        let mut subs = 0;
+        f.for_each_instr(&mut |i| {
+            if matches!(i, Instr::SBin { op: BinOp::Sub, .. }) {
+                subs += 1;
+            }
+        });
+        assert_eq!(subs, 2);
+    }
+
+    #[test]
+    fn store_bumps_buffer_epoch_for_loads() {
+        let mut b = FunctionBuilder::new("f", 1);
+        let t = b.buffer("t", 2, BufKind::ParamInOut);
+        let l1 = b.sload(MemRef::new(t, 0));
+        b.sstore(1.0, MemRef::new(t, 0));
+        let l2 = b.sload(MemRef::new(t, 0));
+        b.sstore(l1, MemRef::new(t, 1));
+        b.sstore(l2, MemRef::new(t, 1));
+        let mut f = b.finish();
+        cse(&mut f);
+        let mut loads = 0;
+        f.for_each_instr(&mut |i| {
+            if matches!(i, Instr::SLoad { .. }) {
+                loads += 1;
+            }
+        });
+        assert_eq!(loads, 2, "store must invalidate the load CSE entry");
+    }
+
+    #[test]
+    fn redundant_load_removed() {
+        let mut b = FunctionBuilder::new("f", 1);
+        let t = b.buffer("t", 2, BufKind::ParamInOut);
+        let l1 = b.sload(MemRef::new(t, 0));
+        let l2 = b.sload(MemRef::new(t, 0));
+        b.sstore(l1, MemRef::new(t, 1));
+        b.sstore(l2, MemRef::new(t, 1));
+        let mut f = b.finish();
+        cse(&mut f);
+        let mut loads = 0;
+        f.for_each_instr(&mut |i| {
+            if matches!(i, Instr::SLoad { .. }) {
+                loads += 1;
+            }
+        });
+        assert_eq!(loads, 1);
+    }
+
+    #[test]
+    fn vector_cse_emits_vmov() {
+        let mut b = FunctionBuilder::new("f", 4);
+        let t = b.buffer("t", 8, BufKind::ParamInOut);
+        let v1 = b.vload_contig(MemRef::new(t, 0));
+        let x = b.vbin(BinOp::Mul, v1, v1);
+        let y = b.vbin(BinOp::Mul, v1, v1);
+        b.vstore_contig(x, MemRef::new(t, 0));
+        b.vstore_contig(y, MemRef::new(t, 4));
+        let mut f = b.finish();
+        cse(&mut f);
+        let mut vmuls = 0;
+        let mut vmovs = 0;
+        f.for_each_instr(&mut |i| match i {
+            Instr::VBin { op: BinOp::Mul, .. } => vmuls += 1,
+            Instr::VMov { .. } => vmovs += 1,
+            _ => {}
+        });
+        assert_eq!(vmuls, 1);
+        assert_eq!(vmovs, 1);
+    }
+}

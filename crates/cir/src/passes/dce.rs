@@ -1,0 +1,269 @@
+//! Dead code elimination.
+//!
+//! Two flavors, iterated to a fixpoint:
+//!
+//! * **register DCE**: a pure instruction whose destination register is
+//!   never read anywhere in the function is removed (flow-insensitive but
+//!   sound: reads inside loops count);
+//! * **dead store elimination for local temporaries**: a store to a
+//!   constant cell of a `Local` buffer is removed when no load anywhere in
+//!   the function can observe that cell (no load of the cell, no
+//!   symbolic-offset load of the buffer, and the buffer never escapes
+//!   through a call). After the load/store forwarding pass this deletes
+//!   the memory traffic the paper's Fig. 12 optimization makes redundant.
+
+use crate::func::{BufKind, CStmt, Function};
+use crate::instr::{Instr, SReg, VReg};
+use std::collections::HashSet;
+
+#[derive(Default)]
+struct Usage {
+    sreads: HashSet<SReg>,
+    vreads: HashSet<VReg>,
+    loaded_cells: HashSet<(usize, i64)>,
+    symbolic_load_bufs: HashSet<usize>,
+    call_bufs: HashSet<usize>,
+}
+
+fn collect(f: &Function) -> Usage {
+    let mut u = Usage::default();
+    f.for_each_instr(&mut |i| {
+        for r in i.sreg_reads() {
+            u.sreads.insert(r);
+        }
+        for r in i.vreg_reads() {
+            u.vreads.insert(r);
+        }
+        match i {
+            Instr::SLoad { src, .. } => match src.offset.as_constant() {
+                Some(off) => {
+                    u.loaded_cells.insert((src.buf.0, off));
+                }
+                None => {
+                    u.symbolic_load_bufs.insert(src.buf.0);
+                }
+            },
+            Instr::VLoad { base, lanes, .. } => match base.offset.as_constant() {
+                Some(boff) => {
+                    for l in lanes.iter().flatten() {
+                        u.loaded_cells.insert((base.buf.0, boff + l));
+                    }
+                }
+                None => {
+                    u.symbolic_load_bufs.insert(base.buf.0);
+                }
+            },
+            Instr::Call { bufs, .. } => {
+                for b in bufs {
+                    u.call_bufs.insert(b.0);
+                }
+            }
+            _ => {}
+        }
+    });
+    u
+}
+
+fn store_is_dead(f: &Function, u: &Usage, buf: usize, cells: &[i64]) -> bool {
+    if f.buffers[buf].kind != BufKind::Local {
+        return false;
+    }
+    if u.symbolic_load_bufs.contains(&buf) || u.call_bufs.contains(&buf) {
+        return false;
+    }
+    cells.iter().all(|off| !u.loaded_cells.contains(&(buf, *off)))
+}
+
+fn sweep(f: &Function, u: &Usage, stmts: Vec<CStmt>, removed: &mut bool) -> Vec<CStmt> {
+    let mut out = Vec::new();
+    for s in stmts {
+        match s {
+            CStmt::I(ins) => {
+                let dead = match &ins {
+                    Instr::SStore { dst, .. } => match dst.offset.as_constant() {
+                        Some(off) => store_is_dead(f, u, dst.buf.0, &[off]),
+                        None => false,
+                    },
+                    Instr::VStore { base, lanes, .. } => match base.offset.as_constant() {
+                        Some(boff) => {
+                            let cells: Vec<i64> =
+                                lanes.iter().flatten().map(|l| boff + l).collect();
+                            store_is_dead(f, u, base.buf.0, &cells)
+                        }
+                        None => false,
+                    },
+                    Instr::Call { .. } => false,
+                    other => {
+                        let swrite_dead =
+                            other.sreg_write().map_or(true, |r| !u.sreads.contains(&r));
+                        let vwrite_dead =
+                            other.vreg_write().map_or(true, |r| !u.vreads.contains(&r));
+                        let writes_nothing =
+                            other.sreg_write().is_none() && other.vreg_write().is_none();
+                        !writes_nothing && swrite_dead && vwrite_dead
+                    }
+                };
+                if dead {
+                    *removed = true;
+                } else {
+                    out.push(CStmt::I(ins));
+                }
+            }
+            CStmt::For { var, lo, hi, step, body } => {
+                let body = sweep(f, u, body, removed);
+                if body.is_empty() {
+                    *removed = true;
+                } else {
+                    out.push(CStmt::For { var, lo, hi, step, body });
+                }
+            }
+            CStmt::If { cond, then_, else_ } => {
+                let then_ = sweep(f, u, then_, removed);
+                let else_ = sweep(f, u, else_, removed);
+                if then_.is_empty() && else_.is_empty() {
+                    *removed = true;
+                } else {
+                    out.push(CStmt::If { cond, then_, else_ });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Remove dead instructions and dead local stores from `f`, iterating to a
+/// fixpoint.
+pub fn dce(f: &mut Function) {
+    loop {
+        let u = collect(f);
+        let mut removed = false;
+        let body = std::mem::take(&mut f.body);
+        f.body = sweep(f, &u, body, &mut removed);
+        if !removed {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::FunctionBuilder;
+    use crate::instr::{BinOp, MemRef};
+
+    #[test]
+    fn unread_computation_chain_removed() {
+        let mut b = FunctionBuilder::new("f", 1);
+        let t = b.buffer("t", 1, BufKind::ParamOut);
+        let a = b.smov(1.0);
+        let c = b.sbin(BinOp::Add, a, 1.0); // feeds nothing
+        let _ = c;
+        let d = b.smov(9.0);
+        b.sstore(d, MemRef::new(t, 0));
+        let mut f = b.finish();
+        dce(&mut f);
+        assert_eq!(f.static_instr_count(), 2, "only the stored value survives");
+    }
+
+    #[test]
+    fn stores_to_params_are_kept() {
+        let mut b = FunctionBuilder::new("f", 1);
+        let t = b.buffer("t", 1, BufKind::ParamOut);
+        b.sstore(1.0, MemRef::new(t, 0));
+        let mut f = b.finish();
+        dce(&mut f);
+        assert_eq!(f.static_instr_count(), 1);
+    }
+
+    #[test]
+    fn unobserved_local_store_removed() {
+        let mut b = FunctionBuilder::new("f", 1);
+        let t = b.buffer("t", 2, BufKind::Local);
+        let o = b.buffer("o", 1, BufKind::ParamOut);
+        let a = b.smov(1.0);
+        b.sstore(a, MemRef::new(t, 0)); // never loaded
+        b.sstore(a, MemRef::new(o, 0));
+        let mut f = b.finish();
+        dce(&mut f);
+        let mut stores = 0;
+        f.for_each_instr(&mut |i| {
+            if matches!(i, Instr::SStore { .. }) {
+                stores += 1;
+            }
+        });
+        assert_eq!(stores, 1);
+    }
+
+    #[test]
+    fn observed_local_store_survives() {
+        let mut b = FunctionBuilder::new("f", 1);
+        let t = b.buffer("t", 2, BufKind::Local);
+        let o = b.buffer("o", 1, BufKind::ParamOut);
+        let a = b.smov(1.0);
+        b.sstore(a, MemRef::new(t, 0));
+        let l = b.sload(MemRef::new(t, 0));
+        b.sstore(l, MemRef::new(o, 0));
+        let mut f = b.finish();
+        dce(&mut f);
+        let mut stores = 0;
+        f.for_each_instr(&mut |i| {
+            if matches!(i, Instr::SStore { .. }) {
+                stores += 1;
+            }
+        });
+        assert_eq!(stores, 2);
+    }
+
+    #[test]
+    fn symbolic_load_blocks_local_store_elimination() {
+        let mut b = FunctionBuilder::new("f", 1);
+        let t = b.buffer("t", 4, BufKind::Local);
+        let o = b.buffer("o", 4, BufKind::ParamOut);
+        let a = b.smov(1.0);
+        b.sstore(a, MemRef::new(t, 2));
+        let i = b.begin_for(0, 4, 1);
+        let l = b.sload(MemRef::new(t, crate::affine::Affine::var(i)));
+        b.sstore(l, MemRef::new(o, crate::affine::Affine::var(i)));
+        b.end_for();
+        let mut f = b.finish();
+        dce(&mut f);
+        let mut local_stores = 0;
+        f.for_each_instr(&mut |ins| {
+            if let Instr::SStore { dst, .. } = ins {
+                if dst.buf == t {
+                    local_stores += 1;
+                }
+            }
+        });
+        assert_eq!(local_stores, 1, "symbolic loads may observe the cell");
+    }
+
+    #[test]
+    fn loop_carried_reads_keep_instructions() {
+        // A register written before a loop and read inside it must survive.
+        let mut b = FunctionBuilder::new("f", 1);
+        let o = b.buffer("o", 4, BufKind::ParamOut);
+        let acc = b.smov(0.0);
+        let i = b.begin_for(0, 4, 1);
+        let acc2 = b.sbin(BinOp::Add, acc, 1.0);
+        b.instr(Instr::SMov { dst: acc, a: acc2.into() });
+        b.sstore(acc, MemRef::new(o, crate::affine::Affine::var(i)));
+        b.end_for();
+        let mut f = b.finish();
+        let before = f.static_instr_count();
+        dce(&mut f);
+        assert_eq!(f.static_instr_count(), before);
+    }
+
+    #[test]
+    fn empty_control_flow_removed() {
+        let mut b = FunctionBuilder::new("f", 1);
+        b.begin_for(0, 4, 1);
+        let dead = b.smov(1.0); // dead inside the loop
+        let _ = dead;
+        b.end_for();
+        let mut f = b.finish();
+        dce(&mut f);
+        assert!(f.body.is_empty());
+    }
+}

@@ -1,0 +1,608 @@
+//! Scalar replacement and the domain-specific load/store analysis.
+//!
+//! This pass implements the paper's §3.3 optimization (Figs. 11–12): within
+//! straight-line regions it tracks, per memory cell, which register lane
+//! currently holds the cell's value. Loads whose bytes were all produced by
+//! earlier stores are then replaced by register operations:
+//!
+//! * a scalar load becomes a scalar move ([`crate::Instr::SMov`]) or a lane
+//!   extract;
+//! * a vector load whose lanes live in one or two vector registers becomes
+//!   a [`crate::Instr::VBlend`] (when lanes align) or a
+//!   [`crate::Instr::VShuffle`] — the `smul9a`/`smul9b` example of Fig. 12;
+//! * a vector load whose lanes are scattered scalar registers is left
+//!   alone (re-packing through memory is what the hardware store buffer
+//!   would do anyway).
+//!
+//! The stores themselves often become dead afterwards and are removed by
+//! [`super::dce`] when the buffer is a local temporary, or kept when the
+//! buffer is live-out (the paper keeps the `maskstore`s for the same
+//! reason).
+//!
+//! Soundness relies on the C-IR invariant that distinct buffers never
+//! alias. Conservative resets happen at control-flow boundaries and calls.
+
+use crate::func::{CStmt, Function};
+use crate::instr::{Instr, LaneSel, SOperand, SReg, VReg};
+use std::collections::HashMap;
+
+/// Who holds the current value of a memory cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum CellSrc {
+    S(SReg, u32),
+    VLane(VReg, u32, usize),
+    Imm(f64),
+}
+
+#[derive(Default)]
+struct State {
+    svers: HashMap<SReg, u32>,
+    vvers: HashMap<VReg, u32>,
+    cells: HashMap<(usize, i64), CellSrc>,
+}
+
+impl State {
+    fn sver(&self, r: SReg) -> u32 {
+        self.svers.get(&r).copied().unwrap_or(0)
+    }
+    fn vver(&self, r: VReg) -> u32 {
+        self.vvers.get(&r).copied().unwrap_or(0)
+    }
+    fn bump_s(&mut self, r: SReg) {
+        *self.svers.entry(r).or_insert(0) += 1;
+    }
+    fn bump_v(&mut self, r: VReg) {
+        *self.vvers.entry(r).or_insert(0) += 1;
+    }
+    fn valid(&self, c: &CellSrc) -> bool {
+        match c {
+            CellSrc::S(r, v) => self.sver(*r) == *v,
+            CellSrc::VLane(r, v, _) => self.vver(*r) == *v,
+            CellSrc::Imm(_) => true,
+        }
+    }
+    fn invalidate_buffer(&mut self, buf: usize) {
+        self.cells.retain(|(b, _), _| *b != buf);
+    }
+    fn clear(&mut self) {
+        self.cells.clear();
+    }
+}
+
+/// Try to rewrite a vector load from tracked cells into shuffles/blends.
+///
+/// Returns the replacement instructions, or `None` to keep the load.
+fn rewrite_vload(
+    st: &State,
+    dst: VReg,
+    sources: &[Option<CellSrc>],
+) -> Option<Vec<Instr>> {
+    // All active lanes must be valid vector lanes (scalar sources would
+    // need broadcast+blend chains that rarely pay off; see module docs).
+    let mut regs: Vec<VReg> = Vec::new();
+    for s in sources.iter().flatten() {
+        match s {
+            CellSrc::VLane(r, _, _) => {
+                if !regs.contains(r) {
+                    regs.push(*r);
+                }
+            }
+            _ => return None,
+        }
+    }
+    if regs.is_empty() || regs.len() > 2 {
+        return None;
+    }
+    let a = regs[0];
+    let b = *regs.get(1).unwrap_or(&regs[0]);
+    let sel: Vec<LaneSel> = sources
+        .iter()
+        .map(|s| match s {
+            None => LaneSel::Zero,
+            Some(CellSrc::VLane(r, _, lane)) => {
+                if *r == a {
+                    LaneSel::A(*lane)
+                } else {
+                    LaneSel::B(*lane)
+                }
+            }
+            Some(_) => unreachable!("filtered above"),
+        })
+        .collect();
+    let _ = st;
+    // Blend pattern: every active lane i selects lane i of a source and no
+    // zeros are required.
+    let is_blend = sel.iter().enumerate().all(|(i, s)| match s {
+        LaneSel::A(j) | LaneSel::B(j) => *j == i,
+        LaneSel::Zero => false,
+    });
+    if is_blend && regs.len() == 2 {
+        let mask = sel.iter().map(|s| matches!(s, LaneSel::B(_))).collect();
+        return Some(vec![Instr::VBlend { dst, a, b, mask }]);
+    }
+    Some(vec![Instr::VShuffle { dst, a, b, sel }])
+}
+
+fn process_block(
+    instrs: Vec<Instr>,
+    st: &mut State,
+    ls_analysis: bool,
+    scalar_repl: bool,
+) -> Vec<Instr> {
+    let mut out: Vec<Instr> = Vec::new();
+    for ins in instrs {
+        match &ins {
+            Instr::SStore { src, dst } => {
+                if let Some(off) = dst.offset.as_constant() {
+                    let cell = match src {
+                        SOperand::Reg(r) => CellSrc::S(*r, st.sver(*r)),
+                        SOperand::Imm(v) => CellSrc::Imm(*v),
+                    };
+                    st.cells.insert((dst.buf.0, off), cell);
+                } else {
+                    st.invalidate_buffer(dst.buf.0);
+                }
+                out.push(ins);
+            }
+            Instr::VStore { src, base, lanes } => {
+                if let Some(boff) = base.offset.as_constant() {
+                    let ver = st.vver(*src);
+                    for (lane, l) in lanes.iter().enumerate() {
+                        if let Some(off) = l {
+                            st.cells
+                                .insert((base.buf.0, boff + off), CellSrc::VLane(*src, ver, lane));
+                        }
+                    }
+                } else {
+                    st.invalidate_buffer(base.buf.0);
+                }
+                out.push(ins);
+            }
+            Instr::SLoad { dst, src } => {
+                let mut replaced = false;
+                if scalar_repl {
+                    if let Some(off) = src.offset.as_constant() {
+                        if let Some(cell) = st.cells.get(&(src.buf.0, off)).copied() {
+                            if st.valid(&cell) {
+                                match cell {
+                                    CellSrc::S(r, _) if r != *dst => {
+                                        out.push(Instr::SMov { dst: *dst, a: r.into() });
+                                        replaced = true;
+                                    }
+                                    CellSrc::S(_, _) => {
+                                        // load into the same register: drop
+                                        replaced = true;
+                                    }
+                                    CellSrc::Imm(v) => {
+                                        out.push(Instr::SMov { dst: *dst, a: v.into() });
+                                        replaced = true;
+                                    }
+                                    CellSrc::VLane(r, _, lane) if ls_analysis => {
+                                        out.push(Instr::VExtract {
+                                            dst: *dst,
+                                            src: r,
+                                            lane,
+                                        });
+                                        replaced = true;
+                                    }
+                                    CellSrc::VLane(..) => {}
+                                }
+                            }
+                        }
+                    }
+                }
+                if !replaced {
+                    out.push(ins.clone());
+                }
+                st.bump_s(*dst);
+                // the register now also holds the cell's value
+                if let Instr::SLoad { dst, src } = &ins {
+                    if let Some(off) = src.offset.as_constant() {
+                        st.cells.insert((src.buf.0, off), CellSrc::S(*dst, st.sver(*dst)));
+                    }
+                }
+            }
+            Instr::VLoad { dst, base, lanes } => {
+                let mut replaced = false;
+                if ls_analysis {
+                    if let Some(boff) = base.offset.as_constant() {
+                        let sources: Vec<Option<CellSrc>> = lanes
+                            .iter()
+                            .map(|l| {
+                                l.and_then(|off| {
+                                    st.cells.get(&(base.buf.0, boff + off)).copied()
+                                })
+                            })
+                            .collect();
+                        let all_tracked = lanes
+                            .iter()
+                            .zip(&sources)
+                            .all(|(l, s)| l.is_none() || s.map_or(false, |c| st.valid(&c)));
+                        if all_tracked {
+                            if let Some(reps) = rewrite_vload(st, *dst, &sources) {
+                                out.extend(reps);
+                                replaced = true;
+                            }
+                        }
+                    }
+                }
+                if !replaced {
+                    out.push(ins.clone());
+                }
+                st.bump_v(*dst);
+                // register lanes now mirror the loaded cells
+                if let Some(boff) = base.offset.as_constant() {
+                    let ver = st.vver(*dst);
+                    for (lane, l) in lanes.iter().enumerate() {
+                        if let Some(off) = l {
+                            st.cells
+                                .insert((base.buf.0, boff + off), CellSrc::VLane(*dst, ver, lane));
+                        }
+                    }
+                }
+            }
+            Instr::Call { .. } => {
+                st.clear();
+                out.push(ins);
+            }
+            other => {
+                if let Some(r) = other.sreg_write() {
+                    st.bump_s(r);
+                }
+                if let Some(r) = other.vreg_write() {
+                    st.bump_v(r);
+                }
+                out.push(ins);
+            }
+        }
+    }
+    out
+}
+
+fn walk(stmts: Vec<CStmt>, ls: bool, sr: bool) -> Vec<CStmt> {
+    let mut out = Vec::new();
+    let mut st = State::default();
+    let mut run: Vec<Instr> = Vec::new();
+    let flush =
+        |run: &mut Vec<Instr>, st: &mut State, out: &mut Vec<CStmt>| {
+            if !run.is_empty() {
+                let processed = process_block(std::mem::take(run), st, ls, sr);
+                out.extend(processed.into_iter().map(CStmt::I));
+            }
+        };
+    for s in stmts {
+        match s {
+            CStmt::I(i) => run.push(i),
+            CStmt::For { var, lo, hi, step, body } => {
+                flush(&mut run, &mut st, &mut out);
+                st.clear();
+                out.push(CStmt::For { var, lo, hi, step, body: walk(body, ls, sr) });
+                st.clear();
+            }
+            CStmt::If { cond, then_, else_ } => {
+                flush(&mut run, &mut st, &mut out);
+                st.clear();
+                out.push(CStmt::If {
+                    cond,
+                    then_: walk(then_, ls, sr),
+                    else_: walk(else_, ls, sr),
+                });
+                st.clear();
+            }
+        }
+    }
+    flush(&mut run, &mut st, &mut out);
+    out
+}
+
+/// Run scalar replacement (`scalar_repl`) and/or the load/store analysis
+/// (`ls_analysis`) over `f`.
+pub fn forward(f: &mut Function, ls_analysis: bool, scalar_repl: bool) {
+    let body = std::mem::take(&mut f.body);
+    f.body = walk(body, ls_analysis, scalar_repl);
+}
+
+// ---------------------------------------------------------------------
+// Copy propagation
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct CopyState {
+    scopies: HashMap<SReg, SOperand>,
+    vcopies: HashMap<VReg, VReg>,
+}
+
+fn subst_sop(st: &CopyState, o: &SOperand) -> SOperand {
+    match o {
+        SOperand::Reg(r) => st.scopies.get(r).copied().unwrap_or(*o),
+        imm => *imm,
+    }
+}
+
+fn subst_v(st: &CopyState, r: VReg) -> VReg {
+    st.vcopies.get(&r).copied().unwrap_or(r)
+}
+
+fn copyprop_block(instrs: Vec<Instr>, st: &mut CopyState) -> Vec<Instr> {
+    let mut out = Vec::new();
+    for ins in instrs {
+        let rewritten = match &ins {
+            Instr::SMov { dst, a } => Instr::SMov { dst: *dst, a: subst_sop(st, a) },
+            Instr::SBin { op, dst, a, b } => Instr::SBin {
+                op: *op,
+                dst: *dst,
+                a: subst_sop(st, a),
+                b: subst_sop(st, b),
+            },
+            Instr::SSqrt { dst, a } => Instr::SSqrt { dst: *dst, a: subst_sop(st, a) },
+            Instr::SStore { src, dst } => {
+                Instr::SStore { src: subst_sop(st, src), dst: dst.clone() }
+            }
+            Instr::VBroadcast { dst, src } => {
+                Instr::VBroadcast { dst: *dst, src: subst_sop(st, src) }
+            }
+            Instr::VMov { dst, src } => Instr::VMov { dst: *dst, src: subst_v(st, *src) },
+            Instr::VBin { op, dst, a, b } => Instr::VBin {
+                op: *op,
+                dst: *dst,
+                a: subst_v(st, *a),
+                b: subst_v(st, *b),
+            },
+            Instr::VStore { src, base, lanes } => Instr::VStore {
+                src: subst_v(st, *src),
+                base: base.clone(),
+                lanes: lanes.clone(),
+            },
+            Instr::VShuffle { dst, a, b, sel } => Instr::VShuffle {
+                dst: *dst,
+                a: subst_v(st, *a),
+                b: subst_v(st, *b),
+                sel: sel.clone(),
+            },
+            Instr::VBlend { dst, a, b, mask } => Instr::VBlend {
+                dst: *dst,
+                a: subst_v(st, *a),
+                b: subst_v(st, *b),
+                mask: mask.clone(),
+            },
+            Instr::VExtract { dst, src, lane } => {
+                Instr::VExtract { dst: *dst, src: subst_v(st, *src), lane: *lane }
+            }
+            Instr::VReduceAdd { dst, src } => {
+                Instr::VReduceAdd { dst: *dst, src: subst_v(st, *src) }
+            }
+            other => other.clone(),
+        };
+        // Invalidate copies involving a redefined register, then record new
+        // copy facts.
+        if let Some(w) = rewritten.sreg_write() {
+            st.scopies.remove(&w);
+            st.scopies.retain(|_, v| !matches!(v, SOperand::Reg(r) if *r == w));
+        }
+        if let Some(w) = rewritten.vreg_write() {
+            st.vcopies.remove(&w);
+            st.vcopies.retain(|_, v| *v != w);
+        }
+        if let Instr::SMov { dst, a } = &rewritten {
+            match a {
+                SOperand::Reg(r) if r == dst => {}
+                _ => {
+                    st.scopies.insert(*dst, *a);
+                }
+            }
+        }
+        if let Instr::VMov { dst, src } = &rewritten {
+            if dst != src {
+                st.vcopies.insert(*dst, *src);
+            }
+        }
+        out.push(rewritten);
+    }
+    out
+}
+
+fn copyprop_walk(stmts: Vec<CStmt>) -> Vec<CStmt> {
+    let mut out = Vec::new();
+    let mut st = CopyState::default();
+    let mut run: Vec<Instr> = Vec::new();
+    let flush = |run: &mut Vec<Instr>, st: &mut CopyState, out: &mut Vec<CStmt>| {
+        if !run.is_empty() {
+            out.extend(copyprop_block(std::mem::take(run), st).into_iter().map(CStmt::I));
+        }
+    };
+    for s in stmts {
+        match s {
+            CStmt::I(i) => run.push(i),
+            CStmt::For { var, lo, hi, step, body } => {
+                flush(&mut run, &mut st, &mut out);
+                st.scopies.clear();
+                out.push(CStmt::For { var, lo, hi, step, body: copyprop_walk(body) });
+                st.scopies.clear();
+            }
+            CStmt::If { cond, then_, else_ } => {
+                flush(&mut run, &mut st, &mut out);
+                st.scopies.clear();
+                out.push(CStmt::If {
+                    cond,
+                    then_: copyprop_walk(then_),
+                    else_: copyprop_walk(else_),
+                });
+                st.scopies.clear();
+            }
+        }
+    }
+    flush(&mut run, &mut st, &mut out);
+    out
+}
+
+/// Propagate scalar copies within straight-line regions.
+pub fn copyprop(f: &mut Function) {
+    let body = std::mem::take(&mut f.body);
+    f.body = copyprop_walk(body);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::{BufKind, FunctionBuilder};
+    use crate::instr::{BinOp, MemRef};
+
+    #[test]
+    fn scalar_store_load_forwards_to_mov() {
+        let mut b = FunctionBuilder::new("f", 1);
+        let t = b.buffer("t", 4, BufKind::Local);
+        let r = b.smov(7.0);
+        b.sstore(r, MemRef::new(t, 2));
+        let l = b.sload(MemRef::new(t, 2));
+        let _ = b.sbin(BinOp::Add, l, 1.0);
+        let mut f = b.finish();
+        forward(&mut f, true, true);
+        let mut loads = 0;
+        let mut movs = 0;
+        f.for_each_instr(&mut |i| match i {
+            Instr::SLoad { .. } => loads += 1,
+            Instr::SMov { .. } => movs += 1,
+            _ => {}
+        });
+        assert_eq!(loads, 0);
+        assert!(movs >= 2); // original + forwarded
+    }
+
+    #[test]
+    fn vector_round_trip_becomes_blend() {
+        // Mirror of paper Fig. 12: two masked stores, then a load gathering
+        // lanes from both stored registers at matching lane positions.
+        let mut b = FunctionBuilder::new("f", 4);
+        let s = b.buffer("S", 16, BufKind::ParamInOut);
+        let va = b.vbroadcast(1.0);
+        let vb = b.vbroadcast(2.0);
+        b.vstore(va, MemRef::new(s, 0), vec![Some(0), Some(1), None, None]);
+        b.vstore(vb, MemRef::new(s, 0), vec![None, None, Some(2), Some(3)]);
+        let _v = b.vload_contig(MemRef::new(s, 0));
+        let mut f = b.finish();
+        forward(&mut f, true, true);
+        let mut blends = 0;
+        let mut loads = 0;
+        f.for_each_instr(&mut |i| match i {
+            Instr::VBlend { .. } => blends += 1,
+            Instr::VLoad { .. } => loads += 1,
+            _ => {}
+        });
+        assert_eq!(blends, 1, "{}", crate::pretty::function_to_string(&f));
+        assert_eq!(loads, 0);
+    }
+
+    #[test]
+    fn vector_gather_becomes_shuffle() {
+        // Vertical (strided) reload of horizontally stored data — the exact
+        // S(i:i+2, i+2) scenario of Fig. 11/12.
+        let mut b = FunctionBuilder::new("f", 4);
+        let s = b.buffer("S", 16, BufKind::ParamInOut);
+        let va = b.vbroadcast(1.0);
+        let vb = b.vbroadcast(2.0);
+        // row 0: S[1..3] = va[0..2], row 1: S[6..8] = vb[0..2]
+        b.vstore(va, MemRef::new(s, 1), vec![Some(0), Some(1), Some(2), None]);
+        b.vstore(vb, MemRef::new(s, 6), vec![Some(0), Some(1), None, None]);
+        // vertical load of S[2], S[6] (column 2 of rows 0-1)
+        let _v = b.vload(MemRef::new(s, 2), vec![Some(0), Some(4), None, None]);
+        let mut f = b.finish();
+        forward(&mut f, true, true);
+        let mut shuffles = 0;
+        let mut vloads = 0;
+        f.for_each_instr(&mut |i| match i {
+            Instr::VShuffle { .. } => shuffles += 1,
+            Instr::VLoad { .. } => vloads += 1,
+            _ => {}
+        });
+        assert_eq!(shuffles, 1, "{}", crate::pretty::function_to_string(&f));
+        assert_eq!(vloads, 0);
+    }
+
+    #[test]
+    fn redefinition_invalidates_forwarding() {
+        let mut b = FunctionBuilder::new("f", 1);
+        let t = b.buffer("t", 2, BufKind::Local);
+        let r = b.smov(7.0);
+        b.sstore(r, MemRef::new(t, 0));
+        // redefine r before the load: forwarding must not use the new value
+        b.instr(Instr::SMov { dst: r, a: 9.0.into() });
+        let _l = b.sload(MemRef::new(t, 0));
+        let mut f = b.finish();
+        forward(&mut f, true, true);
+        let mut loads = 0;
+        f.for_each_instr(&mut |i| {
+            if matches!(i, Instr::SLoad { .. }) {
+                loads += 1;
+            }
+        });
+        assert_eq!(loads, 1, "stale register must not be forwarded");
+    }
+
+    #[test]
+    fn control_flow_resets_state() {
+        let mut b = FunctionBuilder::new("f", 1);
+        let t = b.buffer("t", 2, BufKind::ParamInOut);
+        let r = b.smov(7.0);
+        b.sstore(r, MemRef::new(t, 0));
+        let i = b.begin_for(0, 2, 1);
+        let addr = MemRef::new(t, crate::affine::Affine::var(i));
+        let x = b.sload(addr.clone());
+        let y = b.sbin(BinOp::Add, x, 1.0);
+        b.sstore(y, addr);
+        b.end_for();
+        let l = b.sload(MemRef::new(t, 0));
+        b.sstore(l, MemRef::new(t, 1));
+        let mut f = b.finish();
+        forward(&mut f, true, true);
+        // the load after the loop must remain a load
+        let mut post_loop_loads = 0;
+        for s in &f.body {
+            if let CStmt::I(Instr::SLoad { .. }) = s {
+                post_loop_loads += 1;
+            }
+        }
+        assert_eq!(post_loop_loads, 1);
+    }
+
+    #[test]
+    fn copyprop_chains() {
+        let mut b = FunctionBuilder::new("f", 1);
+        let t = b.buffer("t", 1, BufKind::ParamOut);
+        let a = b.smov(3.0);
+        let c = b.smov(a);
+        let d = b.sbin(BinOp::Mul, c, c);
+        b.sstore(d, MemRef::new(t, 0));
+        let mut f = b.finish();
+        copyprop(&mut f);
+        // the multiply now reads the immediate origin registers
+        let mut found = false;
+        f.for_each_instr(&mut |i| {
+            if let Instr::SBin { op: BinOp::Mul, a, b, .. } = i {
+                assert_eq!(*a, SOperand::Imm(3.0));
+                assert_eq!(*b, SOperand::Imm(3.0));
+                found = true;
+            }
+        });
+        assert!(found);
+    }
+
+    #[test]
+    fn mixed_scalar_vector_sources_keep_load() {
+        let mut b = FunctionBuilder::new("f", 4);
+        let s = b.buffer("S", 8, BufKind::ParamInOut);
+        let r = b.smov(5.0);
+        b.sstore(r, MemRef::new(s, 0));
+        let v = b.vbroadcast(1.0);
+        b.vstore(v, MemRef::new(s, 1), vec![Some(0), Some(1), Some(2), None]);
+        let _l = b.vload_contig(MemRef::new(s, 0));
+        let mut f = b.finish();
+        forward(&mut f, true, true);
+        let mut vloads = 0;
+        f.for_each_instr(&mut |i| {
+            if matches!(i, Instr::VLoad { .. }) {
+                vloads += 1;
+            }
+        });
+        assert_eq!(vloads, 1, "mixed sources must not be rewritten");
+    }
+}

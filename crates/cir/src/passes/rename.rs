@@ -1,0 +1,252 @@
+//! Register renaming (web splitting) after unrolling.
+//!
+//! Loop bodies reuse the same registers every iteration, so a fully
+//! unrolled loop redefines each register once per former iteration. Those
+//! redefinitions block store→load forwarding and CSE. This pass gives every
+//! *re*definition within a straight-line run a fresh register and rewrites
+//! the uses that follow, making long unrolled blocks effectively SSA.
+//!
+//! Soundness across control flow: at the end of each run, every renamed
+//! register is copied back to its original name (`orig = fresh`), so code
+//! in later blocks — including the next iteration of a still-rolled loop —
+//! observes the same values as before. Copy propagation and DCE dissolve
+//! the copies that turn out to be unnecessary.
+
+use crate::func::{CStmt, Function};
+use crate::instr::{Instr, SOperand, SReg, VReg};
+use std::collections::{HashMap, HashSet};
+
+struct Renamer {
+    next_s: usize,
+    next_v: usize,
+}
+
+impl Renamer {
+    fn fresh_s(&mut self) -> SReg {
+        self.next_s += 1;
+        SReg(self.next_s - 1)
+    }
+    fn fresh_v(&mut self) -> VReg {
+        self.next_v += 1;
+        VReg(self.next_v - 1)
+    }
+}
+
+fn map_sop(map: &HashMap<SReg, SReg>, o: &SOperand) -> SOperand {
+    match o {
+        SOperand::Reg(r) => SOperand::Reg(map.get(r).copied().unwrap_or(*r)),
+        imm => *imm,
+    }
+}
+
+fn map_v(map: &HashMap<VReg, VReg>, r: VReg) -> VReg {
+    map.get(&r).copied().unwrap_or(r)
+}
+
+/// Rewrite the reads of `ins` through the maps (writes untouched).
+fn rewrite_reads(
+    ins: &Instr,
+    smap: &HashMap<SReg, SReg>,
+    vmap: &HashMap<VReg, VReg>,
+) -> Instr {
+    match ins {
+        Instr::SStore { src, dst } => {
+            Instr::SStore { src: map_sop(smap, src), dst: dst.clone() }
+        }
+        Instr::SBin { op, dst, a, b } => {
+            Instr::SBin { op: *op, dst: *dst, a: map_sop(smap, a), b: map_sop(smap, b) }
+        }
+        Instr::SSqrt { dst, a } => Instr::SSqrt { dst: *dst, a: map_sop(smap, a) },
+        Instr::SMov { dst, a } => Instr::SMov { dst: *dst, a: map_sop(smap, a) },
+        Instr::VStore { src, base, lanes } => Instr::VStore {
+            src: map_v(vmap, *src),
+            base: base.clone(),
+            lanes: lanes.clone(),
+        },
+        Instr::VMov { dst, src } => Instr::VMov { dst: *dst, src: map_v(vmap, *src) },
+        Instr::VBin { op, dst, a, b } => {
+            Instr::VBin { op: *op, dst: *dst, a: map_v(vmap, *a), b: map_v(vmap, *b) }
+        }
+        Instr::VBroadcast { dst, src } => {
+            Instr::VBroadcast { dst: *dst, src: map_sop(smap, src) }
+        }
+        Instr::VShuffle { dst, a, b, sel } => Instr::VShuffle {
+            dst: *dst,
+            a: map_v(vmap, *a),
+            b: map_v(vmap, *b),
+            sel: sel.clone(),
+        },
+        Instr::VBlend { dst, a, b, mask } => Instr::VBlend {
+            dst: *dst,
+            a: map_v(vmap, *a),
+            b: map_v(vmap, *b),
+            mask: mask.clone(),
+        },
+        Instr::VExtract { dst, src, lane } => {
+            Instr::VExtract { dst: *dst, src: map_v(vmap, *src), lane: *lane }
+        }
+        Instr::VReduceAdd { dst, src } => {
+            Instr::VReduceAdd { dst: *dst, src: map_v(vmap, *src) }
+        }
+        other => other.clone(),
+    }
+}
+
+fn set_swrite(ins: &mut Instr, new: SReg) {
+    match ins {
+        Instr::SLoad { dst, .. }
+        | Instr::SBin { dst, .. }
+        | Instr::SSqrt { dst, .. }
+        | Instr::SMov { dst, .. }
+        | Instr::VExtract { dst, .. }
+        | Instr::VReduceAdd { dst, .. } => *dst = new,
+        _ => {}
+    }
+}
+
+fn set_vwrite(ins: &mut Instr, new: VReg) {
+    match ins {
+        Instr::VLoad { dst, .. }
+        | Instr::VMov { dst, .. }
+        | Instr::VBin { dst, .. }
+        | Instr::VBroadcast { dst, .. }
+        | Instr::VShuffle { dst, .. }
+        | Instr::VBlend { dst, .. } => *dst = new,
+        _ => {}
+    }
+}
+
+fn process_run(run: Vec<Instr>, rn: &mut Renamer) -> Vec<Instr> {
+    let mut smap: HashMap<SReg, SReg> = HashMap::new();
+    let mut vmap: HashMap<VReg, VReg> = HashMap::new();
+    let mut sdefined: HashSet<SReg> = HashSet::new();
+    let mut vdefined: HashSet<VReg> = HashSet::new();
+    let mut out = Vec::with_capacity(run.len());
+    for ins in run {
+        let mut ins = rewrite_reads(&ins, &smap, &vmap);
+        if let Some(w) = ins.sreg_write() {
+            if sdefined.contains(&w) {
+                let fresh = rn.fresh_s();
+                smap.insert(w, fresh);
+                set_swrite(&mut ins, fresh);
+            } else {
+                sdefined.insert(w);
+                smap.remove(&w);
+            }
+        }
+        if let Some(w) = ins.vreg_write() {
+            if vdefined.contains(&w) {
+                let fresh = rn.fresh_v();
+                vmap.insert(w, fresh);
+                set_vwrite(&mut ins, fresh);
+            } else {
+                vdefined.insert(w);
+                vmap.remove(&w);
+            }
+        }
+        out.push(ins);
+    }
+    // copy renamed registers back to their original names for later blocks
+    for (orig, cur) in smap {
+        out.push(Instr::SMov { dst: orig, a: cur.into() });
+    }
+    for (orig, cur) in vmap {
+        out.push(Instr::VMov { dst: orig, src: cur });
+    }
+    out
+}
+
+fn walk(stmts: Vec<CStmt>, rn: &mut Renamer) -> Vec<CStmt> {
+    let mut out = Vec::new();
+    let mut run: Vec<Instr> = Vec::new();
+    let flush = |run: &mut Vec<Instr>, rn: &mut Renamer, out: &mut Vec<CStmt>| {
+        if !run.is_empty() {
+            out.extend(process_run(std::mem::take(run), rn).into_iter().map(CStmt::I));
+        }
+    };
+    for s in stmts {
+        match s {
+            CStmt::I(i) => run.push(i),
+            CStmt::For { var, lo, hi, step, body } => {
+                flush(&mut run, rn, &mut out);
+                out.push(CStmt::For { var, lo, hi, step, body: walk(body, rn) });
+            }
+            CStmt::If { cond, then_, else_ } => {
+                flush(&mut run, rn, &mut out);
+                out.push(CStmt::If { cond, then_: walk(then_, rn), else_: walk(else_, rn) });
+            }
+        }
+    }
+    flush(&mut run, rn, &mut out);
+    out
+}
+
+/// Split register webs in `f` (see module docs).
+pub fn rename(f: &mut Function) {
+    let mut rn = Renamer { next_s: f.n_sregs, next_v: f.n_vregs };
+    let body = std::mem::take(&mut f.body);
+    f.body = walk(body, &mut rn);
+    f.n_sregs = rn.next_s;
+    f.n_vregs = rn.next_v;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::{BufKind, FunctionBuilder};
+    use crate::instr::{BinOp, MemRef};
+
+    #[test]
+    fn redefinitions_get_fresh_names() {
+        let mut b = FunctionBuilder::new("f", 1);
+        let t = b.buffer("t", 2, BufKind::ParamOut);
+        let r = b.smov(1.0);
+        b.sstore(r, MemRef::new(t, 0));
+        b.instr(Instr::SMov { dst: r, a: 2.0.into() }); // redefinition
+        b.sstore(r, MemRef::new(t, 1));
+        let mut f = b.finish();
+        rename(&mut f);
+        // the two stores must now read different registers
+        let mut stored: Vec<SOperand> = Vec::new();
+        f.for_each_instr(&mut |i| {
+            if let Instr::SStore { src, .. } = i {
+                stored.push(*src);
+            }
+        });
+        assert_eq!(stored.len(), 2);
+        assert_ne!(stored[0], stored[1]);
+    }
+
+    #[test]
+    fn copy_back_preserves_cross_block_values() {
+        let mut b = FunctionBuilder::new("f", 1);
+        let t = b.buffer("t", 4, BufKind::ParamOut);
+        let r = b.smov(1.0);
+        b.instr(Instr::SMov { dst: r, a: 2.0.into() }); // redefined in run
+        let i = b.begin_for(0, 2, 1);
+        b.sstore(r, MemRef::new(t, crate::affine::Affine::var(i)));
+        b.end_for();
+        let mut f = b.finish();
+        rename(&mut f);
+        // before the loop there must be a copy back into r
+        let n_body = f.body.len();
+        assert!(n_body >= 3);
+        let has_copy_back = f.body.iter().any(|s| {
+            matches!(s, CStmt::I(Instr::SMov { dst, a: SOperand::Reg(_) }) if *dst == r)
+        });
+        assert!(has_copy_back, "{}", crate::pretty::function_to_string(&f));
+    }
+
+    #[test]
+    fn first_definitions_keep_their_names() {
+        let mut b = FunctionBuilder::new("f", 1);
+        let t = b.buffer("t", 1, BufKind::ParamOut);
+        let a = b.smov(1.0);
+        let c = b.sbin(BinOp::Add, a, 1.0);
+        b.sstore(c, MemRef::new(t, 0));
+        let mut f = b.finish();
+        let before = f.body.clone();
+        rename(&mut f);
+        assert_eq!(f.body, before, "no redefinitions, nothing to rename");
+    }
+}

@@ -1,0 +1,189 @@
+//! Full unrolling of constant-trip-count loops.
+//!
+//! Small-scale code profits from complete unrolling: it exposes constant
+//! addresses to the load/store analysis and removes branch overhead. Loops
+//! are unrolled innermost-first while the function's static instruction
+//! count stays within a budget.
+
+use crate::affine::LoopVar;
+use crate::func::{CStmt, Function};
+use crate::instr::Instr;
+
+/// Substitute a loop variable with a constant everywhere in a statement.
+fn subst_stmt(s: &CStmt, var: LoopVar, value: i64) -> CStmt {
+    match s {
+        CStmt::I(i) => CStmt::I(subst_instr(i, var, value)),
+        CStmt::For { var: v, lo, hi, step, body } => CStmt::For {
+            var: *v,
+            lo: lo.substitute(var, value),
+            hi: hi.substitute(var, value),
+            step: *step,
+            body: body.iter().map(|s| subst_stmt(s, var, value)).collect(),
+        },
+        CStmt::If { cond, then_, else_ } => CStmt::If {
+            cond: cond.substitute(var, value),
+            then_: then_.iter().map(|s| subst_stmt(s, var, value)).collect(),
+            else_: else_.iter().map(|s| subst_stmt(s, var, value)).collect(),
+        },
+    }
+}
+
+fn subst_instr(i: &Instr, var: LoopVar, value: i64) -> Instr {
+    let sub = |m: &crate::instr::MemRef| crate::instr::MemRef {
+        buf: m.buf,
+        offset: m.offset.substitute(var, value),
+    };
+    match i {
+        Instr::SLoad { dst, src } => Instr::SLoad { dst: *dst, src: sub(src) },
+        Instr::SStore { src, dst } => Instr::SStore { src: *src, dst: sub(dst) },
+        Instr::VLoad { dst, base, lanes } => {
+            Instr::VLoad { dst: *dst, base: sub(base), lanes: lanes.clone() }
+        }
+        Instr::VStore { src, base, lanes } => {
+            Instr::VStore { src: *src, base: sub(base), lanes: lanes.clone() }
+        }
+        other => other.clone(),
+    }
+}
+
+fn unroll_stmts(stmts: Vec<CStmt>, budget: &mut isize) -> Vec<CStmt> {
+    let mut out = Vec::new();
+    for s in stmts {
+        match s {
+            CStmt::For { var, lo, hi, step, body } => {
+                let body: Vec<CStmt> = unroll_stmts(body, budget);
+                let trip = match (lo.as_constant(), hi.as_constant()) {
+                    (Some(l), Some(h)) if h > l => ((h - l) + step - 1) / step,
+                    (Some(_), Some(_)) => 0,
+                    _ => -1, // symbolic bounds: keep rolled
+                };
+                if trip == 0 {
+                    continue;
+                }
+                let body_count: i64 =
+                    body.iter().map(|b| b.static_instr_count() as i64).sum();
+                if trip > 0 && trip * body_count <= *budget as i64 {
+                    *budget -= (trip * body_count) as isize;
+                    let l = lo.as_constant().unwrap();
+                    let h = hi.as_constant().unwrap();
+                    let mut iv = l;
+                    while iv < h {
+                        for b in &body {
+                            out.push(subst_stmt(b, var, iv));
+                        }
+                        iv += step;
+                    }
+                } else {
+                    out.push(CStmt::For { var, lo, hi, step, body });
+                }
+            }
+            CStmt::If { cond, then_, else_ } => {
+                let then_ = unroll_stmts(then_, budget);
+                let else_ = unroll_stmts(else_, budget);
+                out.push(CStmt::If { cond, then_, else_ });
+            }
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Unroll all constant loops in `f` while the static instruction count
+/// stays at or below `max_instrs`.
+pub fn unroll(f: &mut Function, max_instrs: usize) {
+    let mut budget = max_instrs as isize - f.static_instr_count() as isize;
+    if budget < 0 {
+        budget = 0;
+    }
+    let body = std::mem::take(&mut f.body);
+    f.body = unroll_stmts(body, &mut budget);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::Affine;
+    use crate::func::{BufKind, FunctionBuilder};
+    use crate::instr::MemRef;
+
+    fn loop_copy(n: i64) -> Function {
+        let mut b = FunctionBuilder::new("u", 1);
+        let x = b.buffer("x", n as usize, BufKind::ParamIn);
+        let y = b.buffer("y", n as usize, BufKind::ParamOut);
+        let i = b.begin_for(0, n, 1);
+        let r = b.sload(MemRef::new(x, Affine::var(i)));
+        b.sstore(r, MemRef::new(y, Affine::var(i)));
+        b.end_for();
+        b.finish()
+    }
+
+    #[test]
+    fn small_loop_fully_unrolls_with_constant_addresses() {
+        let mut f = loop_copy(4);
+        unroll(&mut f, 1000);
+        assert_eq!(f.body.len(), 8);
+        // every address must now be constant
+        f.for_each_instr(&mut |i| match i {
+            Instr::SLoad { src, .. } => assert!(src.offset.as_constant().is_some()),
+            Instr::SStore { dst, .. } => assert!(dst.offset.as_constant().is_some()),
+            _ => {}
+        });
+    }
+
+    #[test]
+    fn budget_prevents_explosion() {
+        let mut f = loop_copy(1000);
+        unroll(&mut f, 100);
+        // stays rolled
+        assert_eq!(f.body.len(), 1);
+        assert!(matches!(f.body[0], CStmt::For { .. }));
+    }
+
+    #[test]
+    fn nested_loops_unroll_inner_first() {
+        let mut b = FunctionBuilder::new("n", 1);
+        let x = b.buffer("x", 16, BufKind::ParamInOut);
+        let i = b.begin_for(0, 4, 1);
+        let j = b.begin_for(0, 4, 1);
+        let addr = MemRef::new(x, Affine::var(i).scaled(4).plus(&Affine::var(j)));
+        let r = b.sload(addr.clone());
+        b.sstore(r, addr);
+        b.end_for();
+        b.end_for();
+        let mut f = b.finish();
+        unroll(&mut f, 1000);
+        assert_eq!(f.body.len(), 32);
+    }
+
+    #[test]
+    fn empty_range_loops_vanish() {
+        let mut b = FunctionBuilder::new("e", 1);
+        let x = b.buffer("x", 4, BufKind::ParamInOut);
+        let i = b.begin_for(2, 2, 1);
+        let r = b.sload(MemRef::new(x, Affine::var(i)));
+        b.sstore(r, MemRef::new(x, Affine::var(i)));
+        b.end_for();
+        let mut f = b.finish();
+        unroll(&mut f, 1000);
+        assert!(f.body.is_empty());
+    }
+
+    #[test]
+    fn step_respected() {
+        let mut b = FunctionBuilder::new("s", 1);
+        let x = b.buffer("x", 8, BufKind::ParamInOut);
+        let i = b.begin_for(0, 8, 4);
+        let r = b.sload(MemRef::new(x, Affine::var(i)));
+        b.sstore(r, MemRef::new(x, Affine::var(i)));
+        b.end_for();
+        let mut f = b.finish();
+        unroll(&mut f, 1000);
+        assert_eq!(f.body.len(), 4); // two iterations, two instrs each
+        match &f.body[2] {
+            CStmt::I(Instr::SLoad { src, .. }) => {
+                assert_eq!(src.offset.as_constant(), Some(4));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! The SLinGen driver: Stages 1–3 plus autotuning (paper Fig. 6).
+
+use crate::workload;
+use crate::Error;
+use slingen_cir::passes::{optimize, PassConfig};
+use slingen_cir::Function;
+use slingen_ir::Program;
+use slingen_lgen::{lower_program, BufferMap, LowerOptions};
+use slingen_perf::{Machine, Report};
+use slingen_synth::{synthesize_program, AlgorithmDb, Policy};
+use slingen_vm::BufferSet;
+
+/// Generation options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Vector width ν (4 = AVX double, 2 = SSE2, 1 = scalar).
+    pub nu: usize,
+    /// Fix the algorithmic variant instead of autotuning over all.
+    pub policy: Option<Policy>,
+    /// Stage-3 pass configuration.
+    pub passes: PassConfig,
+    /// Stage-2 loop threshold (see [`LowerOptions`]).
+    pub loop_threshold: usize,
+    /// Machine model used for autotuning.
+    pub machine: Machine,
+    /// Workload seed for the autotuning measurement.
+    pub seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            nu: 4,
+            policy: None,
+            passes: PassConfig::default(),
+            loop_threshold: 64,
+            machine: Machine::sandy_bridge(),
+            seed: 0x51,
+        }
+    }
+}
+
+/// The result of generation.
+#[derive(Debug)]
+pub struct Generated {
+    /// The optimized C-IR function.
+    pub function: Function,
+    /// The emitted single-source C code.
+    pub c_code: String,
+    /// The algorithmic variant that won the autotuning.
+    pub policy: Policy,
+    /// The performance report of the winning variant (on the autotuning
+    /// workload).
+    pub report: Report,
+    /// Stage-1a algorithm database statistics: (hits, misses).
+    pub db_stats: (usize, usize),
+}
+
+impl Generated {
+    /// Modeled performance in flops/cycle using the function's own dynamic
+    /// flop count.
+    pub fn flops_per_cycle(&self) -> f64 {
+        self.report.flops_per_cycle()
+    }
+}
+
+/// Generate code for one fixed policy (no autotuning).
+///
+/// # Errors
+///
+/// Returns [`Error`] if any stage rejects the program.
+pub fn generate_with_policy(
+    program: &Program,
+    policy: Policy,
+    options: &Options,
+) -> Result<Generated, Error> {
+    let mut db = AlgorithmDb::new();
+    let basic = synthesize_program(program, policy, options.nu, &mut db)?;
+    let opts = LowerOptions { nu: options.nu, loop_threshold: options.loop_threshold };
+    let mut function = lower_program(program, &basic, program.name(), &opts)?;
+    optimize(&mut function, &options.passes);
+    let report = measure(program, &function, &options.machine, options.seed)?;
+    let c_code = slingen_cir::unparse::to_c(&function);
+    Ok(Generated {
+        function,
+        c_code,
+        policy,
+        report,
+        db_stats: (db.hits(), db.misses()),
+    })
+}
+
+/// Measure a generated function on a valid random workload.
+fn measure(
+    program: &Program,
+    function: &Function,
+    machine: &Machine,
+    seed: u64,
+) -> Result<Report, Error> {
+    let mut fb = slingen_cir::FunctionBuilder::new("probe", function.width);
+    let map = BufferMap::build(program, &mut fb);
+    let mut bufs = BufferSet::for_function(function);
+    for (op, data) in workload::inputs(program, seed) {
+        bufs.set(map.buf(op), &data);
+    }
+    Ok(slingen_perf::measure(function, &mut bufs, None, machine)?)
+}
+
+/// Full generation with algorithmic autotuning: derive one implementation
+/// per loop-invariant policy, measure each on the machine model, and keep
+/// the fastest (paper §3.3 "Autotuning" and the dashed lines of Fig. 14).
+///
+/// # Errors
+///
+/// Returns [`Error`] if every variant fails; individual variant failures
+/// are tolerated as long as one succeeds.
+pub fn generate(program: &Program, options: &Options) -> Result<Generated, Error> {
+    if let Some(p) = options.policy {
+        return generate_with_policy(program, p, options);
+    }
+    let mut best: Option<Generated> = None;
+    let mut last_err: Option<Error> = None;
+    for policy in Policy::ALL {
+        match generate_with_policy(program, policy, options) {
+            Ok(g) => {
+                let better = match &best {
+                    None => true,
+                    Some(b) => g.report.cycles < b.report.cycles,
+                };
+                if better {
+                    best = Some(g);
+                }
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    best.ok_or_else(|| last_err.expect("at least one variant attempted"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps;
+
+    #[test]
+    fn generates_potrf_with_autotuning() {
+        let p = apps::potrf(8);
+        let g = generate(&p, &Options::default()).unwrap();
+        assert!(g.report.cycles > 0.0);
+        assert!(g.c_code.contains("void potrf"));
+        assert!(g.c_code.contains("_mm256"), "vectorized output expected");
+        assert!(g.flops_per_cycle() > 0.0);
+    }
+
+    #[test]
+    fn policy_pinning_respected() {
+        let p = apps::potrf(8);
+        let mut opts = Options::default();
+        opts.policy = Some(Policy::Eager);
+        let g = generate(&p, &opts).unwrap();
+        assert_eq!(g.policy, Policy::Eager);
+    }
+
+    #[test]
+    fn scalar_width_generates_plain_c() {
+        let p = apps::gpr(4);
+        let opts = Options { nu: 1, ..Options::default() };
+        let g = generate(&p, &opts).unwrap();
+        assert!(!g.c_code.contains("_mm256"));
+        assert!(g.c_code.contains("sqrt("));
+    }
+
+    #[test]
+    fn autotuner_returns_min_cycle_variant() {
+        let p = apps::trsyl(8);
+        let opts = Options::default();
+        let auto = generate(&p, &opts).unwrap();
+        for policy in slingen_synth::Policy::ALL {
+            let fixed = generate_with_policy(&p, policy, &opts).unwrap();
+            assert!(
+                auto.report.cycles <= fixed.report.cycles + 1e-9,
+                "autotuned {} must not lose to {policy} ({})",
+                auto.report.cycles,
+                fixed.report.cycles
+            );
+        }
+    }
+}

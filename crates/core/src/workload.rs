@@ -1,0 +1,93 @@
+//! Valid random workloads for a program's inputs.
+//!
+//! Factorizations need structurally valid inputs (SPD for Cholesky,
+//! well-conditioned non-singular triangles for solvers); everything else
+//! gets uniform random data, as in the paper's measurement protocol
+//! ("repeated on different random inputs").
+
+use slingen_blas::{testgen, Uplo};
+use slingen_ir::structure::StorageHalf;
+use slingen_ir::{OpId, Program, Structure};
+
+/// Generate inputs for every `In`/`InOut` operand of `program`.
+pub fn inputs(program: &Program, seed: u64) -> Vec<(OpId, Vec<f64>)> {
+    let mut out = Vec::new();
+    for (i, decl) in program.operands().iter().enumerate() {
+        if !decl.io.readable_at_entry() {
+            continue;
+        }
+        let (r, c) = (decl.shape.rows, decl.shape.cols);
+        let s = seed.wrapping_mul(31).wrapping_add(i as u64 + 1);
+        let data = match decl.structure {
+            Structure::Symmetric(half) if decl.properties.positive_definite => {
+                let m = testgen::spd(r, s);
+                let _ = half;
+                m.as_slice().to_vec()
+            }
+            Structure::Symmetric(half) => {
+                let uplo = match half {
+                    StorageHalf::Lower => Uplo::Lower,
+                    StorageHalf::Upper => Uplo::Upper,
+                };
+                testgen::symmetrize(&testgen::general(r, r, s), uplo)
+                    .as_slice()
+                    .to_vec()
+            }
+            Structure::LowerTriangular => {
+                testgen::well_conditioned_triangular(r, Uplo::Lower, s)
+                    .as_slice()
+                    .to_vec()
+            }
+            Structure::UpperTriangular => {
+                testgen::well_conditioned_triangular(r, Uplo::Upper, s)
+                    .as_slice()
+                    .to_vec()
+            }
+            _ => {
+                if r == 1 && c == 1 {
+                    // scalars like the l1a step sizes stay in a sane range
+                    vec![0.25 + testgen::vector(1, s)[0].abs() * 0.5]
+                } else {
+                    testgen::general(r, c, s).as_slice().to_vec()
+                }
+            }
+        };
+        out.push((OpId(i), data));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps;
+
+    #[test]
+    fn covers_all_inputs() {
+        let p = apps::kf(8);
+        let ins = inputs(&p, 7);
+        let expected = p.operands().iter().filter(|o| o.io.readable_at_entry()).count();
+        assert_eq!(ins.len(), expected);
+        for (op, data) in &ins {
+            let d = p.operand(*op);
+            assert_eq!(data.len(), d.shape.rows * d.shape.cols);
+        }
+    }
+
+    #[test]
+    fn pd_inputs_are_factorizable() {
+        let p = apps::potrf(8);
+        let ins = inputs(&p, 3);
+        let (_, s) = &ins[0];
+        let mut copy = s.clone();
+        // must not panic
+        slingen_blas::dpotrf(Uplo::Upper, 8, &mut copy, 8);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let p = apps::gpr(6);
+        assert_eq!(inputs(&p, 5), inputs(&p, 5));
+        assert_ne!(inputs(&p, 5), inputs(&p, 6));
+    }
+}

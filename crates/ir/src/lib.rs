@@ -1,0 +1,102 @@
+//! # slingen-ir
+//!
+//! The mathematical intermediate representation of SLinGen: the **LA**
+//! language (paper Fig. 4), expressions over scalars/vectors/matrices,
+//! matrix structures and their propagation algebra, and the program
+//! type-checker.
+//!
+//! An LA program declares fixed-size operands and a sequence of statements,
+//! which are either *sBLACs* (basic linear algebra computations: `+`, `-`,
+//! `*`, transpose, and scalar `/`, `sqrt`) or *HLACs* (higher-level
+//! computations: equations with an expression left-hand side, such as
+//! `U' * U = S`, or explicit inverses).
+//!
+//! ```
+//! use slingen_ir::parse::Parser;
+//!
+//! let src = "
+//!     Mat H(k, n) <In>;
+//!     Mat P(k, k) <In, UpSym, PD>;
+//!     Mat R(k, k) <In, UpSym, PD>;
+//!     Mat S(k, k) <Out, UpSym, PD>;
+//!     Mat U(k, k) <Out, UpTri, NS, ow(S)>;
+//!     Mat B(k, k) <Out>;
+//!     S = H * H' + R;
+//!     U' * U = S;
+//!     U' * B = P;
+//! ";
+//! let program = Parser::new()
+//!     .with_param("k", 4)
+//!     .with_param("n", 8)
+//!     .parse(src)?;
+//! assert_eq!(program.statements().len(), 3);
+//! # Ok::<(), slingen_ir::LaError>(())
+//! ```
+
+pub mod expr;
+pub mod parse;
+pub mod program;
+pub mod shape;
+pub mod structure;
+pub mod typecheck;
+
+pub use expr::{Expr, OpId};
+pub use program::{IoType, OperandDecl, Program, ProgramBuilder, Stmt};
+pub use shape::Shape;
+pub use structure::{Properties, Structure};
+
+use std::fmt;
+
+/// Errors produced while parsing or validating LA programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaError {
+    /// Lexical error at a byte offset with a message.
+    Lex { offset: usize, message: String },
+    /// Parse error at a byte offset with a message.
+    Parse { offset: usize, message: String },
+    /// A symbolic size was not bound to a concrete value.
+    UnboundSize(String),
+    /// An identifier was referenced but never declared.
+    UnknownOperand(String),
+    /// An identifier was declared twice.
+    DuplicateOperand(String),
+    /// Shapes do not conform for the attempted operation.
+    ShapeMismatch { context: String, left: Shape, right: Shape },
+    /// `/` or `sqrt` was applied to a non-scalar expression.
+    NonScalarOp(String),
+    /// A statement writes to an operand that was declared `In`.
+    WriteToInput(String),
+    /// An HLAC was malformed (e.g. no unknown on the left-hand side).
+    InvalidHlac(String),
+    /// `ow(..)` names an operand with a different shape.
+    InvalidOverwrite(String),
+}
+
+impl fmt::Display for LaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LaError::Lex { offset, message } => {
+                write!(f, "lexical error at offset {offset}: {message}")
+            }
+            LaError::Parse { offset, message } => {
+                write!(f, "parse error at offset {offset}: {message}")
+            }
+            LaError::UnboundSize(name) => write!(f, "unbound symbolic size `{name}`"),
+            LaError::UnknownOperand(name) => write!(f, "unknown operand `{name}`"),
+            LaError::DuplicateOperand(name) => write!(f, "operand `{name}` declared twice"),
+            LaError::ShapeMismatch { context, left, right } => {
+                write!(f, "shape mismatch in {context}: {left} vs {right}")
+            }
+            LaError::NonScalarOp(what) => {
+                write!(f, "operation `{what}` is only defined on scalars")
+            }
+            LaError::WriteToInput(name) => {
+                write!(f, "statement writes to input operand `{name}`")
+            }
+            LaError::InvalidHlac(message) => write!(f, "invalid HLAC: {message}"),
+            LaError::InvalidOverwrite(message) => write!(f, "invalid ow(..): {message}"),
+        }
+    }
+}
+
+impl std::error::Error for LaError {}

@@ -1,0 +1,723 @@
+//! Text parser for the LA language (paper Fig. 4).
+//!
+//! The concrete syntax follows the paper's examples (Fig. 5):
+//!
+//! ```text
+//! Mat H(k, n) <In>;
+//! Mat P(k, k) <In, UpSym, PD>;
+//! Mat S(k, k) <Out, UpSym, PD>;
+//! Mat U(k, k) <Out, UpTri, NS, ow(S)>;
+//! Mat B(k, k) <Out>;
+//! S = H * H' + R;
+//! U' * U = S;
+//! U' * B = P;
+//! ```
+//!
+//! * Transposition is written `X'` (postfix) — the ASCII rendering of the
+//!   paper's `Xᵀ`.
+//! * Inversion is `inv(X)` or `(X)^-1`.
+//! * `sqrt(x)` and `/` are allowed on scalar subexpressions.
+//! * Sizes may be integer literals or symbolic parameters bound via
+//!   [`Parser::with_param`].
+//! * Loops: `for (i = 0:N) { ... }` (uniform bodies; see
+//!   [`crate::program::Stmt::For`]).
+//! * Comments run from `#` or `//` to end of line.
+
+use crate::expr::{Expr, OpId};
+use crate::program::{IoType, OperandDecl, Program, Stmt};
+use crate::shape::Shape;
+use crate::structure::{Properties, StorageHalf, Structure};
+use crate::LaError;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(usize),
+    Float(f64),
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LAngle,
+    RAngle,
+    Comma,
+    Semi,
+    Eq,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Quote,
+    Colon,
+    /// `^-1`
+    InvSuffix,
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>, LaError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                toks.push((Tok::LParen, i));
+                i += 1;
+            }
+            ')' => {
+                toks.push((Tok::RParen, i));
+                i += 1;
+            }
+            '{' => {
+                toks.push((Tok::LBrace, i));
+                i += 1;
+            }
+            '}' => {
+                toks.push((Tok::RBrace, i));
+                i += 1;
+            }
+            '<' => {
+                toks.push((Tok::LAngle, i));
+                i += 1;
+            }
+            '>' => {
+                toks.push((Tok::RAngle, i));
+                i += 1;
+            }
+            ',' => {
+                toks.push((Tok::Comma, i));
+                i += 1;
+            }
+            ';' => {
+                toks.push((Tok::Semi, i));
+                i += 1;
+            }
+            '=' => {
+                toks.push((Tok::Eq, i));
+                i += 1;
+            }
+            '+' => {
+                toks.push((Tok::Plus, i));
+                i += 1;
+            }
+            '-' => {
+                toks.push((Tok::Minus, i));
+                i += 1;
+            }
+            '*' => {
+                toks.push((Tok::Star, i));
+                i += 1;
+            }
+            '/' => {
+                toks.push((Tok::Slash, i));
+                i += 1;
+            }
+            '\'' => {
+                toks.push((Tok::Quote, i));
+                i += 1;
+            }
+            ':' => {
+                toks.push((Tok::Colon, i));
+                i += 1;
+            }
+            '^' => {
+                // only ^T (transpose) and ^-1 (inverse) are legal
+                if src[i..].starts_with("^-1") {
+                    toks.push((Tok::InvSuffix, i));
+                    i += 3;
+                } else if src[i..].starts_with("^T") {
+                    toks.push((Tok::Quote, i));
+                    i += 2;
+                } else {
+                    return Err(LaError::Lex {
+                        offset: i,
+                        message: "expected `^T` or `^-1`".into(),
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                if i < bytes.len() && bytes[i] == b'.' {
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                    let v: f64 = src[start..i].parse().map_err(|_| LaError::Lex {
+                        offset: start,
+                        message: "bad float literal".into(),
+                    })?;
+                    toks.push((Tok::Float(v), start));
+                } else {
+                    let v: usize = src[start..i].parse().map_err(|_| LaError::Lex {
+                        offset: start,
+                        message: "bad integer literal".into(),
+                    })?;
+                    toks.push((Tok::Int(v), start));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                toks.push((Tok::Ident(src[start..i].to_string()), start));
+            }
+            other => {
+                return Err(LaError::Lex {
+                    offset: i,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+/// Parser for LA source text.
+///
+/// Symbolic sizes (like `k` and `n` in the paper's Fig. 5) must be bound to
+/// concrete values with [`Parser::with_param`] before parsing — SLinGen
+/// targets fixed-size operands.
+#[derive(Debug, Clone, Default)]
+pub struct Parser {
+    params: HashMap<String, usize>,
+    name: String,
+}
+
+impl Parser {
+    /// A parser with no bound size parameters, program name `"la_program"`.
+    pub fn new() -> Self {
+        Parser { params: HashMap::new(), name: "la_program".to_string() }
+    }
+
+    /// Bind a symbolic size parameter.
+    pub fn with_param(mut self, name: &str, value: usize) -> Self {
+        self.params.insert(name.to_string(), value);
+        self
+    }
+
+    /// Set the program name (becomes the generated C function's name).
+    pub fn with_name(mut self, name: &str) -> Self {
+        self.name = name.to_string();
+        self
+    }
+
+    /// Parse `src` into a validated [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LaError`] for lexical, syntactic, or semantic problems
+    /// (including everything the type checker rejects).
+    pub fn parse(&self, src: &str) -> Result<Program, LaError> {
+        let toks = lex(src)?;
+        let mut st = ParseState {
+            toks: &toks,
+            pos: 0,
+            params: &self.params,
+            operands: Vec::new(),
+            by_name: HashMap::new(),
+        };
+        let mut statements = Vec::new();
+        while !st.at_end() {
+            if st.peek_decl_keyword() {
+                st.parse_declaration()?;
+            } else {
+                statements.push(st.parse_statement()?);
+            }
+        }
+        Program::from_parts(self.name.clone(), st.operands, statements)
+    }
+}
+
+struct ParseState<'a> {
+    toks: &'a [(Tok, usize)],
+    pos: usize,
+    params: &'a HashMap<String, usize>,
+    operands: Vec<OperandDecl>,
+    by_name: HashMap<String, OpId>,
+}
+
+impl<'a> ParseState<'a> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn offset(&self) -> usize {
+        self.toks.get(self.pos).map(|(_, o)| *o).unwrap_or(usize::MAX)
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> Result<(), LaError> {
+        let off = self.offset();
+        match self.bump() {
+            Some(t) if t == tok => Ok(()),
+            other => Err(LaError::Parse {
+                offset: off,
+                message: format!("expected {what}, found {other:?}"),
+            }),
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, LaError> {
+        let off = self.offset();
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(LaError::Parse {
+                offset: off,
+                message: format!("expected {what}, found {other:?}"),
+            }),
+        }
+    }
+
+    fn peek_decl_keyword(&self) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s == "Mat" || s == "Vec" || s == "Sca")
+    }
+
+    fn parse_size(&mut self) -> Result<usize, LaError> {
+        let off = self.offset();
+        match self.bump() {
+            Some(Tok::Int(v)) => Ok(v),
+            Some(Tok::Ident(name)) => self
+                .params
+                .get(&name)
+                .copied()
+                .ok_or(LaError::UnboundSize(name)),
+            other => Err(LaError::Parse {
+                offset: off,
+                message: format!("expected size, found {other:?}"),
+            }),
+        }
+    }
+
+    fn parse_declaration(&mut self) -> Result<(), LaError> {
+        let kind = self.expect_ident("declaration keyword")?;
+        let name = self.expect_ident("operand name")?;
+        let shape = match kind.as_str() {
+            "Mat" => {
+                self.expect(Tok::LParen, "`(`")?;
+                let rows = self.parse_size()?;
+                self.expect(Tok::Comma, "`,`")?;
+                let cols = self.parse_size()?;
+                self.expect(Tok::RParen, "`)`")?;
+                Shape::matrix(rows, cols)
+            }
+            "Vec" => {
+                self.expect(Tok::LParen, "`(`")?;
+                let n = self.parse_size()?;
+                self.expect(Tok::RParen, "`)`")?;
+                Shape::vector(n)
+            }
+            "Sca" => Shape::scalar(),
+            other => {
+                return Err(LaError::Parse {
+                    offset: self.offset(),
+                    message: format!("unknown declaration keyword `{other}`"),
+                })
+            }
+        };
+        self.expect(Tok::LAngle, "`<`")?;
+        let mut io = None;
+        let mut structure = Structure::General;
+        let mut properties = Properties::none();
+        let mut overwrites = None;
+        loop {
+            let attr = self.expect_ident("declaration attribute")?;
+            match attr.as_str() {
+                "In" => io = Some(IoType::In),
+                "Out" => io = Some(IoType::Out),
+                "InOut" => io = Some(IoType::InOut),
+                "LoTri" => structure = Structure::LowerTriangular,
+                "UpTri" => structure = Structure::UpperTriangular,
+                "LoSym" => structure = Structure::Symmetric(StorageHalf::Lower),
+                "UpSym" => structure = Structure::Symmetric(StorageHalf::Upper),
+                "Diag" => structure = Structure::Diagonal,
+                "PD" => properties.positive_definite = true,
+                "NS" => properties.non_singular = true,
+                "UnitDiag" => properties.unit_diagonal = true,
+                "ow" => {
+                    self.expect(Tok::LParen, "`(`")?;
+                    let target = self.expect_ident("operand name")?;
+                    self.expect(Tok::RParen, "`)`")?;
+                    overwrites = Some(
+                        *self
+                            .by_name
+                            .get(&target)
+                            .ok_or(LaError::UnknownOperand(target))?,
+                    );
+                }
+                other => {
+                    return Err(LaError::Parse {
+                        offset: self.offset(),
+                        message: format!("unknown attribute `{other}`"),
+                    })
+                }
+            }
+            match self.bump() {
+                Some(Tok::Comma) => continue,
+                Some(Tok::RAngle) => break,
+                other => {
+                    return Err(LaError::Parse {
+                        offset: self.offset(),
+                        message: format!("expected `,` or `>`, found {other:?}"),
+                    })
+                }
+            }
+        }
+        self.expect(Tok::Semi, "`;`")?;
+        let io = io.ok_or(LaError::Parse {
+            offset: self.offset(),
+            message: format!("operand `{name}` lacks an In/Out/InOut attribute"),
+        })?;
+        // PD implies non-singular.
+        if properties.positive_definite {
+            properties.non_singular = true;
+        }
+        if self.by_name.contains_key(&name) {
+            return Err(LaError::DuplicateOperand(name));
+        }
+        let id = OpId(self.operands.len());
+        self.by_name.insert(name.clone(), id);
+        self.operands.push(OperandDecl { name, shape, structure, properties, io, overwrites });
+        Ok(())
+    }
+
+    fn parse_statement(&mut self) -> Result<Stmt, LaError> {
+        if let Some(Tok::Ident(kw)) = self.peek() {
+            if kw == "for" {
+                return self.parse_for();
+            }
+        }
+        let lhs = self.parse_expr()?;
+        self.expect(Tok::Eq, "`=`")?;
+        let rhs = self.parse_expr()?;
+        self.expect(Tok::Semi, "`;`")?;
+        // `id = expr` is an sBLAC; anything else on the left is an HLAC.
+        if let Expr::Operand(id) = lhs {
+            if rhs.contains_inverse() {
+                Ok(Stmt::Equation { lhs: Expr::Operand(id), rhs })
+            } else {
+                Ok(Stmt::Assign { lhs: id, rhs })
+            }
+        } else {
+            Ok(Stmt::Equation { lhs, rhs })
+        }
+    }
+
+    fn parse_for(&mut self) -> Result<Stmt, LaError> {
+        self.expect_ident("`for`")?;
+        self.expect(Tok::LParen, "`(`")?;
+        let _var = self.expect_ident("loop variable")?;
+        self.expect(Tok::Eq, "`=`")?;
+        let off = self.offset();
+        let lo = match self.bump() {
+            Some(Tok::Int(v)) => v,
+            other => {
+                return Err(LaError::Parse {
+                    offset: off,
+                    message: format!("expected loop lower bound, found {other:?}"),
+                })
+            }
+        };
+        self.expect(Tok::Colon, "`:`")?;
+        let hi = self.parse_size()?;
+        self.expect(Tok::RParen, "`)`")?;
+        self.expect(Tok::LBrace, "`{`")?;
+        let mut body = Vec::new();
+        while self.peek() != Some(&Tok::RBrace) {
+            if self.at_end() {
+                return Err(LaError::Parse {
+                    offset: self.offset(),
+                    message: "unterminated for loop".into(),
+                });
+            }
+            body.push(self.parse_statement()?);
+        }
+        self.expect(Tok::RBrace, "`}`")?;
+        Ok(Stmt::For { count: hi.saturating_sub(lo), body })
+    }
+
+    // expression grammar:
+    //   expr    := term (('+'|'-') term)*
+    //   term    := factor (('*'|'/') factor)*
+    //   factor  := '-' factor | postfix
+    //   postfix := atom ("'" | "^-1")*
+    //   atom    := ident | number | '(' expr ')' | 'sqrt' '(' expr ')'
+    //            | 'inv' '(' expr ')'
+    fn parse_expr(&mut self) -> Result<Expr, LaError> {
+        let mut lhs = self.parse_term()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Plus) => {
+                    self.bump();
+                    let rhs = self.parse_term()?;
+                    lhs = lhs.add(rhs);
+                }
+                Some(Tok::Minus) => {
+                    self.bump();
+                    let rhs = self.parse_term()?;
+                    lhs = lhs.sub(rhs);
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<Expr, LaError> {
+        let mut lhs = self.parse_factor()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Star) => {
+                    self.bump();
+                    let rhs = self.parse_factor()?;
+                    lhs = lhs.mul(rhs);
+                }
+                Some(Tok::Slash) => {
+                    self.bump();
+                    let rhs = self.parse_factor()?;
+                    lhs = lhs.div(rhs);
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn parse_factor(&mut self) -> Result<Expr, LaError> {
+        if self.peek() == Some(&Tok::Minus) {
+            self.bump();
+            let inner = self.parse_factor()?;
+            return Ok(inner.neg());
+        }
+        self.parse_postfix()
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr, LaError> {
+        let mut e = self.parse_atom()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Quote) => {
+                    self.bump();
+                    e = e.t();
+                }
+                Some(Tok::InvSuffix) => {
+                    self.bump();
+                    e = e.inv();
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Expr, LaError> {
+        let off = self.offset();
+        match self.bump() {
+            Some(Tok::Ident(name)) => match name.as_str() {
+                "sqrt" => {
+                    self.expect(Tok::LParen, "`(`")?;
+                    let e = self.parse_expr()?;
+                    self.expect(Tok::RParen, "`)`")?;
+                    Ok(e.sqrt())
+                }
+                "inv" => {
+                    self.expect(Tok::LParen, "`(`")?;
+                    let e = self.parse_expr()?;
+                    self.expect(Tok::RParen, "`)`")?;
+                    Ok(e.inv())
+                }
+                _ => {
+                    let id = self
+                        .by_name
+                        .get(&name)
+                        .copied()
+                        .ok_or(LaError::UnknownOperand(name))?;
+                    Ok(Expr::Operand(id))
+                }
+            },
+            Some(Tok::Int(v)) => Ok(Expr::Lit(v as f64)),
+            Some(Tok::Float(v)) => Ok(Expr::Lit(v)),
+            Some(Tok::LParen) => {
+                let e = self.parse_expr()?;
+                self.expect(Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            other => Err(LaError::Parse {
+                offset: off,
+                message: format!("expected expression, found {other:?}"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG5: &str = "
+        Mat H(k, n) <In>;
+        Mat P(k, k) <In, UpSym, PD>;
+        Mat R(k, k) <In, UpSym, PD>;
+        Mat S(k, k) <Out, UpSym, PD>;
+        Mat U(k, k) <Out, UpTri, NS, ow(S)>;
+        Mat B(k, k) <Out>;
+        S = H * H' + R;
+        U' * U = S;
+        U' * B = P;
+    ";
+
+    fn parse_fig5() -> Program {
+        Parser::new().with_param("k", 4).with_param("n", 8).parse(FIG5).unwrap()
+    }
+
+    #[test]
+    fn parses_fig5_program() {
+        let p = parse_fig5();
+        assert_eq!(p.operands().len(), 6);
+        assert_eq!(p.statements().len(), 3);
+        let u = p.find("U").unwrap();
+        assert_eq!(p.operand(u).structure, Structure::UpperTriangular);
+        assert!(p.operand(u).properties.non_singular);
+        assert_eq!(p.operand(u).overwrites, Some(p.find("S").unwrap()));
+        let s = p.find("S").unwrap();
+        assert_eq!(p.operand(s).structure, Structure::Symmetric(StorageHalf::Upper));
+        assert!(p.operand(s).properties.positive_definite);
+        assert!(matches!(&p.statements()[0], Stmt::Assign { .. }));
+        assert!(matches!(&p.statements()[1], Stmt::Equation { .. }));
+        assert!(matches!(&p.statements()[2], Stmt::Equation { .. }));
+    }
+
+    #[test]
+    fn unbound_size_fails() {
+        let err = Parser::new().with_param("k", 4).parse(FIG5).unwrap_err();
+        assert_eq!(err, LaError::UnboundSize("n".into()));
+    }
+
+    #[test]
+    fn caret_forms() {
+        let src = "
+            Mat A(4, 4) <In, NS>;
+            Mat X(4, 4) <Out>;
+            X = A^T * inv(A) * (A)^-1;
+        ";
+        let p = Parser::new().parse(src).unwrap();
+        // statement has inverses -> classified as HLAC.
+        assert!(p.statements()[0].is_hlac());
+    }
+
+    #[test]
+    fn scalar_and_vector_declarations() {
+        let src = "
+            Sca alpha <In>;
+            Vec x(8) <In>;
+            Vec y(8) <Out>;
+            y = alpha * x + y;
+        ";
+        // y read+written: must be InOut
+        assert!(Parser::new().parse(src).is_err());
+        let src_ok = "
+            Sca alpha <In>;
+            Vec x(8) <In>;
+            Vec y(8) <InOut>;
+            y = alpha * x + y;
+        ";
+        let p = Parser::new().parse(src_ok).unwrap();
+        assert_eq!(p.operand(p.find("y").unwrap()).io, IoType::InOut);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let src = "
+            # leading comment
+            Sca a <In>;   // trailing comment
+            Sca b <Out>;
+            b = sqrt(a) / a; # another
+        ";
+        let p = Parser::new().parse(src).unwrap();
+        assert_eq!(p.statements().len(), 1);
+    }
+
+    #[test]
+    fn for_loop_parses() {
+        let src = "
+            Mat A(4, 4) <In>;
+            Mat C(4, 4) <InOut>;
+            for (i = 0:3) {
+                C = C + A;
+            }
+        ";
+        let p = Parser::new().parse(src).unwrap();
+        match &p.statements()[0] {
+            Stmt::For { count, body } => {
+                assert_eq!(*count, 3);
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("expected for loop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negation_and_precedence() {
+        let src = "
+            Sca a <In>;
+            Sca b <In>;
+            Sca c <Out>;
+            c = -a * b + a / b;
+        ";
+        let p = Parser::new().parse(src).unwrap();
+        let rendered = match &p.statements()[0] {
+            Stmt::Assign { rhs, .. } => p.render_expr(rhs),
+            _ => unreachable!(),
+        };
+        assert_eq!(rendered, "-a * b + a / b");
+    }
+
+    #[test]
+    fn error_positions_reported() {
+        let err = Parser::new().parse("Mat A(4, 4) <In>; A @ B;").unwrap_err();
+        assert!(matches!(err, LaError::Lex { .. }));
+        let err = Parser::new().parse("Mat A(4, 4) <Wrong>;").unwrap_err();
+        assert!(matches!(err, LaError::Parse { .. }));
+        let err = Parser::new().parse("Mat A(4, 4) <In>; B = A;").unwrap_err();
+        assert!(matches!(err, LaError::UnknownOperand(_)));
+    }
+
+    #[test]
+    fn duplicate_declaration_rejected() {
+        let err = Parser::new()
+            .parse("Mat A(4, 4) <In>; Mat A(4, 4) <Out>;")
+            .unwrap_err();
+        assert_eq!(err, LaError::DuplicateOperand("A".into()));
+    }
+
+    #[test]
+    fn print_parse_round_trip() {
+        let p = parse_fig5();
+        let text = p.to_string();
+        assert!(text.contains("S = H * H' + R;"));
+        assert!(text.contains("U' * U = S;"));
+    }
+}

@@ -1,0 +1,150 @@
+//! Fixed operand shapes.
+//!
+//! SLinGen targets computations on *fixed-size* operands: every dimension is
+//! a concrete `usize` known at generation time. Vectors are column vectors
+//! (`n × 1`), scalars are `1 × 1`.
+
+use std::fmt;
+
+/// The shape (rows × columns) of an operand or expression.
+///
+/// ```
+/// use slingen_ir::Shape;
+/// let a = Shape::matrix(3, 4);
+/// let b = Shape::matrix(4, 2);
+/// assert_eq!(a.mul(&b), Some(Shape::matrix(3, 2)));
+/// assert_eq!(a.transposed(), Shape::matrix(4, 3));
+/// assert!(Shape::scalar().is_scalar());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Shape {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+}
+
+impl Shape {
+    /// A general `rows × cols` matrix shape.
+    pub fn matrix(rows: usize, cols: usize) -> Self {
+        Shape { rows, cols }
+    }
+
+    /// A column vector of length `n` (shape `n × 1`).
+    pub fn vector(n: usize) -> Self {
+        Shape { rows: n, cols: 1 }
+    }
+
+    /// The scalar shape `1 × 1`.
+    pub fn scalar() -> Self {
+        Shape { rows: 1, cols: 1 }
+    }
+
+    /// Whether this shape is `1 × 1`.
+    pub fn is_scalar(&self) -> bool {
+        self.rows == 1 && self.cols == 1
+    }
+
+    /// Whether this shape is a column or row vector (but not a scalar).
+    pub fn is_vector(&self) -> bool {
+        !self.is_scalar() && (self.rows == 1 || self.cols == 1)
+    }
+
+    /// Whether the shape is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Whether the shape has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Shape of the transpose.
+    pub fn transposed(&self) -> Shape {
+        Shape { rows: self.cols, cols: self.rows }
+    }
+
+    /// Shape of the sum `self + other`, if conformable.
+    ///
+    /// Scalars broadcast with scalars only: LA has no implicit broadcasting.
+    pub fn add(&self, other: &Shape) -> Option<Shape> {
+        if self == other {
+            Some(*self)
+        } else {
+            None
+        }
+    }
+
+    /// Shape of the product `self * other`, if conformable.
+    ///
+    /// Scalar operands act as scaling factors on either side.
+    pub fn mul(&self, other: &Shape) -> Option<Shape> {
+        if self.is_scalar() {
+            Some(*other)
+        } else if other.is_scalar() {
+            Some(*self)
+        } else if self.cols == other.rows {
+            Some(Shape { rows: self.rows, cols: other.cols })
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_vector_matrix_classification() {
+        assert!(Shape::scalar().is_scalar());
+        assert!(!Shape::scalar().is_vector());
+        assert!(Shape::vector(5).is_vector());
+        assert!(!Shape::vector(5).is_scalar());
+        assert!(Shape::matrix(1, 7).is_vector());
+        assert!(!Shape::matrix(3, 4).is_vector());
+        assert!(Shape::matrix(4, 4).is_square());
+        assert!(!Shape::matrix(3, 4).is_square());
+    }
+
+    #[test]
+    fn add_requires_equal_shapes() {
+        let a = Shape::matrix(3, 4);
+        assert_eq!(a.add(&Shape::matrix(3, 4)), Some(a));
+        assert_eq!(a.add(&Shape::matrix(4, 3)), None);
+    }
+
+    #[test]
+    fn mul_conformability() {
+        let a = Shape::matrix(3, 4);
+        let b = Shape::matrix(4, 2);
+        assert_eq!(a.mul(&b), Some(Shape::matrix(3, 2)));
+        assert_eq!(b.mul(&a), None);
+        // Scalars scale anything.
+        assert_eq!(Shape::scalar().mul(&a), Some(a));
+        assert_eq!(a.mul(&Shape::scalar()), Some(a));
+    }
+
+    #[test]
+    fn transpose_swaps_dims() {
+        assert_eq!(Shape::matrix(3, 4).transposed(), Shape::matrix(4, 3));
+        assert_eq!(Shape::vector(5).transposed(), Shape::matrix(1, 5));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Shape::matrix(3, 4).to_string(), "3x4");
+    }
+}

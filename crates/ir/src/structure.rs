@@ -1,0 +1,441 @@
+//! Matrix structures and the propagation algebra.
+//!
+//! Structures are central to SLinGen: the Cl1ck-style synthesis engine uses
+//! them to partition equations (a triangular matrix splits into two
+//! triangular diagonal blocks, one zero block, and one general block), and
+//! the LGen-style tiling stage uses them to skip zero regions and halve the
+//! work on symmetric operands.
+//!
+//! The algebra in this module answers: *given the structures of `A` and `B`,
+//! what do we know about `A + B`, `A * B`, and `Aᵀ`?* The rules are sound
+//! (the result structure is implied by the operand structures) but not
+//! complete (the result may have more structure than reported); this mirrors
+//! the paper's structure propagation in LGen [40, 41].
+
+use std::fmt;
+
+/// Which half of a symmetric matrix is stored / meaningful.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StorageHalf {
+    /// The lower triangle holds the data (`LoSym`).
+    Lower,
+    /// The upper triangle holds the data (`UpSym`).
+    Upper,
+}
+
+impl StorageHalf {
+    /// The opposite half.
+    pub fn flipped(self) -> StorageHalf {
+        match self {
+            StorageHalf::Lower => StorageHalf::Upper,
+            StorageHalf::Upper => StorageHalf::Lower,
+        }
+    }
+}
+
+/// The structure of a matrix operand or expression.
+///
+/// `Zero` and `Identity` appear only as derived structures during synthesis
+/// (a partitioned triangular matrix has a zero off-diagonal block); the LA
+/// surface language only declares the first five.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Structure {
+    /// No structure: a general dense matrix.
+    #[default]
+    General,
+    /// Lower triangular (`LoTri`): entries above the diagonal are zero.
+    LowerTriangular,
+    /// Upper triangular (`UpTri`): entries below the diagonal are zero.
+    UpperTriangular,
+    /// Symmetric, with the given storage half (`LoSym` / `UpSym`).
+    Symmetric(StorageHalf),
+    /// Diagonal.
+    Diagonal,
+    /// Identically zero.
+    Zero,
+    /// The identity matrix.
+    Identity,
+}
+
+impl Structure {
+    /// Structure of the transpose.
+    ///
+    /// ```
+    /// use slingen_ir::Structure;
+    /// assert_eq!(
+    ///     Structure::LowerTriangular.transposed(),
+    ///     Structure::UpperTriangular
+    /// );
+    /// ```
+    pub fn transposed(self) -> Structure {
+        match self {
+            Structure::LowerTriangular => Structure::UpperTriangular,
+            Structure::UpperTriangular => Structure::LowerTriangular,
+            Structure::Symmetric(half) => Structure::Symmetric(half.flipped()),
+            other => other,
+        }
+    }
+
+    /// Structure of a sum `A + B` (also covers `A - B`).
+    pub fn add(self, other: Structure) -> Structure {
+        use Structure::*;
+        match (self.canonical(), other.canonical()) {
+            (Zero, s) | (s, Zero) => s,
+            (a, b) if a == b => a,
+            // Identity is diagonal for the purposes of addition structure.
+            (Identity, b) => Diagonal.add(b),
+            (a, Identity) => a.add(Diagonal),
+            (Diagonal, LowerTriangular) | (LowerTriangular, Diagonal) => LowerTriangular,
+            (Diagonal, UpperTriangular) | (UpperTriangular, Diagonal) => UpperTriangular,
+            (Diagonal, Symmetric(h)) | (Symmetric(h), Diagonal) => Symmetric(h),
+            // Symmetric halves merge: symmetry is preserved regardless of
+            // which half is stored; keep the left operand's storage.
+            (Symmetric(h), Symmetric(_)) => Symmetric(h),
+            _ => General,
+        }
+    }
+
+    /// Structure of a product `A * B`.
+    pub fn mul(self, other: Structure) -> Structure {
+        use Structure::*;
+        match (self.canonical(), other.canonical()) {
+            (Zero, _) | (_, Zero) => Zero,
+            (Identity, s) => s,
+            (s, Identity) => s,
+            (Diagonal, Diagonal) => Diagonal,
+            (Diagonal, LowerTriangular) | (LowerTriangular, Diagonal) => LowerTriangular,
+            (Diagonal, UpperTriangular) | (UpperTriangular, Diagonal) => UpperTriangular,
+            (LowerTriangular, LowerTriangular) => LowerTriangular,
+            (UpperTriangular, UpperTriangular) => UpperTriangular,
+            _ => General,
+        }
+    }
+
+    /// Structure after negation (structure is preserved; identity becomes
+    /// diagonal because `-I` is no longer the identity).
+    pub fn negated(self) -> Structure {
+        match self {
+            Structure::Identity => Structure::Diagonal,
+            other => other,
+        }
+    }
+
+    /// Collapse `Symmetric` storage distinctions for algebraic matching
+    /// while keeping the variant itself.
+    fn canonical(self) -> Structure {
+        self
+    }
+
+    /// Whether entry `(i, j)` of an `n × n` matrix with this structure is
+    /// known to be zero a priori.
+    ///
+    /// For non-square shapes only `Zero` forces zeros; triangular structure
+    /// is only meaningful on square operands, as in the paper.
+    pub fn is_zero_at(self, i: usize, j: usize) -> bool {
+        match self {
+            Structure::Zero => true,
+            Structure::LowerTriangular => j > i,
+            Structure::UpperTriangular => i > j,
+            Structure::Diagonal => i != j,
+            Structure::Identity => i != j,
+            _ => false,
+        }
+    }
+
+    /// Whether `(i, j)` is stored redundantly (mirrored from the other half)
+    /// for symmetric structures.
+    pub fn is_mirrored_at(self, i: usize, j: usize) -> bool {
+        match self {
+            Structure::Symmetric(StorageHalf::Upper) => i > j,
+            Structure::Symmetric(StorageHalf::Lower) => j > i,
+            _ => false,
+        }
+    }
+
+    /// Whether this structure implies symmetry of the matrix values.
+    pub fn is_symmetric(self) -> bool {
+        matches!(
+            self,
+            Structure::Symmetric(_) | Structure::Diagonal | Structure::Zero | Structure::Identity
+        )
+    }
+
+    /// Whether this structure is triangular (including diagonal/identity).
+    pub fn is_triangular(self) -> bool {
+        matches!(
+            self,
+            Structure::LowerTriangular
+                | Structure::UpperTriangular
+                | Structure::Diagonal
+                | Structure::Identity
+                | Structure::Zero
+        )
+    }
+
+    /// The number of *stored, potentially nonzero* entries of an
+    /// `rows × cols` operand with this structure. Symmetric operands use
+    /// full storage (the paper's storage scheme) but only `stored` entries
+    /// carry independent information.
+    pub fn meaningful_entries(self, rows: usize, cols: usize) -> usize {
+        let n = rows.min(cols);
+        match self {
+            Structure::General => rows * cols,
+            Structure::LowerTriangular | Structure::UpperTriangular => n * (n + 1) / 2,
+            Structure::Symmetric(_) => n * (n + 1) / 2,
+            Structure::Diagonal => n,
+            Structure::Identity | Structure::Zero => 0,
+        }
+    }
+}
+
+impl fmt::Display for Structure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Structure::General => "Gen",
+            Structure::LowerTriangular => "LoTri",
+            Structure::UpperTriangular => "UpTri",
+            Structure::Symmetric(StorageHalf::Lower) => "LoSym",
+            Structure::Symmetric(StorageHalf::Upper) => "UpSym",
+            Structure::Diagonal => "Diag",
+            Structure::Zero => "Zero",
+            Structure::Identity => "Id",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Non-structural matrix properties from the LA grammar.
+///
+/// `PD` (positive definite) and `NS` (non-singular) license algorithmic
+/// choices in the synthesis engine (e.g. Cholesky requires `PD`; triangular
+/// solves require `NS`); `UnitDiag` marks an implicit unit diagonal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Properties {
+    /// Symmetric positive definite.
+    pub positive_definite: bool,
+    /// Non-singular.
+    pub non_singular: bool,
+    /// Unit diagonal (for triangular operands).
+    pub unit_diagonal: bool,
+}
+
+impl Properties {
+    /// No properties.
+    pub fn none() -> Self {
+        Properties::default()
+    }
+
+    /// Positive definite (implies non-singular).
+    pub fn pd() -> Self {
+        Properties { positive_definite: true, non_singular: true, unit_diagonal: false }
+    }
+
+    /// Non-singular.
+    pub fn ns() -> Self {
+        Properties { positive_definite: false, non_singular: true, unit_diagonal: false }
+    }
+
+    /// Merge with another property set (union of guarantees).
+    pub fn and(self, other: Properties) -> Properties {
+        Properties {
+            positive_definite: self.positive_definite || other.positive_definite,
+            non_singular: self.non_singular || other.non_singular,
+            unit_diagonal: self.unit_diagonal || other.unit_diagonal,
+        }
+    }
+}
+
+impl fmt::Display for Properties {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut wrote = false;
+        let mut put = |f: &mut fmt::Formatter<'_>, s: &str| -> fmt::Result {
+            if wrote {
+                f.write_str(", ")?;
+            }
+            wrote = true;
+            f.write_str(s)
+        };
+        if self.positive_definite {
+            put(f, "PD")?;
+        }
+        if self.non_singular {
+            put(f, "NS")?;
+        }
+        if self.unit_diagonal {
+            put(f, "UnitDiag")?;
+        }
+        if !wrote {
+            f.write_str("-")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Structure::*;
+
+    #[test]
+    fn transpose_involution() {
+        for s in [
+            General,
+            LowerTriangular,
+            UpperTriangular,
+            Symmetric(StorageHalf::Lower),
+            Symmetric(StorageHalf::Upper),
+            Diagonal,
+            Zero,
+            Identity,
+        ] {
+            assert_eq!(s.transposed().transposed(), s);
+        }
+    }
+
+    #[test]
+    fn zero_is_additive_identity() {
+        for s in [General, LowerTriangular, Symmetric(StorageHalf::Upper), Diagonal] {
+            assert_eq!(Zero.add(s), s);
+            assert_eq!(s.add(Zero), s);
+        }
+    }
+
+    #[test]
+    fn zero_is_multiplicative_annihilator() {
+        for s in [General, LowerTriangular, UpperTriangular, Diagonal, Identity] {
+            assert_eq!(Zero.mul(s), Zero);
+            assert_eq!(s.mul(Zero), Zero);
+        }
+    }
+
+    #[test]
+    fn identity_is_multiplicative_identity() {
+        for s in [General, LowerTriangular, UpperTriangular, Diagonal] {
+            assert_eq!(Identity.mul(s), s);
+            assert_eq!(s.mul(Identity), s);
+        }
+    }
+
+    #[test]
+    fn triangular_products() {
+        assert_eq!(LowerTriangular.mul(LowerTriangular), LowerTriangular);
+        assert_eq!(UpperTriangular.mul(UpperTriangular), UpperTriangular);
+        assert_eq!(LowerTriangular.mul(UpperTriangular), General);
+        assert_eq!(UpperTriangular.mul(LowerTriangular), General);
+    }
+
+    #[test]
+    fn triangular_sums() {
+        assert_eq!(LowerTriangular.add(LowerTriangular), LowerTriangular);
+        assert_eq!(LowerTriangular.add(UpperTriangular), General);
+        assert_eq!(LowerTriangular.add(Diagonal), LowerTriangular);
+        assert_eq!(Symmetric(StorageHalf::Upper).add(Diagonal), Symmetric(StorageHalf::Upper));
+    }
+
+    #[test]
+    fn symmetric_times_symmetric_is_general() {
+        let s = Symmetric(StorageHalf::Upper);
+        assert_eq!(s.mul(s), General);
+    }
+
+    #[test]
+    fn zero_pattern_queries() {
+        assert!(LowerTriangular.is_zero_at(0, 2));
+        assert!(!LowerTriangular.is_zero_at(2, 0));
+        assert!(UpperTriangular.is_zero_at(2, 0));
+        assert!(Diagonal.is_zero_at(1, 2));
+        assert!(!Diagonal.is_zero_at(1, 1));
+        assert!(!General.is_zero_at(0, 5));
+        assert!(Symmetric(StorageHalf::Upper).is_mirrored_at(3, 1));
+        assert!(!Symmetric(StorageHalf::Upper).is_mirrored_at(1, 3));
+    }
+
+    #[test]
+    fn meaningful_entry_counts() {
+        assert_eq!(General.meaningful_entries(4, 4), 16);
+        assert_eq!(LowerTriangular.meaningful_entries(4, 4), 10);
+        assert_eq!(Symmetric(StorageHalf::Upper).meaningful_entries(4, 4), 10);
+        assert_eq!(Diagonal.meaningful_entries(4, 4), 4);
+        assert_eq!(Zero.meaningful_entries(4, 4), 0);
+    }
+
+    #[test]
+    fn properties_merge() {
+        let p = Properties::pd().and(Properties { unit_diagonal: true, ..Properties::none() });
+        assert!(p.positive_definite && p.non_singular && p.unit_diagonal);
+        assert_eq!(Properties::pd().to_string(), "PD, NS");
+        assert_eq!(Properties::none().to_string(), "-");
+    }
+
+    /// Soundness of the propagation rules against concrete dense matrices:
+    /// generate matrices matching the operand structures, compute, and check
+    /// that the claimed result structure's zero pattern holds.
+    #[test]
+    fn propagation_soundness_dense_check() {
+        let n = 5usize;
+        let structures = [
+            General,
+            LowerTriangular,
+            UpperTriangular,
+            Symmetric(StorageHalf::Upper),
+            Diagonal,
+            Zero,
+            Identity,
+        ];
+        let mk = |s: Structure| -> Vec<f64> {
+            let mut m = vec![0.0; n * n];
+            for i in 0..n {
+                for j in 0..n {
+                    if s.is_zero_at(i, j) {
+                        continue;
+                    }
+                    let v = (1 + i * 7 + j * 3) as f64;
+                    m[i * n + j] = match s {
+                        Identity => {
+                            if i == j {
+                                1.0
+                            } else {
+                                0.0
+                            }
+                        }
+                        Symmetric(_) => (1 + i.min(j) * 7 + i.max(j) * 3) as f64,
+                        _ => v,
+                    };
+                }
+            }
+            m
+        };
+        for &sa in &structures {
+            for &sb in &structures {
+                let a = mk(sa);
+                let b = mk(sb);
+                // addition
+                let claimed = sa.add(sb);
+                for i in 0..n {
+                    for j in 0..n {
+                        if claimed.is_zero_at(i, j) {
+                            assert_eq!(
+                                a[i * n + j] + b[i * n + j],
+                                0.0,
+                                "add {sa} + {sb} claimed zero at ({i},{j})"
+                            );
+                        }
+                    }
+                }
+                // multiplication
+                let claimed = sa.mul(sb);
+                for i in 0..n {
+                    for j in 0..n {
+                        if claimed.is_zero_at(i, j) {
+                            let mut acc = 0.0;
+                            for k in 0..n {
+                                acc += a[i * n + k] * b[k * n + j];
+                            }
+                            assert_eq!(acc, 0.0, "mul {sa} * {sb} claimed zero at ({i},{j})");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

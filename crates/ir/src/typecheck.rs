@@ -1,0 +1,407 @@
+//! Shape and well-formedness checking for LA programs.
+//!
+//! Checks performed:
+//! * every operand reference resolves;
+//! * `+`, `-`, `*` conform (with scalars acting as scaling factors);
+//! * `/` and `sqrt` apply to scalars only;
+//! * assignment left-hand sides are writable (`Out`/`InOut`) and their
+//!   shapes match the right-hand side;
+//! * HLAC equations are well-formed: the left side contains at least one
+//!   output operand (the unknown), shapes conform, and inverses apply to
+//!   square non-singular operands;
+//! * `ow(..)` targets have identical shapes.
+
+use crate::expr::{Expr, OpId};
+use crate::program::{Program, Stmt};
+use crate::shape::Shape;
+use crate::LaError;
+
+/// Infer the shape of `expr` against `program`'s operand table.
+///
+/// # Errors
+///
+/// Returns [`LaError::ShapeMismatch`] or [`LaError::NonScalarOp`] when the
+/// expression is ill-formed.
+pub fn infer_shape(program: &Program, expr: &Expr) -> Result<Shape, LaError> {
+    match expr {
+        Expr::Operand(id) => {
+            if id.0 >= program.operands().len() {
+                return Err(LaError::UnknownOperand(format!("{id}")));
+            }
+            Ok(program.operand(*id).shape)
+        }
+        Expr::Lit(_) => Ok(Shape::scalar()),
+        Expr::Add(a, b) | Expr::Sub(a, b) => {
+            let sa = infer_shape(program, a)?;
+            let sb = infer_shape(program, b)?;
+            sa.add(&sb).ok_or_else(|| LaError::ShapeMismatch {
+                context: "addition".into(),
+                left: sa,
+                right: sb,
+            })
+        }
+        Expr::Mul(a, b) => {
+            let sa = infer_shape(program, a)?;
+            let sb = infer_shape(program, b)?;
+            sa.mul(&sb).ok_or_else(|| LaError::ShapeMismatch {
+                context: "multiplication".into(),
+                left: sa,
+                right: sb,
+            })
+        }
+        Expr::Neg(e) => infer_shape(program, e),
+        Expr::Transpose(e) => Ok(infer_shape(program, e)?.transposed()),
+        Expr::Inverse(e) => {
+            let s = infer_shape(program, e)?;
+            if !s.is_square() {
+                return Err(LaError::InvalidHlac(format!(
+                    "inverse of non-square {s} expression"
+                )));
+            }
+            Ok(s)
+        }
+        Expr::Div(a, b) => {
+            let sa = infer_shape(program, a)?;
+            let sb = infer_shape(program, b)?;
+            if !sb.is_scalar() {
+                return Err(LaError::NonScalarOp("division".into()));
+            }
+            // vector / scalar is allowed (element-wise), as produced by the
+            // paper's rewrite rule R0; scalar / scalar is ordinary division.
+            Ok(sa)
+        }
+        Expr::Sqrt(e) => {
+            let s = infer_shape(program, e)?;
+            if !s.is_scalar() {
+                return Err(LaError::NonScalarOp("sqrt".into()));
+            }
+            Ok(s)
+        }
+    }
+}
+
+/// Validate a whole program. Called by [`Program`] constructors.
+pub fn check(program: &Program) -> Result<(), LaError> {
+    for (i, o) in program.operands().iter().enumerate() {
+        if program.operands().iter().skip(i + 1).any(|p| p.name == o.name) {
+            return Err(LaError::DuplicateOperand(o.name.clone()));
+        }
+        if let Some(target) = o.overwrites {
+            if target.0 >= program.operands().len() {
+                return Err(LaError::InvalidOverwrite(format!(
+                    "`{}` overwrites undeclared operand",
+                    o.name
+                )));
+            }
+            let t = program.operand(target);
+            if t.shape != o.shape {
+                return Err(LaError::InvalidOverwrite(format!(
+                    "`{}` ({}) overwrites `{}` ({}) of different shape",
+                    o.name, o.shape, t.name, t.shape
+                )));
+            }
+        }
+    }
+    // Operands carrying a value at entry are defined; `Out` operands become
+    // defined by the statement that computes them.
+    let mut defined: Vec<bool> = program
+        .operands()
+        .iter()
+        .map(|o| o.io.readable_at_entry())
+        .collect();
+    check_stmts(program, program.statements(), &mut defined)
+}
+
+fn require_defined(
+    program: &Program,
+    defined: &[bool],
+    expr: &Expr,
+    context: &str,
+) -> Result<(), LaError> {
+    let mut err = None;
+    expr.for_each_operand(&mut |id| {
+        if !defined[id.0] && err.is_none() {
+            err = Some(LaError::InvalidHlac(format!(
+                "operand `{}` read in {context} before being computed",
+                program.operand(id).name
+            )));
+        }
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+fn check_stmts(
+    program: &Program,
+    stmts: &[Stmt],
+    defined: &mut Vec<bool>,
+) -> Result<(), LaError> {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Assign { lhs, rhs } => {
+                if lhs.0 >= program.operands().len() {
+                    return Err(LaError::UnknownOperand(format!("{lhs}")));
+                }
+                let decl = program.operand(*lhs);
+                if !decl.io.writable() {
+                    return Err(LaError::WriteToInput(decl.name.clone()));
+                }
+                let rs = infer_shape(program, rhs)?;
+                if rs != decl.shape {
+                    return Err(LaError::ShapeMismatch {
+                        context: format!("assignment to {}", decl.name),
+                        left: decl.shape,
+                        right: rs,
+                    });
+                }
+                require_defined(program, defined, rhs, "an sBLAC right-hand side")?;
+                defined[lhs.0] = true;
+            }
+            Stmt::Equation { lhs, rhs } => {
+                let ls = infer_shape(program, lhs)?;
+                let rs = infer_shape(program, rhs)?;
+                if ls != rs {
+                    return Err(LaError::ShapeMismatch {
+                        context: "equation".into(),
+                        left: ls,
+                        right: rs,
+                    });
+                }
+                require_defined(program, defined, rhs, "an HLAC right-hand side")?;
+                // Unknowns: writable left-hand operands not yet defined.
+                // Already-computed outputs on the left act as known inputs
+                // (e.g. `U` in the paper's `U' * B = P`).
+                let unknowns = equation_unknowns(program, defined, lhs);
+                if unknowns.is_empty() {
+                    return Err(LaError::InvalidHlac(
+                        "equation left-hand side contains no unknown output operand".into(),
+                    ));
+                }
+                // Non-writable LHS operands must also be defined (they are).
+                for id in unknowns {
+                    defined[id.0] = true;
+                }
+            }
+            Stmt::For { body, .. } => check_stmts(program, body, defined)?,
+        }
+    }
+    Ok(())
+}
+
+/// The unknowns of an HLAC equation given the set of already-defined
+/// operands: writable left-hand operands that have not been computed yet.
+pub fn equation_unknowns(program: &Program, defined: &[bool], lhs: &Expr) -> Vec<OpId> {
+    let mut unknowns = Vec::new();
+    lhs.for_each_operand(&mut |id| {
+        if program.operand(id).io.writable() && !defined[id.0] && !unknowns.contains(&id) {
+            unknowns.push(id);
+        }
+    });
+    unknowns
+}
+
+/// The set of operands written by a statement (LHS of assignments; output
+/// operands appearing in equation left-hand sides).
+pub fn written_operands(program: &Program, stmt: &Stmt) -> Vec<OpId> {
+    let mut out = Vec::new();
+    match stmt {
+        Stmt::Assign { lhs, .. } => out.push(*lhs),
+        Stmt::Equation { lhs, .. } => {
+            lhs.for_each_operand(&mut |id| {
+                if program.operand(id).io.writable() && !out.contains(&id) {
+                    out.push(id);
+                }
+            });
+        }
+        Stmt::For { body, .. } => {
+            for s in body {
+                for id in written_operands(program, s) {
+                    if !out.contains(&id) {
+                        out.push(id);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The set of operands read by a statement.
+pub fn read_operands(program: &Program, stmt: &Stmt) -> Vec<OpId> {
+    let mut out = Vec::new();
+    let mut push = |id: OpId| {
+        if !out.contains(&id) {
+            out.push(id);
+        }
+    };
+    match stmt {
+        Stmt::Assign { rhs, .. } => rhs.for_each_operand(&mut push),
+        Stmt::Equation { lhs, rhs } => {
+            rhs.for_each_operand(&mut push);
+            // Known operands on the LHS (e.g. the L in `L * x = b` once L is
+            // computed) count as reads too.
+            lhs.for_each_operand(&mut |id| {
+                if !program.operand(id).io.writable() && !out.contains(&id) {
+                    out.push(id);
+                }
+            });
+        }
+        Stmt::For { body, .. } => {
+            for s in body {
+                for id in read_operands(program, s) {
+                    if !out.contains(&id) {
+                        out.push(id);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{OperandDecl, ProgramBuilder};
+    use crate::structure::{Properties, StorageHalf, Structure};
+
+    fn kalman_fragment() -> ProgramBuilder {
+        // Fig. 5 of the paper with k = 4, n = 8.
+        let mut b = ProgramBuilder::new("kf_fragment");
+        b.declare(OperandDecl::mat_in("H", 4, 8));
+        b.declare(
+            OperandDecl::mat_in("P", 4, 4)
+                .with_structure(Structure::Symmetric(StorageHalf::Upper))
+                .with_properties(Properties::pd()),
+        );
+        b.declare(
+            OperandDecl::mat_in("R", 4, 4)
+                .with_structure(Structure::Symmetric(StorageHalf::Upper))
+                .with_properties(Properties::pd()),
+        );
+        b.declare(
+            OperandDecl::mat_out("S", 4, 4)
+                .with_structure(Structure::Symmetric(StorageHalf::Upper))
+                .with_properties(Properties::pd()),
+        );
+        b.declare(
+            OperandDecl::mat_out("U", 4, 4)
+                .with_structure(Structure::UpperTriangular)
+                .with_properties(Properties::ns()),
+        );
+        b.declare(OperandDecl::mat_out("B", 4, 4));
+        b
+    }
+
+    #[test]
+    fn kalman_fragment_checks() {
+        let mut b = kalman_fragment();
+        let h = b.lookup("H").unwrap();
+        let r = b.lookup("R").unwrap();
+        let s = b.lookup("S").unwrap();
+        let u = b.lookup("U").unwrap();
+        let bb = b.lookup("B").unwrap();
+        let p = b.lookup("P").unwrap();
+        b.assign(s, Expr::op(h).mul(Expr::op(h).t()).add(Expr::op(r)));
+        b.equation(Expr::op(u).t().mul(Expr::op(u)), Expr::op(s));
+        b.equation(Expr::op(u).t().mul(Expr::op(bb)), Expr::op(p));
+        let program = b.build().unwrap();
+        assert_eq!(program.statements().len(), 3);
+        assert!(!program.statements()[0].is_hlac());
+        assert!(program.statements()[1].is_hlac());
+    }
+
+    #[test]
+    fn rejects_shape_mismatch_in_mul() {
+        let mut b = ProgramBuilder::new("bad");
+        let a = b.declare(OperandDecl::mat_in("A", 3, 4));
+        let c = b.declare(OperandDecl::mat_out("C", 3, 3));
+        b.assign(c, Expr::op(a).mul(Expr::op(a)));
+        assert!(matches!(b.build(), Err(LaError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn rejects_assignment_shape_mismatch() {
+        let mut b = ProgramBuilder::new("bad");
+        let a = b.declare(OperandDecl::mat_in("A", 3, 4));
+        let c = b.declare(OperandDecl::mat_out("C", 3, 3));
+        b.assign(c, Expr::op(a));
+        assert!(matches!(b.build(), Err(LaError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn rejects_vector_sqrt() {
+        let mut b = ProgramBuilder::new("bad");
+        let x = b.declare(OperandDecl::vec_in("x", 4));
+        let y = b.declare(OperandDecl::vec_out("y", 4));
+        b.assign(y, Expr::op(x).sqrt());
+        assert!(matches!(b.build(), Err(LaError::NonScalarOp(_))));
+    }
+
+    #[test]
+    fn rejects_matrix_division() {
+        let mut b = ProgramBuilder::new("bad");
+        let a = b.declare(OperandDecl::mat_in("A", 4, 4));
+        let c = b.declare(OperandDecl::mat_out("C", 4, 4));
+        b.assign(c, Expr::op(a).div(Expr::op(a)));
+        assert!(matches!(b.build(), Err(LaError::NonScalarOp(_))));
+    }
+
+    #[test]
+    fn allows_vector_by_scalar_division() {
+        // Produced by the paper's rewrite rule R0: x = b / lambda.
+        let mut b = ProgramBuilder::new("r0");
+        let lam = b.declare(OperandDecl::sca_in("lambda"));
+        let v = b.declare(OperandDecl::vec_in("b", 4));
+        let x = b.declare(OperandDecl::vec_out("x", 4));
+        b.assign(x, Expr::op(v).div(Expr::op(lam)));
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn rejects_equation_without_unknown() {
+        let mut b = ProgramBuilder::new("bad");
+        let a = b.declare(OperandDecl::mat_in("A", 4, 4));
+        let c = b.declare(OperandDecl::mat_in("C", 4, 4));
+        b.equation(Expr::op(a), Expr::op(c));
+        assert!(matches!(b.build(), Err(LaError::InvalidHlac(_))));
+    }
+
+    #[test]
+    fn rejects_inverse_of_rectangular() {
+        let mut b = ProgramBuilder::new("bad");
+        let a = b.declare(OperandDecl::mat_in("A", 3, 4));
+        let c = b.declare(OperandDecl::mat_out("C", 3, 4));
+        b.assign(c, Expr::op(a).inv());
+        assert!(matches!(b.build(), Err(LaError::InvalidHlac(_))));
+    }
+
+    #[test]
+    fn rejects_bad_overwrite_shape() {
+        let mut b = ProgramBuilder::new("bad");
+        let s = b.declare(OperandDecl::mat_in("S", 4, 4));
+        let mut u = OperandDecl::mat_out("U", 3, 3);
+        u.overwrites = Some(s);
+        let uid = b.declare(u);
+        b.assign(uid, Expr::Lit(0.0).mul(Expr::op(uid)));
+        assert!(matches!(b.build(), Err(LaError::InvalidOverwrite(_))));
+    }
+
+    #[test]
+    fn read_write_sets() {
+        let mut b = kalman_fragment();
+        let h = b.lookup("H").unwrap();
+        let r = b.lookup("R").unwrap();
+        let s = b.lookup("S").unwrap();
+        let u = b.lookup("U").unwrap();
+        b.assign(s, Expr::op(h).mul(Expr::op(h).t()).add(Expr::op(r)));
+        b.equation(Expr::op(u).t().mul(Expr::op(u)), Expr::op(s));
+        let p = b.build().unwrap();
+        assert_eq!(written_operands(&p, &p.statements()[0]), vec![s]);
+        assert_eq!(read_operands(&p, &p.statements()[0]), vec![h, r]);
+        assert_eq!(written_operands(&p, &p.statements()[1]), vec![u]);
+        assert_eq!(read_operands(&p, &p.statements()[1]), vec![s]);
+    }
+}

@@ -1,0 +1,59 @@
+//! Property-based parser validation: pretty-printing a random well-typed
+//! expression and parsing it back must reproduce the exact tree
+//! (precedence, associativity, and transpose binding are all exercised).
+
+use proptest::prelude::*;
+use slingen_ir::parse::Parser;
+use slingen_ir::{expr::display_expr, Expr, OpId, Stmt};
+
+/// Random 4×4-shaped expressions over: A, B (4×4 In), C (4×4 Out), and
+/// scalar alpha. Transposes only on operands (the LA surface form).
+fn expr_4x4() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        Just(Expr::op(OpId(0))),              // A
+        Just(Expr::op(OpId(1))),              // B
+        Just(Expr::op(OpId(0)).t()),          // A'
+        Just(Expr::op(OpId(1)).t()),          // B'
+        Just(Expr::op(OpId(3)).mul(Expr::op(OpId(0)))), // alpha * A
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.add(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.sub(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.mul(b)),
+            inner.clone().prop_map(|a| a.neg()),
+        ]
+    })
+}
+
+const DECLS: &str = "
+    Mat A(4, 4) <In>;
+    Mat B(4, 4) <In>;
+    Mat C(4, 4) <Out>;
+    Sca alpha <In>;
+";
+
+fn names(id: OpId) -> String {
+    ["A", "B", "C", "alpha"][id.0].to_string()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn display_parse_round_trip(e in expr_4x4()) {
+        let text = format!("{DECLS}\nC = {};", display_expr(&e, &names));
+        let program = Parser::new().parse(&text).unwrap_or_else(|err| {
+            panic!("re-parse failed for `{}`: {err}", display_expr(&e, &names))
+        });
+        match &program.statements()[0] {
+            Stmt::Assign { rhs, .. } => prop_assert_eq!(
+                rhs,
+                &e,
+                "round trip changed the tree for `{}`",
+                display_expr(&e, &names)
+            ),
+            other => prop_assert!(false, "unexpected statement {:?}", other),
+        }
+    }
+}

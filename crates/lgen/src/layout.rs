@@ -1,0 +1,168 @@
+//! Operand-to-buffer layout.
+//!
+//! Each LA operand maps to one row-major buffer; operands related by
+//! `ow(..)` share a buffer (which is how the paper's Fig. 5 Cholesky
+//! overwrites `S` with `U` without a copy). Distinct buffers never alias —
+//! the invariant the C-IR passes rely on.
+
+use slingen_cir::{BufId, BufKind, FunctionBuilder};
+use slingen_ir::{OpId, Program};
+
+/// The operand → buffer mapping for one generated function.
+///
+/// Temporaries introduced during lowering (for nested products) are
+/// registered as pseudo-operands with ids beyond the program's operand
+/// table; they are always dense (`General`).
+#[derive(Debug, Clone)]
+pub struct BufferMap {
+    buf_of: Vec<BufId>,
+    stride_of: Vec<usize>,
+    temps: Vec<(BufId, usize)>,
+}
+
+impl BufferMap {
+    /// Declare buffers for all of `program`'s operands in `fb`, honoring
+    /// `ow(..)` storage sharing.
+    pub fn build(program: &Program, fb: &mut FunctionBuilder) -> BufferMap {
+        let n = program.operands().len();
+        let mut buf_of: Vec<Option<BufId>> = vec![None; n];
+        let mut stride_of = vec![0usize; n];
+        // resolve ow chains to their root operand
+        let root = |mut id: OpId| -> OpId {
+            let mut guard = 0;
+            while let Some(target) = program.operand(id).overwrites {
+                id = target;
+                guard += 1;
+                assert!(guard <= n, "cyclic ow(..) chain");
+            }
+            id
+        };
+        // an ow-shared buffer is readable if any member reads it and
+        // writable if any member writes it
+        for i in 0..n {
+            let id = OpId(i);
+            let decl = program.operand(id);
+            stride_of[i] = decl.shape.cols;
+            let r = root(id);
+            if let Some(existing) = buf_of[r.0] {
+                buf_of[i] = Some(existing);
+                continue;
+            }
+            // collect io across all sharers of this root
+            let mut readable = false;
+            let mut writable = false;
+            for j in 0..n {
+                if root(OpId(j)) == r {
+                    let io = program.operand(OpId(j)).io;
+                    readable |= io.readable_at_entry();
+                    writable |= io.writable();
+                }
+            }
+            let kind = match (readable, writable) {
+                (true, true) => BufKind::ParamInOut,
+                (true, false) => BufKind::ParamIn,
+                (false, true) => BufKind::ParamOut,
+                (false, false) => BufKind::ParamIn,
+            };
+            let rdecl = program.operand(r);
+            let len = rdecl.shape.rows * rdecl.shape.cols;
+            let b = fb.buffer(&rdecl.name, len, kind);
+            buf_of[r.0] = Some(b);
+            buf_of[i] = Some(b);
+        }
+        BufferMap {
+            buf_of: buf_of.into_iter().map(Option::unwrap).collect(),
+            stride_of,
+            temps: Vec::new(),
+        }
+    }
+
+    /// Register a lowering temporary; returns its pseudo operand id.
+    pub fn register_temp(&mut self, buf: BufId, _rows: usize, cols: usize) -> OpId {
+        self.temps.push((buf, cols));
+        OpId(self.buf_of.len() + self.temps.len() - 1)
+    }
+
+    /// Whether `op` is a lowering temporary (not in the program's table).
+    pub fn is_temp(&self, op: OpId) -> bool {
+        op.0 >= self.buf_of.len()
+    }
+
+    /// The buffer holding `op`'s data.
+    pub fn buf(&self, op: OpId) -> BufId {
+        if op.0 < self.buf_of.len() {
+            self.buf_of[op.0]
+        } else {
+            self.temps[op.0 - self.buf_of.len()].0
+        }
+    }
+
+    /// Row stride (elements) of `op`'s storage.
+    pub fn stride(&self, op: OpId) -> usize {
+        if op.0 < self.stride_of.len() {
+            self.stride_of[op.0]
+        } else {
+            self.temps[op.0 - self.stride_of.len()].1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slingen_ir::{Expr, OperandDecl, ProgramBuilder, Structure};
+
+    #[test]
+    fn ow_shares_buffers() {
+        let mut b = ProgramBuilder::new("t");
+        let s = b.declare(OperandDecl::mat_in("S", 4, 4));
+        let mut u = OperandDecl::mat_out("U", 4, 4).with_structure(Structure::UpperTriangular);
+        u.overwrites = Some(s);
+        let u = b.declare(u);
+        let w = b.declare(OperandDecl::mat_out("W", 4, 4));
+        b.assign(w, Expr::op(s));
+        b.equation(Expr::op(u).t().mul(Expr::op(u)), Expr::op(s));
+        let p = b.build().unwrap();
+        let mut fb = FunctionBuilder::new("f", 4);
+        let map = BufferMap::build(&p, &mut fb);
+        assert_eq!(map.buf(s), map.buf(u), "ow(..) shares storage");
+        assert_ne!(map.buf(s), map.buf(w));
+        let f = fb.finish();
+        // shared buffer must be inout (read as S, written as U)
+        let shared = &f.buffers[map.buf(s).0];
+        assert_eq!(shared.kind, BufKind::ParamInOut);
+        assert_eq!(f.buffers.len(), 2);
+    }
+
+    #[test]
+    fn strides_follow_declared_cols() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.declare(OperandDecl::mat_in("A", 3, 7));
+        let x = b.declare(OperandDecl::vec_in("x", 7));
+        let y = b.declare(OperandDecl::vec_out("y", 3));
+        b.assign(y, Expr::op(a).mul(Expr::op(x)));
+        let p = b.build().unwrap();
+        let mut fb = FunctionBuilder::new("f", 4);
+        let map = BufferMap::build(&p, &mut fb);
+        assert_eq!(map.stride(a), 7);
+        assert_eq!(map.stride(x), 1);
+        assert_eq!(map.stride(y), 1);
+    }
+
+    #[test]
+    fn temps_are_dense_pseudo_operands() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.declare(OperandDecl::mat_in("A", 4, 4));
+        let y = b.declare(OperandDecl::mat_out("Y", 4, 4));
+        b.assign(y, Expr::op(a));
+        let p = b.build().unwrap();
+        let mut fb = FunctionBuilder::new("f", 4);
+        let mut map = BufferMap::build(&p, &mut fb);
+        let tbuf = fb.buffer("tmp1", 12, slingen_cir::BufKind::Local);
+        let t = map.register_temp(tbuf, 3, 4);
+        assert!(map.is_temp(t));
+        assert!(!map.is_temp(a));
+        assert_eq!(map.buf(t), tbuf);
+        assert_eq!(map.stride(t), 4);
+    }
+}

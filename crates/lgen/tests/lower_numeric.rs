@@ -1,0 +1,505 @@
+//! End-to-end numeric validation of Stage 2 (+ Stage 3 passes):
+//! synthesized basic programs are lowered to C-IR, executed by the VM,
+//! and compared against the `slingen-blas` oracle and the reference
+//! evaluator — across vector widths, policies, and optimization levels.
+
+use slingen_blas::{testgen, Uplo};
+use slingen_cir::passes::{optimize, PassConfig};
+use slingen_ir::structure::StorageHalf;
+use slingen_ir::{Expr, OpId, OperandDecl, Program, ProgramBuilder, Properties, Structure};
+use slingen_lgen::{lower_program, BufferMap, LowerOptions};
+use slingen_synth::{synthesize_program, AlgorithmDb, Policy};
+use slingen_vm::{BufferSet, NullMonitor};
+
+/// Lower + (optionally) optimize + execute; returns the final buffers.
+fn run_pipeline(
+    program: &Program,
+    policy: Policy,
+    nu: usize,
+    optimize_passes: bool,
+    inputs: &[(OpId, Vec<f64>)],
+) -> Vec<(OpId, Vec<f64>)> {
+    let mut db = AlgorithmDb::new();
+    let basic = synthesize_program(program, policy, nu, &mut db).expect("synthesis");
+    let opts = LowerOptions { nu, loop_threshold: 16 };
+    let mut f = lower_program(program, &basic, program.name(), &opts).expect("lowering");
+    if optimize_passes {
+        optimize(&mut f, &PassConfig::default());
+    }
+    // map operands to buffers for IO
+    let mut fb_probe = slingen_cir::FunctionBuilder::new("probe", nu);
+    let map = BufferMap::build(program, &mut fb_probe);
+    let mut bufs = BufferSet::for_function(&f);
+    for (op, data) in inputs {
+        bufs.set(map.buf(*op), data);
+    }
+    slingen_vm::execute(&f, &mut bufs, &mut NullMonitor).expect("execution");
+    program
+        .operands()
+        .iter()
+        .enumerate()
+        .map(|(i, _)| (OpId(i), bufs.get(map.buf(OpId(i))).to_vec()))
+        .collect()
+}
+
+fn get(outs: &[(OpId, Vec<f64>)], op: OpId) -> &[f64] {
+    &outs.iter().find(|(o, _)| *o == op).unwrap().1
+}
+
+#[test]
+fn potrf_full_pipeline_matches_lapack() {
+    for &n in &[1usize, 2, 3, 4, 5, 8, 12] {
+        for &nu in &[1usize, 2, 4] {
+            for policy in Policy::ALL {
+                for opt in [false, true] {
+                    let mut b = ProgramBuilder::new("potrf");
+                    let s = b.declare(
+                        OperandDecl::mat_in("S", n, n)
+                            .with_structure(Structure::Symmetric(StorageHalf::Upper))
+                            .with_properties(Properties::pd()),
+                    );
+                    let u = b.declare(
+                        OperandDecl::mat_out("U", n, n)
+                            .with_structure(Structure::UpperTriangular)
+                            .with_properties(Properties::ns()),
+                    );
+                    b.equation(Expr::op(u).t().mul(Expr::op(u)), Expr::op(s));
+                    let p = b.build().unwrap();
+
+                    let spd = testgen::spd(n, 11 + n as u64);
+                    let outs = run_pipeline(
+                        &p,
+                        policy,
+                        nu,
+                        opt,
+                        &[(s, spd.as_slice().to_vec())],
+                    );
+                    let mut expect = spd.as_slice().to_vec();
+                    slingen_blas::dpotrf(Uplo::Upper, n, &mut expect, n);
+                    let got = get(&outs, u);
+                    for i in 0..n {
+                        for j in i..n {
+                            assert!(
+                                (got[i * n + j] - expect[i * n + j]).abs() < 1e-9,
+                                "n={n} nu={nu} {policy} opt={opt} ({i},{j}): {} vs {}",
+                                got[i * n + j],
+                                expect[i * n + j]
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn potrf_with_ow_shares_storage() {
+    // the paper's Fig. 5 style: U overwrites S
+    let n = 8;
+    let mut b = ProgramBuilder::new("potrf_ow");
+    let s = b.declare(
+        OperandDecl::mat_in("S", n, n)
+            .with_structure(Structure::Symmetric(StorageHalf::Upper))
+            .with_properties(Properties::pd()),
+    );
+    let mut udecl = OperandDecl::mat_out("U", n, n)
+        .with_structure(Structure::UpperTriangular)
+        .with_properties(Properties::ns());
+    udecl.overwrites = Some(s);
+    let u = b.declare(udecl);
+    b.equation(Expr::op(u).t().mul(Expr::op(u)), Expr::op(s));
+    let p = b.build().unwrap();
+
+    let spd = testgen::spd(n, 99);
+    let outs = run_pipeline(&p, Policy::Lazy, 4, true, &[(s, spd.as_slice().to_vec())]);
+    let mut expect = spd.as_slice().to_vec();
+    slingen_blas::dpotrf(Uplo::Upper, n, &mut expect, n);
+    let got = get(&outs, u);
+    for i in 0..n {
+        for j in i..n {
+            assert!((got[i * n + j] - expect[i * n + j]).abs() < 1e-9, "({i},{j})");
+        }
+    }
+}
+
+#[test]
+fn trsyl_full_pipeline() {
+    for &(m, n) in &[(2usize, 2usize), (4, 4), (5, 7), (12, 12)] {
+        for policy in Policy::ALL {
+            let mut b = ProgramBuilder::new("trsyl");
+            let l = b.declare(
+                OperandDecl::mat_in("L", m, m)
+                    .with_structure(Structure::LowerTriangular)
+                    .with_properties(Properties::ns()),
+            );
+            let u = b.declare(
+                OperandDecl::mat_in("U", n, n)
+                    .with_structure(Structure::UpperTriangular)
+                    .with_properties(Properties::ns()),
+            );
+            let c = b.declare(OperandDecl::mat_in("C", m, n));
+            let x = b.declare(OperandDecl::mat_out("X", m, n));
+            b.equation(
+                Expr::op(l).mul(Expr::op(x)).add(Expr::op(x).mul(Expr::op(u))),
+                Expr::op(c),
+            );
+            let p = b.build().unwrap();
+
+            let lt = testgen::well_conditioned_triangular(m, Uplo::Lower, 21);
+            let ut = testgen::well_conditioned_triangular(n, Uplo::Upper, 22);
+            let rhs = testgen::general(m, n, 23);
+            let outs = run_pipeline(
+                &p,
+                policy,
+                4,
+                true,
+                &[
+                    (l, lt.as_slice().to_vec()),
+                    (u, ut.as_slice().to_vec()),
+                    (c, rhs.as_slice().to_vec()),
+                ],
+            );
+            let mut expect = rhs.as_slice().to_vec();
+            slingen_blas::dtrsyl(m, n, lt.as_slice(), m, ut.as_slice(), n, &mut expect, n);
+            let got = get(&outs, x);
+            let diff = got
+                .iter()
+                .zip(&expect)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            assert!(diff < 1e-9, "m={m} n={n} {policy}: {diff}");
+        }
+    }
+}
+
+#[test]
+fn trlya_full_pipeline() {
+    for &n in &[2usize, 4, 6, 12] {
+        for policy in Policy::ALL {
+            let mut b = ProgramBuilder::new("trlya");
+            let l = b.declare(
+                OperandDecl::mat_in("L", n, n)
+                    .with_structure(Structure::LowerTriangular)
+                    .with_properties(Properties::ns()),
+            );
+            let s = b.declare(
+                OperandDecl::mat_in("S", n, n)
+                    .with_structure(Structure::Symmetric(StorageHalf::Lower)),
+            );
+            let x = b.declare(
+                OperandDecl::mat_out("X", n, n)
+                    .with_structure(Structure::Symmetric(StorageHalf::Lower)),
+            );
+            b.equation(
+                Expr::op(l).mul(Expr::op(x)).add(Expr::op(x).mul(Expr::op(l).t())),
+                Expr::op(s),
+            );
+            let p = b.build().unwrap();
+
+            let lt = testgen::well_conditioned_triangular(n, Uplo::Lower, 31);
+            let sym = testgen::symmetrize(&testgen::general(n, n, 32), Uplo::Lower);
+            let outs = run_pipeline(
+                &p,
+                policy,
+                4,
+                true,
+                &[(l, lt.as_slice().to_vec()), (s, sym.as_slice().to_vec())],
+            );
+            let mut expect = sym.as_slice().to_vec();
+            slingen_blas::dtrlya(n, lt.as_slice(), n, &mut expect, n);
+            let got = get(&outs, x);
+            let diff = got
+                .iter()
+                .zip(&expect)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            assert!(diff < 1e-9, "n={n} {policy}: {diff}");
+        }
+    }
+}
+
+#[test]
+fn trtri_full_pipeline() {
+    for &n in &[2usize, 4, 7, 12] {
+        for policy in Policy::ALL {
+            let mut b = ProgramBuilder::new("trtri");
+            let l = b.declare(
+                OperandDecl::mat_in("L", n, n)
+                    .with_structure(Structure::LowerTriangular)
+                    .with_properties(Properties::ns()),
+            );
+            let x = b.declare(
+                OperandDecl::mat_out("X", n, n)
+                    .with_structure(Structure::LowerTriangular)
+                    .with_properties(Properties::ns()),
+            );
+            b.equation(Expr::op(x), Expr::op(l).inv());
+            let p = b.build().unwrap();
+
+            let lt = testgen::well_conditioned_triangular(n, Uplo::Lower, 41);
+            let outs = run_pipeline(&p, policy, 4, true, &[(l, lt.as_slice().to_vec())]);
+            let mut expect = lt.as_slice().to_vec();
+            slingen_blas::dtrtri(Uplo::Lower, n, &mut expect, n);
+            let got = get(&outs, x);
+            for i in 0..n {
+                for j in 0..=i {
+                    assert!(
+                        (got[i * n + j] - expect[i * n + j]).abs() < 1e-9,
+                        "n={n} {policy} ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn app_style_sblacs_with_nested_products() {
+    // Y = F·P·Fᵀ + Q — nested product needs a lowering temporary
+    for &n in &[3usize, 4, 8, 13] {
+        for &nu in &[1usize, 4] {
+            let mut b = ProgramBuilder::new("cov");
+            let f = b.declare(OperandDecl::mat_in("F", n, n));
+            let pm = b.declare(
+                OperandDecl::mat_in("P", n, n)
+                    .with_structure(Structure::Symmetric(StorageHalf::Upper)),
+            );
+            let q = b.declare(OperandDecl::mat_in("Q", n, n));
+            let y = b.declare(OperandDecl::mat_out("Y", n, n));
+            b.assign(
+                y,
+                Expr::op(f)
+                    .mul(Expr::op(pm))
+                    .mul(Expr::op(f).t())
+                    .add(Expr::op(q)),
+            );
+            let p = b.build().unwrap();
+
+            let fm = testgen::general(n, n, 51);
+            let pmat = testgen::symmetrize(&testgen::general(n, n, 52), Uplo::Upper);
+            let qm = testgen::general(n, n, 53);
+            let outs = run_pipeline(
+                &p,
+                Policy::Lazy,
+                nu,
+                true,
+                &[
+                    (f, fm.as_slice().to_vec()),
+                    (pm, pmat.as_slice().to_vec()),
+                    (q, qm.as_slice().to_vec()),
+                ],
+            );
+            let expect = fm.matmul(&pmat).matmul(&fm.transposed()).add(&qm);
+            let got = get(&outs, y);
+            let diff = got
+                .iter()
+                .zip(expect.as_slice())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            assert!(diff < 1e-9, "n={n} nu={nu}: {diff}");
+        }
+    }
+}
+
+#[test]
+fn vector_statements_and_dots() {
+    // v0 = z − H·y ; phi = kᵀ·t1 (matrix-vector + dot, from kf and gpr)
+    let (k, n) = (5usize, 9usize);
+    let mut b = ProgramBuilder::new("vecops");
+    let h = b.declare(OperandDecl::mat_in("H", k, n));
+    let y = b.declare(OperandDecl::vec_in("y", n));
+    let z = b.declare(OperandDecl::vec_in("z", k));
+    let v0 = b.declare(OperandDecl::vec_out("v0", k));
+    let t1 = b.declare(OperandDecl::vec_in("t1", n));
+    let kv = b.declare(OperandDecl::vec_in("kvec", n));
+    let phi = b.declare(OperandDecl::sca_out("phi"));
+    b.assign(v0, Expr::op(z).sub(Expr::op(h).mul(Expr::op(y))));
+    b.assign(phi, Expr::op(kv).t().mul(Expr::op(t1)));
+    let p = b.build().unwrap();
+
+    let hm = testgen::general(k, n, 61);
+    let yv = testgen::vector(n, 62);
+    let zv = testgen::vector(k, 63);
+    let t1v = testgen::vector(n, 64);
+    let kvv = testgen::vector(n, 65);
+    for &nu in &[1usize, 2, 4] {
+        let outs = run_pipeline(
+            &p,
+            Policy::Lazy,
+            nu,
+            true,
+            &[
+                (h, hm.as_slice().to_vec()),
+                (y, yv.clone()),
+                (z, zv.clone()),
+                (t1, t1v.clone()),
+                (kv, kvv.clone()),
+            ],
+        );
+        let mut expect_v0 = zv.clone();
+        for i in 0..k {
+            let mut acc = 0.0;
+            for j in 0..n {
+                acc += hm[(i, j)] * yv[j];
+            }
+            expect_v0[i] -= acc;
+        }
+        let got_v0 = get(&outs, v0);
+        for i in 0..k {
+            assert!((got_v0[i] - expect_v0[i]).abs() < 1e-10, "nu={nu} v0[{i}]");
+        }
+        let expect_phi: f64 = kvv.iter().zip(&t1v).map(|(a, b)| a * b).sum();
+        assert!((get(&outs, phi)[0] - expect_phi).abs() < 1e-10, "nu={nu} phi");
+    }
+}
+
+#[test]
+fn division_rewrites_use_reciprocal() {
+    // x = b / lambda — R0-form statement; check R1 lowering emits exactly
+    // one division
+    let n = 8;
+    let mut b = ProgramBuilder::new("r0r1");
+    let lam = b.declare(OperandDecl::sca_in("lambda"));
+    let bv = b.declare(OperandDecl::vec_in("b", n));
+    let x = b.declare(OperandDecl::vec_out("x", n));
+    b.assign(x, Expr::op(bv).div(Expr::op(lam)));
+    let p = b.build().unwrap();
+    let mut db = AlgorithmDb::new();
+    let basic = synthesize_program(&p, Policy::Lazy, 4, &mut db).unwrap();
+    let f = lower_program(&p, &basic, "r0r1", &LowerOptions { nu: 4, loop_threshold: 64 })
+        .unwrap();
+    let mut divs = 0;
+    f.for_each_instr(&mut |i| {
+        if matches!(
+            i,
+            slingen_cir::Instr::SBin { op: slingen_cir::BinOp::Div, .. }
+                | slingen_cir::Instr::VBin { op: slingen_cir::BinOp::Div, .. }
+        ) {
+            divs += 1;
+        }
+    });
+    assert_eq!(divs, 1, "rule R1: one reciprocal, then scaling");
+    // and it must be numerically right
+    let bvec = testgen::vector(n, 71);
+    let outs = run_pipeline(&p, Policy::Lazy, 4, true, &[(lam, vec![2.5]), (bv, bvec.clone())]);
+    let got = get(&outs, x);
+    for i in 0..n {
+        assert!((got[i] - bvec[i] / 2.5).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn looped_and_unrolled_agree() {
+    // same statement through the loop path and the unrolled path
+    let n = 17; // odd size exercises edge peeling
+    let mut b = ProgramBuilder::new("gemm");
+    let a = b.declare(OperandDecl::mat_in("A", n, n));
+    let c = b.declare(OperandDecl::mat_in("Bm", n, n));
+    let y = b.declare(OperandDecl::mat_out("Y", n, n));
+    b.assign(y, Expr::op(a).mul(Expr::op(c)));
+    let p = b.build().unwrap();
+    let am = testgen::general(n, n, 81);
+    let bm = testgen::general(n, n, 82);
+    let expect = am.matmul(&bm);
+
+    for threshold in [1usize, 1_000_000] {
+        let mut db = AlgorithmDb::new();
+        let basic = synthesize_program(&p, Policy::Lazy, 4, &mut db).unwrap();
+        let f = lower_program(
+            &p,
+            &basic,
+            "gemm",
+            &LowerOptions { nu: 4, loop_threshold: threshold },
+        )
+        .unwrap();
+        let mut fb_probe = slingen_cir::FunctionBuilder::new("probe", 4);
+        let map = BufferMap::build(&p, &mut fb_probe);
+        let mut bufs = BufferSet::for_function(&f);
+        bufs.set(map.buf(a), am.as_slice());
+        bufs.set(map.buf(c), bm.as_slice());
+        slingen_vm::execute(&f, &mut bufs, &mut NullMonitor).unwrap();
+        let got = bufs.get(map.buf(y));
+        let diff = got
+            .iter()
+            .zip(expect.as_slice())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f64, f64::max);
+        assert!(diff < 1e-10, "threshold={threshold}: {diff}");
+        // low threshold must actually produce loops
+        if threshold == 1 {
+            let has_loop = f.body.iter().any(|s| matches!(s, slingen_cir::CStmt::For { .. }));
+            assert!(has_loop, "loop path not taken");
+        }
+    }
+}
+
+#[test]
+fn row_division_vectorizes_as_scaling() {
+    // Fig. 10: after R0/R1, a row of divisions becomes one reciprocal and
+    // vector multiplies — the generated code must contain vector muls fed
+    // by a broadcast reciprocal rather than per-element divisions.
+    let n = 8;
+    let mut b = ProgramBuilder::new("rowdiv");
+    let lam = b.declare(OperandDecl::sca_in("lambda"));
+    let s = b.declare(OperandDecl::mat_in("S", n, n));
+    let x = b.declare(OperandDecl::mat_out("X", n, n));
+    b.assign(x, Expr::op(s).div(Expr::op(lam)));
+    let p = b.build().unwrap();
+    let mut db = AlgorithmDb::new();
+    let basic = synthesize_program(&p, Policy::Lazy, 4, &mut db).unwrap();
+    let f = lower_program(&p, &basic, "rowdiv", &LowerOptions { nu: 4, loop_threshold: 1000 })
+        .unwrap();
+    let mut divs = 0;
+    let mut vmuls = 0;
+    f.for_each_instr(&mut |i| match i {
+        slingen_cir::Instr::SBin { op: slingen_cir::BinOp::Div, .. } => divs += 1,
+        slingen_cir::Instr::VBin { op: slingen_cir::BinOp::Div, .. } => divs += 1,
+        slingen_cir::Instr::VBin { op: slingen_cir::BinOp::Mul, .. } => vmuls += 1,
+        _ => {}
+    });
+    assert_eq!(divs, 1, "one reciprocal for the whole statement");
+    assert!(vmuls >= n * n / 4, "vectorized scaling ν-BLACs");
+}
+
+#[test]
+fn structure_skipping_reduces_work() {
+    // multiplying by a triangular operand must execute fewer flops than
+    // the same shapes with general operands
+    let n = 16;
+    let count_flops = |structured: bool| {
+        let mut b = ProgramBuilder::new("tri");
+        let l = if structured {
+            b.declare(
+                OperandDecl::mat_in("L", n, n).with_structure(Structure::LowerTriangular),
+            )
+        } else {
+            b.declare(OperandDecl::mat_in("L", n, n))
+        };
+        let c = b.declare(OperandDecl::mat_in("C", n, n));
+        let y = b.declare(OperandDecl::mat_out("Y", n, n));
+        b.assign(y, Expr::op(l).mul(Expr::op(c)));
+        let p = b.build().unwrap();
+        let mut db = AlgorithmDb::new();
+        let basic = synthesize_program(&p, Policy::Lazy, 4, &mut db).unwrap();
+        let f = lower_program(&p, &basic, "tri", &LowerOptions { nu: 4, loop_threshold: 1_000_000 })
+            .unwrap();
+        let mut fb = slingen_cir::FunctionBuilder::new("probe", 4);
+        let map = BufferMap::build(&p, &mut fb);
+        let mut bufs = BufferSet::for_function(&f);
+        bufs.set(
+            map.buf(l),
+            testgen::well_conditioned_triangular(n, Uplo::Lower, 5).as_slice(),
+        );
+        bufs.set(map.buf(c), testgen::general(n, n, 6).as_slice());
+        let mut m = slingen_vm::CountingMonitor::default();
+        slingen_vm::execute(&f, &mut bufs, &mut m).unwrap();
+        m.flops()
+    };
+    let tri = count_flops(true);
+    let gen = count_flops(false);
+    assert!(
+        (tri as f64) < 0.75 * gen as f64,
+        "triangular structure must cut flops: {tri} vs {gen}"
+    );
+}

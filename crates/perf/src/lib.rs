@@ -1,0 +1,59 @@
+//! # slingen-perf
+//!
+//! A microarchitectural performance model in the spirit of **ERM** \[7\],
+//! the generalized-roofline bottleneck analysis tool the paper uses in §4
+//! ("Bottleneck analysis", Table 4).
+//!
+//! The paper measures generated C on an Intel Sandy Bridge i7-2600; this
+//! reproduction estimates cycles by scheduling the dynamic instruction
+//! stream (produced by `slingen-vm`) onto a port model of the same
+//! microarchitecture:
+//!
+//! * separate FP multiply and FP add ports (1 × 256-bit op/cycle each —
+//!   peak 8 flops/cycle in double precision, as in the paper);
+//! * an unpipelined divider: a divide or square root blocks it for ~44
+//!   cycles (vector) / ~22 cycles (scalar) — the paper's "can only be
+//!   issued every 44 cycles";
+//! * a shuffle port (1/cycle) and blends at 2/cycle;
+//! * 2 × 128-bit load units and 1 × 128-bit store unit per cycle (256-bit
+//!   accesses occupy two unit-slots), L1 latency 4;
+//! * true data dependences through registers and memory cells (hardware
+//!   register renaming is modeled: only read-after-write serializes);
+//! * library calls occupy a front-end resource for a configurable
+//!   interface overhead — the cost the paper attributes to fixed
+//!   library APIs on small sizes.
+//!
+//! [`measure`] runs a C-IR function in the VM under a [`Scheduler`] monitor
+//! and returns a [`Report`] with estimated cycles, per-resource pressure,
+//! the bottleneck attribution, and the shuffle/blend issue rates that
+//! Table 4 reports.
+
+pub mod machine;
+pub mod report;
+pub mod sched;
+
+pub use machine::{Machine, Resource};
+pub use report::Report;
+pub use sched::Scheduler;
+
+use slingen_cir::Function;
+use slingen_vm::{BufferSet, KernelLib, VmError};
+
+/// Execute `f` under the performance model and return the report.
+///
+/// `buffers` provides the inputs and receives the outputs (so correctness
+/// checks and measurement share one execution).
+///
+/// # Errors
+///
+/// Propagates any [`VmError`] from execution.
+pub fn measure(
+    f: &Function,
+    buffers: &mut BufferSet,
+    lib: Option<&KernelLib>,
+    machine: &Machine,
+) -> Result<Report, VmError> {
+    let mut sched = Scheduler::new(machine.clone());
+    slingen_vm::execute_with_lib(f, buffers, lib, &mut sched)?;
+    Ok(sched.finish())
+}

@@ -1,0 +1,203 @@
+//! Machine descriptions: issue resources, throughputs, latencies.
+
+use std::fmt;
+
+/// An issue resource (execution port or fixed-function unit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Resource {
+    /// FP multiply port.
+    FMul,
+    /// FP add port.
+    FAdd,
+    /// The (unpipelined) divide/sqrt unit.
+    Divider,
+    /// Shuffle/permute port.
+    Shuffle,
+    /// Blend capacity.
+    Blend,
+    /// L1 load units.
+    Load,
+    /// L1 store unit.
+    Store,
+    /// Register moves / broadcasts.
+    Mov,
+    /// Front-end / dispatch (library-call interface overhead).
+    Frontend,
+}
+
+impl Resource {
+    /// All resources, for iteration.
+    pub const ALL: [Resource; 9] = [
+        Resource::FMul,
+        Resource::FAdd,
+        Resource::Divider,
+        Resource::Shuffle,
+        Resource::Blend,
+        Resource::Load,
+        Resource::Store,
+        Resource::Mov,
+        Resource::Frontend,
+    ];
+
+    /// Short label used in reports (matches the paper's vocabulary).
+    pub fn label(self) -> &'static str {
+        match self {
+            Resource::FMul => "fp mul",
+            Resource::FAdd => "fp add",
+            Resource::Divider => "divs/sqrt",
+            Resource::Shuffle => "shuffles",
+            Resource::Blend => "blends",
+            Resource::Load => "L1 loads",
+            Resource::Store => "L1 stores",
+            Resource::Mov => "reg moves",
+            Resource::Frontend => "call overhead",
+        }
+    }
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A machine model: per-resource capacity (unit-slots per cycle) and
+/// instruction latencies.
+///
+/// Capacities are in *units per cycle*; an instruction consumes some number
+/// of units on one or more resources (e.g. a 256-bit load consumes 2 load
+/// units; a scalar load consumes 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Machine {
+    /// Model name (for reports).
+    pub name: String,
+    /// FP multiplies issued per cycle (vector or scalar).
+    pub fmul_per_cycle: f64,
+    /// FP adds issued per cycle.
+    pub fadd_per_cycle: f64,
+    /// Shuffles issued per cycle.
+    pub shuffle_per_cycle: f64,
+    /// Blends issued per cycle.
+    pub blend_per_cycle: f64,
+    /// Register moves/broadcasts per cycle.
+    pub mov_per_cycle: f64,
+    /// Load unit-slots per cycle (128-bit units).
+    pub load_units_per_cycle: f64,
+    /// Store unit-slots per cycle (128-bit units).
+    pub store_units_per_cycle: f64,
+    /// FP multiply latency (cycles).
+    pub fmul_latency: f64,
+    /// FP add latency (cycles).
+    pub fadd_latency: f64,
+    /// Shuffle latency.
+    pub shuffle_latency: f64,
+    /// Blend latency.
+    pub blend_latency: f64,
+    /// Move latency.
+    pub mov_latency: f64,
+    /// L1 load-to-use latency.
+    pub load_latency: f64,
+    /// Store-to-load forwarding latency.
+    pub store_latency: f64,
+    /// Divider occupancy & latency for a *scalar* divide or sqrt.
+    pub div_scalar_cycles: f64,
+    /// Divider occupancy & latency for a *vector* divide or sqrt.
+    pub div_vector_cycles: f64,
+    /// Front-end cycles consumed by one library call (interface overhead:
+    /// argument checking, dispatch, no cross-call fusion).
+    pub call_overhead_cycles: f64,
+    /// The vector width the peak numbers assume (for reports only).
+    pub nominal_width: usize,
+}
+
+impl Machine {
+    /// The paper's evaluation platform: Intel Core i7-2600 (Sandy Bridge),
+    /// AVX, double precision, ν = 4. Peak 8 flops/cycle.
+    pub fn sandy_bridge() -> Machine {
+        Machine {
+            name: "Sandy Bridge (i7-2600, AVX, double)".to_string(),
+            fmul_per_cycle: 1.0,
+            fadd_per_cycle: 1.0,
+            shuffle_per_cycle: 1.0,
+            blend_per_cycle: 2.0,
+            mov_per_cycle: 3.0,
+            load_units_per_cycle: 2.0,
+            store_units_per_cycle: 1.0,
+            fmul_latency: 5.0,
+            fadd_latency: 3.0,
+            shuffle_latency: 1.0,
+            blend_latency: 1.0,
+            mov_latency: 1.0,
+            load_latency: 4.0,
+            store_latency: 4.0,
+            div_scalar_cycles: 22.0,
+            div_vector_cycles: 44.0,
+            call_overhead_cycles: 120.0,
+            nominal_width: 4,
+        }
+    }
+
+    /// Peak flops/cycle (mul + add ports, nominal width).
+    pub fn peak_flops_per_cycle(&self) -> f64 {
+        (self.fmul_per_cycle + self.fadd_per_cycle) * self.nominal_width as f64
+    }
+
+    /// Capacity in units/cycle for a resource.
+    pub fn capacity(&self, r: Resource) -> f64 {
+        match r {
+            Resource::FMul => self.fmul_per_cycle,
+            Resource::FAdd => self.fadd_per_cycle,
+            Resource::Divider => 1.0,
+            Resource::Shuffle => self.shuffle_per_cycle,
+            Resource::Blend => self.blend_per_cycle,
+            Resource::Load => self.load_units_per_cycle,
+            Resource::Store => self.store_units_per_cycle,
+            Resource::Mov => self.mov_per_cycle,
+            Resource::Frontend => 1.0,
+        }
+    }
+
+    /// Set the library-call overhead (builder style).
+    pub fn with_call_overhead(mut self, cycles: f64) -> Machine {
+        self.call_overhead_cycles = cycles;
+        self
+    }
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        Machine::sandy_bridge()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sandy_bridge_peak_is_8_flops_per_cycle() {
+        let m = Machine::sandy_bridge();
+        assert_eq!(m.peak_flops_per_cycle(), 8.0);
+    }
+
+    #[test]
+    fn capacities_are_positive() {
+        let m = Machine::sandy_bridge();
+        for r in Resource::ALL {
+            assert!(m.capacity(r) > 0.0, "{r} has zero capacity");
+        }
+    }
+
+    #[test]
+    fn call_overhead_builder() {
+        let m = Machine::sandy_bridge().with_call_overhead(500.0);
+        assert_eq!(m.call_overhead_cycles, 500.0);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<&str> =
+            Resource::ALL.iter().map(|r| r.label()).collect();
+        assert_eq!(labels.len(), Resource::ALL.len());
+    }
+}

@@ -1,0 +1,216 @@
+//! Measurement reports: cycles, bottlenecks, issue rates (paper Table 4).
+
+use crate::machine::{Machine, Resource};
+use slingen_cir::InstrClass;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The result of measuring one function execution.
+#[derive(Debug, Clone)]
+pub struct Report {
+    machine: Machine,
+    /// Estimated execution time in cycles.
+    pub cycles: f64,
+    /// Double-precision flops performed.
+    pub flops: u64,
+    /// Dynamic instruction count.
+    pub instructions: u64,
+    res_units: BTreeMap<Resource, f64>,
+    counts: BTreeMap<InstrClass, u64>,
+}
+
+impl Report {
+    pub(crate) fn new(
+        machine: Machine,
+        cycles: f64,
+        flops: u64,
+        instructions: u64,
+        res_units: BTreeMap<Resource, f64>,
+        counts: BTreeMap<InstrClass, u64>,
+    ) -> Report {
+        Report { machine, cycles, flops, instructions, res_units, counts }
+    }
+
+    /// Performance in flops per cycle (the paper's y-axis).
+    pub fn flops_per_cycle(&self) -> f64 {
+        if self.cycles == 0.0 {
+            0.0
+        } else {
+            self.flops as f64 / self.cycles
+        }
+    }
+
+    /// Lower bound on cycles imposed by one resource alone.
+    pub fn resource_cycles(&self, r: Resource) -> f64 {
+        self.res_units.get(&r).copied().unwrap_or(0.0) / self.machine.capacity(r)
+    }
+
+    /// The resource with the largest cycle lower bound — the hardware
+    /// bottleneck in the sense of the paper's ERM analysis.
+    pub fn bottleneck(&self) -> Resource {
+        Resource::ALL
+            .iter()
+            .copied()
+            .max_by(|a, b| {
+                self.resource_cycles(*a)
+                    .partial_cmp(&self.resource_cycles(*b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap_or(Resource::FAdd)
+    }
+
+    /// Utilization of a resource relative to the whole execution.
+    pub fn utilization(&self, r: Resource) -> f64 {
+        if self.cycles == 0.0 {
+            0.0
+        } else {
+            self.resource_cycles(r) / self.cycles
+        }
+    }
+
+    /// Dynamic count for an instruction class.
+    pub fn count(&self, class: InstrClass) -> u64 {
+        self.counts.get(&class).copied().unwrap_or(0)
+    }
+
+    /// Ratio of issued shuffles (blends) to total issued instructions
+    /// *excluding loads and stores* — the "issue rate" column of Table 4.
+    pub fn issue_rate(&self, class: InstrClass) -> f64 {
+        let non_mem: u64 = self
+            .counts
+            .iter()
+            .filter(|(c, _)| !matches!(c, InstrClass::Load | InstrClass::Store))
+            .map(|(_, n)| *n)
+            .sum();
+        if non_mem == 0 {
+            0.0
+        } else {
+            self.count(class) as f64 / non_mem as f64
+        }
+    }
+
+    /// Combined shuffle + blend issue rate (Table 4's third column).
+    pub fn shuffle_blend_issue_rate(&self) -> f64 {
+        self.issue_rate(InstrClass::Shuffle) + self.issue_rate(InstrClass::Blend)
+    }
+
+    /// Achievable peak performance (flops/cycle) when the pressure on `r`
+    /// is taken into account — Table 4's "perf limit" columns: the best
+    /// performance possible given that `r` must issue everything the
+    /// program asked of it.
+    pub fn perf_limit(&self, r: Resource) -> f64 {
+        let peak = self.machine.peak_flops_per_cycle();
+        let fp_cycles = self
+            .resource_cycles(Resource::FMul)
+            .max(self.resource_cycles(Resource::FAdd));
+        let r_cycles = self.resource_cycles(r);
+        if r_cycles <= fp_cycles || r_cycles == 0.0 {
+            // the resource never outweighs the FP ports: full peak remains
+            // achievable
+            peak
+        } else {
+            peak * fp_cycles / r_cycles
+        }
+    }
+
+    /// The machine this report was measured on.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:.0} cycles, {} flops, {:.2} f/c (peak {:.0}), {} instrs",
+            self.cycles,
+            self.flops,
+            self.flops_per_cycle(),
+            self.machine.peak_flops_per_cycle(),
+            self.instructions
+        )?;
+        writeln!(f, "bottleneck: {}", self.bottleneck())?;
+        for r in Resource::ALL {
+            let cyc = self.resource_cycles(r);
+            if cyc > 0.0 {
+                writeln!(f, "  {:>14}: {:8.1} cycles ({:4.1}%)", r.label(), cyc, 100.0 * self.utilization(r))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with(units: &[(Resource, f64)], flops: u64, cycles: f64) -> Report {
+        let mut res_units = BTreeMap::new();
+        for (r, u) in units {
+            res_units.insert(*r, *u);
+        }
+        Report::new(Machine::sandy_bridge(), cycles, flops, 100, res_units, BTreeMap::new())
+    }
+
+    #[test]
+    fn flops_per_cycle_math() {
+        let r = report_with(&[], 800, 100.0);
+        assert_eq!(r.flops_per_cycle(), 8.0);
+    }
+
+    #[test]
+    fn bottleneck_is_max_resource_bound() {
+        let r = report_with(
+            &[(Resource::FMul, 10.0), (Resource::Load, 50.0), (Resource::Divider, 30.0)],
+            100,
+            60.0,
+        );
+        // load: 50 units / 2 per cycle = 25 cycles; divider: 30; fmul: 10
+        assert_eq!(r.bottleneck(), Resource::Divider);
+    }
+
+    #[test]
+    fn perf_limit_capped_at_peak() {
+        let r = report_with(&[(Resource::FMul, 1.0)], 1_000_000, 10.0);
+        assert_eq!(r.perf_limit(Resource::Blend), 8.0);
+    }
+
+    #[test]
+    fn perf_limit_shrinks_under_shuffle_pressure() {
+        // 100 fmul units and 200 shuffle units: shuffles bound at 200
+        // cycles vs fp at 100 → limit = flops / 200
+        let r = report_with(
+            &[(Resource::FMul, 100.0), (Resource::Shuffle, 200.0)],
+            800,
+            250.0,
+        );
+        assert_eq!(r.perf_limit(Resource::Shuffle), 4.0);
+        assert_eq!(r.perf_limit(Resource::Blend), 8.0);
+    }
+
+    #[test]
+    fn issue_rate_excludes_memory() {
+        let mut counts = BTreeMap::new();
+        counts.insert(InstrClass::Shuffle, 30u64);
+        counts.insert(InstrClass::FMul, 50);
+        counts.insert(InstrClass::FAdd, 20);
+        counts.insert(InstrClass::Load, 500);
+        let r = Report::new(
+            Machine::sandy_bridge(),
+            100.0,
+            100,
+            600,
+            BTreeMap::new(),
+            counts,
+        );
+        assert!((r.issue_rate(InstrClass::Shuffle) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_bottleneck() {
+        let r = report_with(&[(Resource::Divider, 44.0)], 10, 44.0);
+        let text = r.to_string();
+        assert!(text.contains("bottleneck: divs/sqrt"), "{text}");
+    }
+}

@@ -1,0 +1,460 @@
+//! The dependence-aware port scheduler.
+//!
+//! Each dynamic instruction is decomposed into unit-slot demands on the
+//! machine's resources and issued at the earliest cycle where (a) its
+//! sources (registers and memory cells) are ready and (b) its primary
+//! resource has a free slot. Completion times propagate through registers
+//! and memory, so sequentially dependent divides — the factorization
+//! pattern the paper highlights — serialize at the divider's occupancy,
+//! while independent work overlaps.
+//!
+//! Hardware register renaming is modeled by *not* serializing on
+//! write-after-write: writing a register simply replaces its ready time.
+
+use crate::machine::{Machine, Resource};
+use crate::report::Report;
+use slingen_cir::{BinOp, Instr, InstrClass};
+use slingen_vm::{Event, Monitor};
+use std::collections::{BTreeMap, HashMap};
+
+/// How many 128-bit unit-slots a `width`-lane access consumes.
+fn mem_units(width: usize, lanes: usize) -> f64 {
+    // scalar (1 lane of any width-1 function) = 1 unit; width-2 vector = 1
+    // unit (128-bit); width-4 = 2 units (256-bit split into two halves).
+    if lanes <= 1 {
+        1.0
+    } else if width <= 2 {
+        1.0
+    } else {
+        2.0
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Demand {
+    resource: Resource,
+    units: f64,
+    latency: f64,
+}
+
+/// Monitor that schedules the instruction stream (see module docs).
+#[derive(Debug)]
+pub struct Scheduler {
+    machine: Machine,
+    /// Next-free time (fractional cycles) per resource.
+    res_free: BTreeMap<Resource, f64>,
+    /// Cumulative units consumed per resource.
+    res_units: BTreeMap<Resource, f64>,
+    /// Dynamic instruction counts per class.
+    counts: BTreeMap<InstrClass, u64>,
+    sready: HashMap<usize, f64>,
+    vready: HashMap<usize, f64>,
+    cellready: HashMap<(usize, i64), f64>,
+    makespan: f64,
+    flops: u64,
+    instructions: u64,
+}
+
+impl Scheduler {
+    /// A scheduler for the given machine.
+    pub fn new(machine: Machine) -> Self {
+        Scheduler {
+            machine,
+            res_free: BTreeMap::new(),
+            res_units: BTreeMap::new(),
+            counts: BTreeMap::new(),
+            sready: HashMap::new(),
+            vready: HashMap::new(),
+            cellready: HashMap::new(),
+            makespan: 0.0,
+            flops: 0,
+            instructions: 0,
+        }
+    }
+
+    /// Decompose one instruction into its resource demands. The first
+    /// demand is the *primary* one (its latency defines the result's
+    /// availability); secondary demands add pressure but not latency.
+    fn demands(&self, instr: &Instr, width: usize) -> Vec<Demand> {
+        let m = &self.machine;
+        match instr {
+            Instr::SLoad { .. } => vec![Demand {
+                resource: Resource::Load,
+                units: 1.0,
+                latency: m.load_latency,
+            }],
+            Instr::SStore { .. } => vec![Demand {
+                resource: Resource::Store,
+                units: 1.0,
+                latency: m.store_latency,
+            }],
+            Instr::VLoad { lanes, .. } => {
+                let active = lanes.iter().flatten().count();
+                if contiguous(lanes) {
+                    vec![Demand {
+                        resource: Resource::Load,
+                        units: mem_units(width, active),
+                        latency: m.load_latency,
+                    }]
+                } else {
+                    // strided/gathered: one scalar load per lane plus the
+                    // packing shuffles the Loader would emit.
+                    let mut d = vec![Demand {
+                        resource: Resource::Load,
+                        units: active as f64,
+                        latency: m.load_latency,
+                    }];
+                    if active > 1 {
+                        d.push(Demand {
+                            resource: Resource::Shuffle,
+                            units: (active - 1) as f64,
+                            latency: m.shuffle_latency,
+                        });
+                    }
+                    d
+                }
+            }
+            Instr::VStore { lanes, .. } => {
+                let active = lanes.iter().flatten().count();
+                if contiguous(lanes) {
+                    vec![Demand {
+                        resource: Resource::Store,
+                        units: mem_units(width, active),
+                        latency: m.store_latency,
+                    }]
+                } else {
+                    let mut d = vec![Demand {
+                        resource: Resource::Store,
+                        units: active as f64,
+                        latency: m.store_latency,
+                    }];
+                    if active > 1 {
+                        d.push(Demand {
+                            resource: Resource::Shuffle,
+                            units: (active - 1) as f64,
+                            latency: m.shuffle_latency,
+                        });
+                    }
+                    d
+                }
+            }
+            Instr::SBin { op, .. } | Instr::VBin { op, .. } => {
+                let vector = matches!(instr, Instr::VBin { .. }) && width > 1;
+                match op {
+                    BinOp::Mul => vec![Demand {
+                        resource: Resource::FMul,
+                        units: 1.0,
+                        latency: m.fmul_latency,
+                    }],
+                    BinOp::Add | BinOp::Sub => vec![Demand {
+                        resource: Resource::FAdd,
+                        units: 1.0,
+                        latency: m.fadd_latency,
+                    }],
+                    BinOp::Div => {
+                        let c = if vector { m.div_vector_cycles } else { m.div_scalar_cycles };
+                        vec![Demand { resource: Resource::Divider, units: c, latency: c }]
+                    }
+                }
+            }
+            Instr::SSqrt { .. } => {
+                let c = m.div_scalar_cycles;
+                vec![Demand { resource: Resource::Divider, units: c, latency: c }]
+            }
+            Instr::SMov { .. } | Instr::VMov { .. } => vec![Demand {
+                resource: Resource::Mov,
+                units: 1.0,
+                latency: m.mov_latency,
+            }],
+            Instr::VBroadcast { .. } => vec![Demand {
+                resource: Resource::Shuffle,
+                units: 1.0,
+                latency: m.shuffle_latency,
+            }],
+            Instr::VShuffle { .. } | Instr::VExtract { .. } => vec![Demand {
+                resource: Resource::Shuffle,
+                units: 1.0,
+                latency: m.shuffle_latency,
+            }],
+            Instr::VBlend { .. } => vec![Demand {
+                resource: Resource::Blend,
+                units: 1.0,
+                latency: m.blend_latency,
+            }],
+            Instr::VReduceAdd { .. } => {
+                // log2(width) shuffle+add pairs
+                let steps = (width.max(2) as f64).log2().ceil();
+                vec![
+                    Demand {
+                        resource: Resource::FAdd,
+                        units: steps,
+                        latency: m.fadd_latency * steps,
+                    },
+                    Demand {
+                        resource: Resource::Shuffle,
+                        units: steps,
+                        latency: m.shuffle_latency,
+                    },
+                ]
+            }
+            Instr::Call { .. } => vec![Demand {
+                resource: Resource::Frontend,
+                units: m.call_overhead_cycles,
+                latency: m.call_overhead_cycles,
+            }],
+        }
+    }
+
+    fn sources_ready(&self, ev: &Event<'_>) -> f64 {
+        let mut t: f64 = 0.0;
+        for r in ev.instr.sreg_reads() {
+            t = t.max(self.sready.get(&r.0).copied().unwrap_or(0.0));
+        }
+        for r in ev.instr.vreg_reads() {
+            t = t.max(self.vready.get(&r.0).copied().unwrap_or(0.0));
+        }
+        for cell in &ev.reads {
+            t = t.max(self.cellready.get(cell).copied().unwrap_or(0.0));
+        }
+        t
+    }
+
+    /// Final report.
+    pub fn finish(self) -> Report {
+        Report::new(
+            self.machine,
+            self.makespan,
+            self.flops,
+            self.instructions,
+            self.res_units,
+            self.counts,
+        )
+    }
+}
+
+fn contiguous(lanes: &[Option<i64>]) -> bool {
+    let active = lanes.iter().take_while(|l| l.is_some()).count();
+    lanes[..active]
+        .iter()
+        .enumerate()
+        .all(|(i, l)| *l == Some(i as i64))
+        && lanes[active..].iter().all(|l| l.is_none())
+        && active > 0
+}
+
+impl Monitor for Scheduler {
+    fn event(&mut self, ev: &Event<'_>) {
+        self.instructions += 1;
+        self.flops += ev.instr.flops(ev.width);
+        *self.counts.entry(ev.instr.class()).or_insert(0) += 1;
+
+        let demands = self.demands(ev.instr, ev.width);
+        let ready = self.sources_ready(ev);
+
+        // issue on the primary resource
+        let primary = demands[0];
+        let free = self.res_free.get(&primary.resource).copied().unwrap_or(0.0);
+        let issue = ready.max(free);
+        let cap = self.machine.capacity(primary.resource);
+        self.res_free.insert(primary.resource, issue + primary.units / cap);
+        *self.res_units.entry(primary.resource).or_insert(0.0) += primary.units;
+        let mut done = issue + primary.latency;
+
+        // secondary demands occupy their resources and may delay completion
+        for d in &demands[1..] {
+            let free = self.res_free.get(&d.resource).copied().unwrap_or(0.0);
+            let s_issue = issue.max(free);
+            let cap = self.machine.capacity(d.resource);
+            self.res_free.insert(d.resource, s_issue + d.units / cap);
+            *self.res_units.entry(d.resource).or_insert(0.0) += d.units;
+            done = done.max(s_issue + d.latency);
+        }
+
+        if let Some(r) = ev.instr.sreg_write() {
+            self.sready.insert(r.0, done);
+        }
+        if let Some(r) = ev.instr.vreg_write() {
+            self.vready.insert(r.0, done);
+        }
+        for cell in &ev.writes {
+            self.cellready.insert(*cell, done);
+        }
+        self.makespan = self.makespan.max(done);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+    use slingen_cir::{Affine, BufKind, FunctionBuilder, MemRef};
+    use slingen_vm::BufferSet;
+
+    fn run(f: &slingen_cir::Function, bufs: &mut BufferSet) -> Report {
+        crate::measure(f, bufs, None, &Machine::sandy_bridge()).unwrap()
+    }
+
+    /// Independent multiplies stream at 1/cycle; a dependent chain pays the
+    /// 5-cycle latency each.
+    #[test]
+    fn independent_vs_dependent_multiplies() {
+        // independent: 64 multiplies on distinct registers
+        let mut b = FunctionBuilder::new("ind", 1);
+        let o = b.buffer("o", 64, BufKind::ParamOut);
+        let mut regs = Vec::new();
+        for _ in 0..64 {
+            regs.push(b.sbin(slingen_cir::BinOp::Mul, 1.5, 2.5));
+        }
+        for (i, r) in regs.iter().enumerate() {
+            b.sstore(*r, MemRef::new(o, i as i64));
+        }
+        let f = b.finish();
+        let mut bufs = BufferSet::for_function(&f);
+        let ind = run(&f, &mut bufs);
+
+        // dependent: 64 multiplies in one chain
+        let mut b = FunctionBuilder::new("dep", 1);
+        let o = b.buffer("o", 1, BufKind::ParamOut);
+        let mut acc = b.smov(1.0);
+        for _ in 0..64 {
+            acc = b.sbin(slingen_cir::BinOp::Mul, acc, 1.001);
+        }
+        b.sstore(acc, MemRef::new(o, 0));
+        let f = b.finish();
+        let mut bufs = BufferSet::for_function(&f);
+        let dep = run(&f, &mut bufs);
+
+        assert!(
+            dep.cycles > ind.cycles * 3.0,
+            "dependent chain ({}) must be much slower than independent ({})",
+            dep.cycles,
+            ind.cycles
+        );
+        assert!(ind.cycles >= 64.0, "64 multiplies need >= 64 cycles on one port");
+    }
+
+    /// Sequentially dependent divisions serialize at the divider occupancy
+    /// (the paper's small-size bottleneck).
+    #[test]
+    fn division_chains_dominate() {
+        let mut b = FunctionBuilder::new("div", 1);
+        let o = b.buffer("o", 1, BufKind::ParamOut);
+        let mut acc = b.smov(1.0e9);
+        for _ in 0..8 {
+            acc = b.sbin(slingen_cir::BinOp::Div, acc, 1.5);
+        }
+        b.sstore(acc, MemRef::new(o, 0));
+        let f = b.finish();
+        let mut bufs = BufferSet::for_function(&f);
+        let rep = run(&f, &mut bufs);
+        assert!(rep.cycles >= 8.0 * 22.0, "8 chained divs >= 176 cycles, got {}", rep.cycles);
+        assert_eq!(rep.bottleneck(), Resource::Divider);
+    }
+
+    /// Vector loads limited by the 2×128-bit load units: at most one
+    /// 256-bit load per cycle.
+    #[test]
+    fn load_throughput_bound() {
+        let mut b = FunctionBuilder::new("ld", 4);
+        let x = b.buffer("x", 512, BufKind::ParamIn);
+        let o = b.buffer("o", 4, BufKind::ParamOut);
+        let mut last = None;
+        for i in 0..128 {
+            last = Some(b.vload_contig(MemRef::new(x, (i * 4) as i64)));
+        }
+        b.vstore_contig(last.unwrap(), MemRef::new(o, 0));
+        let f = b.finish();
+        let mut bufs = BufferSet::for_function(&f);
+        let rep = run(&f, &mut bufs);
+        assert!(rep.cycles >= 128.0, "128 256-bit loads need >= 128 cycles, got {}", rep.cycles);
+        assert_eq!(rep.bottleneck(), Resource::Load);
+    }
+
+    /// Strided (vertical) accesses cost more than contiguous ones.
+    #[test]
+    fn strided_loads_cost_more() {
+        let make = |strided: bool| {
+            let mut b = FunctionBuilder::new("s", 4);
+            let x = b.buffer("x", 256, BufKind::ParamIn);
+            let o = b.buffer("o", 4, BufKind::ParamOut);
+            let mut last = None;
+            for i in 0..32 {
+                let lanes = if strided {
+                    vec![Some(0), Some(8), Some(16), Some(24)]
+                } else {
+                    vec![Some(0), Some(1), Some(2), Some(3)]
+                };
+                last = Some(b.vload(MemRef::new(x, (i * 4) as i64), lanes));
+            }
+            b.vstore_contig(last.unwrap(), MemRef::new(o, 0));
+            let f = b.finish();
+            let mut bufs = BufferSet::for_function(&f);
+            run(&f, &mut bufs).cycles
+        };
+        assert!(make(true) > 1.5 * make(false));
+    }
+
+    /// Store-to-load dependences serialize through memory cells.
+    #[test]
+    fn memory_dependences_tracked() {
+        let mut b = FunctionBuilder::new("mem", 1);
+        let t = b.buffer("t", 1, BufKind::ParamInOut);
+        // chain: load, add, store, repeated — every iteration depends on
+        // the previous through t[0]
+        for _ in 0..16 {
+            let r = b.sload(MemRef::new(t, 0));
+            let a = b.sbin(slingen_cir::BinOp::Add, r, 1.0);
+            b.sstore(a, MemRef::new(t, 0));
+        }
+        let f = b.finish();
+        let mut bufs = BufferSet::for_function(&f);
+        let rep = run(&f, &mut bufs);
+        // each round trip >= load latency + add latency + store latency
+        assert!(
+            rep.cycles >= 16.0 * (4.0 + 3.0),
+            "memory chain must serialize, got {}",
+            rep.cycles
+        );
+    }
+
+    /// Calls pay the configured interface overhead.
+    #[test]
+    fn call_overhead_charged() {
+        use slingen_cir::Instr;
+        use slingen_vm::KernelLib;
+        let mut lib = KernelLib::new();
+        let mut kb = FunctionBuilder::new("noop", 1);
+        kb.buffer("a", 1, BufKind::ParamInOut);
+        lib.register(kb.finish());
+        let mut b = FunctionBuilder::new("caller", 1);
+        let a = b.buffer("a", 1, BufKind::ParamInOut);
+        for _ in 0..4 {
+            b.instr(Instr::Call { kernel: "noop".into(), bufs: vec![a], ints: vec![] });
+        }
+        let f = b.finish();
+        let mut bufs = BufferSet::for_function(&f);
+        let rep =
+            crate::measure(&f, &mut bufs, Some(&lib), &Machine::sandy_bridge()).unwrap();
+        assert!(rep.cycles >= 4.0 * 120.0, "4 calls >= 480 cycles, got {}", rep.cycles);
+    }
+
+    /// Loop-var-dependent addressing resolves per iteration.
+    #[test]
+    fn rolled_loops_schedule_each_iteration() {
+        let mut b = FunctionBuilder::new("loop", 4);
+        let x = b.buffer("x", 64, BufKind::ParamIn);
+        let y = b.buffer("y", 64, BufKind::ParamInOut);
+        let i = b.begin_for(0, 64, 4);
+        let vx = b.vload_contig(MemRef::new(x, Affine::var(i)));
+        let vy = b.vload_contig(MemRef::new(y, Affine::var(i)));
+        let s = b.vbin(slingen_cir::BinOp::Add, vx, vy);
+        b.vstore_contig(s, MemRef::new(y, Affine::var(i)));
+        b.end_for();
+        let f = b.finish();
+        let mut bufs = BufferSet::for_function(&f);
+        let rep = run(&f, &mut bufs);
+        assert_eq!(rep.flops, 64);
+        assert!(rep.cycles >= 16.0);
+        assert!(rep.flops_per_cycle() <= 8.0);
+    }
+}

@@ -1,0 +1,297 @@
+//! Conformality analysis: which dimensions must partition together.
+//!
+//! Every view axis (rows/columns of a referenced region) is a *slot*;
+//! slots are unified when the algebra ties them together:
+//!
+//! * a structured square view (triangular, symmetric, diagonal) ties its
+//!   rows to its columns — splitting one splits the other;
+//! * a product ties the left operand's columns to the right operand's
+//!   rows;
+//! * sums and the equation itself tie corresponding axes.
+//!
+//! The resulting equivalence classes are the *dimension groups* the
+//! derivation can partition (paper §3.1: "the first decision is how to
+//! partition the dimensions").
+
+use crate::term::{Term, View};
+use crate::SynthError;
+use slingen_ir::OpId;
+use std::collections::HashMap;
+
+type SlotKey = (OpId, usize, usize, usize, usize, u8);
+
+/// The result of conformality analysis: a union-find over dimension slots.
+#[derive(Debug)]
+pub struct Dims {
+    parent: Vec<usize>,
+    extent: Vec<usize>,
+    slots: HashMap<SlotKey, usize>,
+}
+
+/// Identifier of a dimension group (the class representative).
+pub type GroupId = usize;
+
+impl Dims {
+    fn new() -> Self {
+        Dims { parent: Vec::new(), extent: Vec::new(), slots: HashMap::new() }
+    }
+
+    fn fresh(&mut self, extent: usize) -> usize {
+        self.parent.push(self.parent.len());
+        self.extent.push(extent);
+        self.parent.len() - 1
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) -> Result<(), SynthError> {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return Ok(());
+        }
+        if self.extent[ra] != self.extent[rb] {
+            return Err(SynthError::NonConformal(format!(
+                "dimension extents {} vs {}",
+                self.extent[ra], self.extent[rb]
+            )));
+        }
+        self.parent[rb] = ra;
+        Ok(())
+    }
+
+    fn slot(&mut self, key: SlotKey, extent: usize) -> usize {
+        if let Some(&n) = self.slots.get(&key) {
+            return n;
+        }
+        let n = self.fresh(extent);
+        self.slots.insert(key, n);
+        n
+    }
+
+    fn view_nodes(&mut self, v: &View) -> Result<(usize, usize), SynthError> {
+        // slots key on the *stored* region so transposed and plain reads of
+        // the same region share axes
+        let rkey = (v.op, v.r0, v.r1, v.c0, v.c1, 0u8);
+        let ckey = (v.op, v.r0, v.r1, v.c0, v.c1, 1u8);
+        let rn = self.slot(rkey, v.r1 - v.r0);
+        let cn = self.slot(ckey, v.c1 - v.c0);
+        // structured square regions tie rows to columns
+        let s = v.structure;
+        if s != slingen_ir::Structure::General && v.r1 - v.r0 == v.c1 - v.c0 {
+            self.union(rn, cn)?;
+        }
+        if v.trans {
+            Ok((cn, rn))
+        } else {
+            Ok((rn, cn))
+        }
+    }
+
+    fn term_nodes(&mut self, t: &Term) -> Result<(usize, usize), SynthError> {
+        match t {
+            Term::V(v) => self.view_nodes(v),
+            Term::Ident(n) => {
+                let a = self.fresh(*n);
+                let b = self.fresh(*n);
+                self.union(a, b)?;
+                Ok((a, b))
+            }
+            Term::Zero(r, c) => Ok((self.fresh(*r), self.fresh(*c))),
+            Term::T(inner) => {
+                let (r, c) = self.term_nodes(inner)?;
+                Ok((c, r))
+            }
+            Term::Neg(inner) => self.term_nodes(inner),
+            Term::Mul(a, b) => {
+                let (ar, ac) = self.term_nodes(a)?;
+                let (br, bc) = self.term_nodes(b)?;
+                self.union(ac, br)?;
+                Ok((ar, bc))
+            }
+            Term::Add(ts) => {
+                let mut it = ts.iter();
+                let first = it.next().ok_or_else(|| {
+                    SynthError::Unsupported("empty sum in equation".into())
+                })?;
+                let (mut r, mut c) = self.term_nodes(first)?;
+                for t in it {
+                    let (tr, tc) = self.term_nodes(t)?;
+                    self.union(r, tr)?;
+                    self.union(c, tc)?;
+                    r = tr;
+                    c = tc;
+                }
+                Ok((r, c))
+            }
+        }
+    }
+
+    /// The group of a view's stored-rows axis.
+    pub fn view_row_group(&mut self, v: &View) -> Option<GroupId> {
+        let key = (v.op, v.r0, v.r1, v.c0, v.c1, 0u8);
+        self.slots.get(&key).copied().map(|n| self.find(n))
+    }
+
+    /// The group of a view's stored-columns axis.
+    pub fn view_col_group(&mut self, v: &View) -> Option<GroupId> {
+        let key = (v.op, v.r0, v.r1, v.c0, v.c1, 1u8);
+        self.slots.get(&key).copied().map(|n| self.find(n))
+    }
+
+    /// All groups with their extents, ordered by descending extent.
+    pub fn groups(&mut self) -> Vec<(GroupId, usize)> {
+        let mut out: Vec<(GroupId, usize)> = Vec::new();
+        for i in 0..self.parent.len() {
+            let r = self.find(i);
+            if !out.iter().any(|(g, _)| *g == r) {
+                out.push((r, self.extent[r]));
+            }
+        }
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Extent of a group.
+    pub fn extent(&mut self, g: GroupId) -> usize {
+        let r = self.find(g);
+        self.extent[r]
+    }
+}
+
+/// Analyze the equation `lhs = rhs`.
+///
+/// # Errors
+///
+/// Returns [`SynthError::NonConformal`] if tied dimensions disagree.
+pub fn analyze(lhs: &Term, rhs: &Term) -> Result<Dims, SynthError> {
+    let mut dims = Dims::new();
+    let (lr, lc) = dims.term_nodes(lhs)?;
+    let (rr, rc) = dims.term_nodes(rhs)?;
+    dims.union(lr, rr)?;
+    dims.union(lc, rc)?;
+    Ok(dims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{region_term, View};
+    use slingen_ir::{Expr, OperandDecl, ProgramBuilder, Structure};
+
+    fn trsm_terms() -> (slingen_ir::Program, Term, Term) {
+        // U' X = B with U 8x8 upper triangular, X/B 8x5
+        let mut b = ProgramBuilder::new("t");
+        let u = b.declare(
+            OperandDecl::mat_in("U", 8, 8).with_structure(Structure::UpperTriangular),
+        );
+        let bb = b.declare(OperandDecl::mat_in("B", 8, 5));
+        let x = b.declare(OperandDecl::mat_out("X", 8, 5));
+        b.assign(x, Expr::op(bb));
+        let p = b.build().unwrap();
+        let uv = View::full(&p, u);
+        let xv = View::full(&p, x);
+        let lhs = Term::Mul(
+            Box::new(Term::V(uv.t())),
+            Box::new(Term::V(xv)),
+        );
+        let rhs = region_term(&p, bb, 0, 8, 0, 5);
+        (p, lhs, rhs)
+    }
+
+    #[test]
+    fn trsm_has_two_groups() {
+        let (_, lhs, rhs) = trsm_terms();
+        let mut dims = analyze(&lhs, &rhs).unwrap();
+        let groups = dims.groups();
+        assert_eq!(groups.len(), 2, "{groups:?}");
+        assert_eq!(groups[0].1, 8);
+        assert_eq!(groups[1].1, 5);
+    }
+
+    #[test]
+    fn potrf_has_one_group() {
+        // U'U = S: triangular U ties everything into one group
+        let mut b = ProgramBuilder::new("t");
+        let s = b.declare(OperandDecl::mat_in("S", 8, 8).with_structure(
+            Structure::Symmetric(slingen_ir::structure::StorageHalf::Upper),
+        ));
+        let u = b.declare(
+            OperandDecl::mat_out("U", 8, 8).with_structure(Structure::UpperTriangular),
+        );
+        b.equation(Expr::op(u).t().mul(Expr::op(u)), Expr::op(s));
+        let p = b.build().unwrap();
+        let uv = View::full(&p, u);
+        let lhs = Term::Mul(Box::new(Term::V(uv.t())), Box::new(Term::V(uv)));
+        let rhs = region_term(&p, s, 0, 8, 0, 8);
+        let mut dims = analyze(&lhs, &rhs).unwrap();
+        assert_eq!(dims.groups().len(), 1);
+        assert_eq!(dims.groups()[0].1, 8);
+    }
+
+    #[test]
+    fn view_axes_resolve_to_groups() {
+        let (p, lhs, rhs) = trsm_terms();
+        let mut dims = analyze(&lhs, &rhs).unwrap();
+        let x = p.find("X").unwrap();
+        let u = p.find("U").unwrap();
+        let xv = View::full(&p, x);
+        let uv = View::full(&p, u);
+        let xr = dims.view_row_group(&xv).unwrap();
+        let xc = dims.view_col_group(&xv).unwrap();
+        let ur = dims.view_row_group(&uv).unwrap();
+        let uc = dims.view_col_group(&uv).unwrap();
+        assert_eq!(ur, uc, "triangular U rows ~ cols");
+        assert_eq!(xr, ur, "solve dimension shared");
+        assert_ne!(xc, xr, "free dimension separate");
+    }
+
+    #[test]
+    fn nonconformal_rejected() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.declare(OperandDecl::mat_in("A", 4, 4));
+        let c = b.declare(OperandDecl::mat_out("C", 4, 4));
+        b.assign(c, Expr::op(a));
+        let p = b.build().unwrap();
+        let av = View::full(&p, a);
+        // A (4x4) + Zero(3x3): ill-formed sum
+        let bad = Term::Add(vec![Term::V(av), Term::Zero(3, 3)]);
+        let rhs = Term::Zero(4, 4);
+        assert!(matches!(analyze(&bad, &rhs), Err(SynthError::NonConformal(_))));
+    }
+
+    #[test]
+    fn sylvester_groups() {
+        // L X + X U = C, L 6x6 lower, U 4x4 upper, X 6x4
+        let mut b = ProgramBuilder::new("t");
+        let l = b.declare(
+            OperandDecl::mat_in("L", 6, 6).with_structure(Structure::LowerTriangular),
+        );
+        let u = b.declare(
+            OperandDecl::mat_in("U", 4, 4).with_structure(Structure::UpperTriangular),
+        );
+        let c = b.declare(OperandDecl::mat_in("C", 6, 4));
+        let x = b.declare(OperandDecl::mat_out("X", 6, 4));
+        b.assign(x, Expr::op(c));
+        let p = b.build().unwrap();
+        let lv = View::full(&p, l);
+        let uv = View::full(&p, u);
+        let xv = View::full(&p, x);
+        let lhs = Term::Add(vec![
+            Term::Mul(Box::new(Term::V(lv)), Box::new(Term::V(xv))),
+            Term::Mul(Box::new(Term::V(xv)), Box::new(Term::V(uv))),
+        ]);
+        let rhs = region_term(&p, c, 0, 6, 0, 4);
+        let mut dims = analyze(&lhs, &rhs).unwrap();
+        let groups = dims.groups();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].1, 6);
+        assert_eq!(groups[1].1, 4);
+    }
+}

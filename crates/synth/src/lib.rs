@@ -1,0 +1,70 @@
+//! # slingen-synth
+//!
+//! The Cl1ck-style algorithm synthesis engine (paper §2.2 and §3.1).
+//!
+//! Given an HLAC — an equation such as `Uᵀ·U = S` whose left-hand side
+//! contains the unknown — this crate derives loop-based algorithms that
+//! compute the unknown using only *basic* statements: sBLACs over operand
+//! regions plus scalar divisions and square roots. The derivation follows
+//! the FLAME/Cl1ck methodology:
+//!
+//! 1. **Conformality analysis** ([`conform`]) unifies the dimensions that
+//!    must be partitioned together (a triangular operand ties its rows to
+//!    its columns; a product ties the inner dimensions; ...).
+//! 2. **PME generation** ([`pme`]): the chosen dimension group is split
+//!    symbolically into Top/Bottom segments, operands become 2×2 block
+//!    matrices with structure-derived zero and mirrored blocks, the block
+//!    product is flattened, transposed-duplicate cells are discarded, and
+//!    each remaining cell equation is *sequenced*: known terms become
+//!    updates, and the residual pattern is matched against the operation
+//!    knowledge base (Cholesky, triangular solve, triangular inverse,
+//!    Sylvester/Lyapunov, assignment).
+//! 3. **Algorithm construction** ([`mod@derive`]): a loop moves the partition
+//!    boundary; the classic loop-invariant families correspond to *when*
+//!    the PME's update atoms are applied — as late as possible
+//!    ([`Policy::Lazy`], left-looking) or as early as possible
+//!    ([`Policy::Eager`], right-looking). Because SLinGen targets fixed
+//!    operand sizes, the loop is emitted unrolled over concrete regions,
+//!    recursing into sub-HLACs with block size ν and then 1 (the paper's
+//!    Figs. 7–9), down to scalar `sqrt`/`div` statements.
+//!
+//! Derived PMEs are memoized in an [`AlgorithmDb`] keyed by the
+//! equation's shape — the paper's Stage 1a "algorithm reuse".
+//!
+//! The output is a [`BasicProgram`]: a straight-line sequence of
+//! region-level statements consumed by the LGen-style tiling stage.
+
+pub mod conform;
+pub mod derive;
+pub mod pme;
+pub mod program;
+pub mod term;
+
+pub use derive::{synthesize_equation, synthesize_program, AlgorithmDb, Policy};
+pub use program::{BasicProgram, BasicStmt, VExpr};
+pub use term::{Term, View};
+
+use std::fmt;
+
+/// Errors from the synthesis engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SynthError {
+    /// The equation's unknown-containing part matches no known operation.
+    Unrecognized(String),
+    /// Dimensions in one conformality group disagree.
+    NonConformal(String),
+    /// The equation references an unsupported construct.
+    Unsupported(String),
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::Unrecognized(s) => write!(f, "unrecognized operation pattern: {s}"),
+            SynthError::NonConformal(s) => write!(f, "non-conformal partition: {s}"),
+            SynthError::Unsupported(s) => write!(f, "unsupported construct: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}

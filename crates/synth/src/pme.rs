@@ -1,0 +1,878 @@
+//! Partitioned Matrix Expression (PME) generation and cell solving.
+//!
+//! Given an equation, a dimension group, and two concrete segment ranges
+//! (Top and Bottom), this module:
+//!
+//! 1. partitions every term into a block grid (structure-aware: zero
+//!    blocks of triangular operands fold away, the unreferenced half of a
+//!    symmetric operand reads as the transpose of the stored half);
+//! 2. flattens the block algebra into per-cell equations;
+//! 3. *sequences* each cell: terms referencing other cells' outputs become
+//!    updates with dependencies, and the residual unknown pattern is
+//!    matched against the operation knowledge base.
+//!
+//! The caller (the derivation engine) instantiates the segments according
+//! to its loop policy, so the same machinery yields left- and
+//! right-looking algorithm families.
+
+use crate::conform::{Dims, GroupId};
+use crate::term::{region_term, Term, View};
+use crate::SynthError;
+use slingen_ir::{OpId, Program, Structure};
+
+/// A block grid of terms (1 or 2 segments per axis).
+#[derive(Debug, Clone)]
+pub struct Grid {
+    rows: usize,
+    cols: usize,
+    cells: Vec<Term>,
+}
+
+impl Grid {
+    fn new(rows: usize, cols: usize, cells: Vec<Term>) -> Grid {
+        debug_assert_eq!(cells.len(), rows * cols);
+        Grid { rows, cols, cells }
+    }
+
+    fn single(t: Term) -> Grid {
+        Grid::new(1, 1, vec![t])
+    }
+
+    /// Cell accessor.
+    pub fn cell(&self, i: usize, j: usize) -> &Term {
+        &self.cells[i * self.cols + j]
+    }
+
+    fn transposed(&self) -> Grid {
+        let mut cells = Vec::with_capacity(self.cells.len());
+        for j in 0..self.cols {
+            for i in 0..self.rows {
+                cells.push(self.cell(i, j).transposed());
+            }
+        }
+        Grid::new(self.cols, self.rows, cells)
+    }
+
+    fn map(&self, f: impl Fn(&Term) -> Term) -> Grid {
+        Grid::new(self.rows, self.cols, self.cells.iter().map(f).collect())
+    }
+}
+
+/// Segment ranges (relative to the axis origin) for Top and Bottom.
+#[derive(Debug, Clone, Copy)]
+pub struct SegRanges {
+    /// Top segment `[t.0, t.1)`.
+    pub t: (usize, usize),
+    /// Bottom segment `[b.0, b.1)`.
+    pub b: (usize, usize),
+}
+
+/// Coerce a grid of literals to the requested split along rows/cols.
+fn coerce(g: Grid, want_rows: usize, want_cols: usize, segs: SegRanges) -> Result<Grid, SynthError> {
+    if g.rows == want_rows && g.cols == want_cols {
+        return Ok(g);
+    }
+    if g.rows != 1 && g.cols != 1 {
+        return Err(SynthError::NonConformal(format!(
+            "cannot coerce {}x{} grid to {}x{}",
+            g.rows, g.cols, want_rows, want_cols
+        )));
+    }
+    let t_len = segs.t.1 - segs.t.0;
+    let b_len = segs.b.1 - segs.b.0;
+    match g.cells.first() {
+        Some(Term::Ident(_)) if want_rows == 2 && want_cols == 2 => Ok(Grid::new(
+            2,
+            2,
+            vec![
+                Term::Ident(t_len),
+                Term::Zero(t_len, b_len),
+                Term::Zero(b_len, t_len),
+                Term::Ident(b_len),
+            ],
+        )),
+        Some(Term::Zero(r, c)) => {
+            let rows: Vec<usize> =
+                if want_rows == 2 { vec![t_len, b_len] } else { vec![*r] };
+            let cols: Vec<usize> =
+                if want_cols == 2 { vec![t_len, b_len] } else { vec![*c] };
+            let mut cells = Vec::new();
+            for rr in &rows {
+                for cc in &cols {
+                    cells.push(Term::Zero(*rr, *cc));
+                }
+            }
+            Ok(Grid::new(rows.len(), cols.len(), cells))
+        }
+        other => Err(SynthError::NonConformal(format!(
+            "grid shape mismatch on non-literal term {other:?}"
+        ))),
+    }
+}
+
+/// Partition a term into a block grid given the group and segments.
+pub fn partition_term(
+    program: &Program,
+    term: &Term,
+    dims: &mut Dims,
+    group: GroupId,
+    segs: SegRanges,
+) -> Result<Grid, SynthError> {
+    match term {
+        Term::V(v) => {
+            let row_in = dims.view_row_group(v).map(|g| g == group).unwrap_or(false);
+            let col_in = dims.view_col_group(v).map(|g| g == group).unwrap_or(false);
+            let row_ranges: Vec<(usize, usize)> = if row_in {
+                vec![(v.r0 + segs.t.0, v.r0 + segs.t.1), (v.r0 + segs.b.0, v.r0 + segs.b.1)]
+            } else {
+                vec![(v.r0, v.r1)]
+            };
+            let col_ranges: Vec<(usize, usize)> = if col_in {
+                vec![(v.c0 + segs.t.0, v.c0 + segs.t.1), (v.c0 + segs.b.0, v.c0 + segs.b.1)]
+            } else {
+                vec![(v.c0, v.c1)]
+            };
+            let mut cells = Vec::new();
+            for (r0, r1) in &row_ranges {
+                for (c0, c1) in &col_ranges {
+                    cells.push(region_term(program, v.op, *r0, *r1, *c0, *c1));
+                }
+            }
+            let g = Grid::new(row_ranges.len(), col_ranges.len(), cells);
+            Ok(if v.trans { g.transposed() } else { g })
+        }
+        Term::Ident(n) => Ok(Grid::single(Term::Ident(*n))),
+        Term::Zero(r, c) => Ok(Grid::single(Term::Zero(*r, *c))),
+        Term::T(inner) => Ok(partition_term(program, inner, dims, group, segs)?.transposed()),
+        Term::Neg(inner) => {
+            Ok(partition_term(program, inner, dims, group, segs)?
+                .map(|t| Term::Neg(Box::new(t.clone()))))
+        }
+        Term::Mul(a, b) => {
+            let ga = partition_term(program, a, dims, group, segs)?;
+            let gb = partition_term(program, b, dims, group, segs)?;
+            // reconcile inner dimension split
+            let inner = ga.cols.max(gb.rows);
+            let (ga_rows, gb_cols) = (ga.rows, gb.cols);
+            let ga = coerce(ga, ga_rows, inner, segs)?;
+            let gb = coerce(gb, inner, gb_cols, segs)?;
+            let mut cells = Vec::new();
+            for i in 0..ga.rows {
+                for j in 0..gb.cols {
+                    let mut sum = Vec::new();
+                    for k in 0..inner {
+                        sum.push(Term::Mul(
+                            Box::new(ga.cell(i, k).clone()),
+                            Box::new(gb.cell(k, j).clone()),
+                        ));
+                    }
+                    cells.push(Term::Add(sum));
+                }
+            }
+            Ok(Grid::new(ga.rows, gb.cols, cells))
+        }
+        Term::Add(ts) => {
+            let mut grids = Vec::new();
+            let mut rows = 1;
+            let mut cols = 1;
+            for t in ts {
+                let g = partition_term(program, t, dims, group, segs)?;
+                rows = rows.max(g.rows);
+                cols = cols.max(g.cols);
+                grids.push(g);
+            }
+            let grids: Vec<Grid> = grids
+                .into_iter()
+                .map(|g| coerce(g, rows, cols, segs))
+                .collect::<Result<_, _>>()?;
+            let mut cells = Vec::new();
+            for i in 0..rows {
+                for j in 0..cols {
+                    cells.push(Term::Add(
+                        grids.iter().map(|g| g.cell(i, j).clone()).collect(),
+                    ));
+                }
+            }
+            Ok(Grid::new(rows, cols, cells))
+        }
+    }
+}
+
+/// The operation solving a cell (the knowledge base of recognized
+/// patterns).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveOp {
+    /// `X = rhs`.
+    Assign,
+    /// `t · X = rhs` (`t` read as stored/transposed per its view).
+    TrsmLeft {
+        /// The triangular coefficient view.
+        t: View,
+    },
+    /// `X · t = rhs`.
+    TrsmRight {
+        /// The triangular coefficient view.
+        t: View,
+    },
+    /// `Xᵀ·X = rhs` (upper) or `X·Xᵀ = rhs` (lower).
+    Potrf {
+        /// Lower variant (`X·Xᵀ`).
+        lower: bool,
+    },
+    /// `l · X = I` with triangular `X` (triangular inversion).
+    Trtri {
+        /// The inverted operand's view.
+        l: View,
+    },
+    /// `l·X + X·u = rhs`.
+    Sylvester {
+        /// Left (effectively lower-triangular) coefficient.
+        l: View,
+        /// Right (effectively upper-triangular) coefficient.
+        u: View,
+    },
+    /// `L·U = rhs` with *both* factors unknown (LU factorization; `L`
+    /// carries the unit diagonal explicitly).
+    Getrf {
+        /// The lower factor's region (the cell's second output).
+        l: View,
+    },
+}
+
+/// A sequenced cell: updates + base + the solving operation.
+#[derive(Debug, Clone)]
+pub struct CellSolve {
+    /// The unknown region this cell computes (stored orientation).
+    pub out: View,
+    /// Second output for coupled two-factor cells (LU diagonal blocks).
+    pub out2: Option<View>,
+    /// Row segment index in the PME grid (0 = Top).
+    pub row_seg: usize,
+    /// Column segment index in the PME grid (0 = Top).
+    pub col_seg: usize,
+    /// Signed terms added to the base to form the right-hand side.
+    pub updates: Vec<Term>,
+    /// The base right-hand-side term (leaf view, identity, or zero).
+    pub base: Term,
+    /// The recognized solving operation.
+    pub op: SolveOp,
+    /// Outputs of sibling cells this cell reads (sequencing order).
+    pub deps: Vec<View>,
+    /// Whether the PME grid split rows / columns (2 segments).
+    pub grid: (usize, usize),
+}
+
+fn split_sign(t: &Term) -> (bool, Term) {
+    match t {
+        Term::Neg(inner) => {
+            let (s, core) = split_sign(inner);
+            (!s, core)
+        }
+        other => (false, other.clone()),
+    }
+}
+
+fn as_view(t: &Term) -> Option<View> {
+    match t {
+        Term::V(v) => Some(*v),
+        Term::T(inner) => match inner.as_ref() {
+            Term::V(v) => Some(v.t()),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn flatten_terms(t: &Term, out: &mut Vec<Term>) {
+    match t {
+        Term::Add(ts) => ts.iter().for_each(|x| flatten_terms(x, out)),
+        z if z.is_zero() => {}
+        other => out.push(other.clone()),
+    }
+}
+
+fn mentions_region(t: &Term, v: &View) -> bool {
+    let mut found = false;
+    t.for_each_view(&mut |w| {
+        if w.op == v.op && w.same_region(v) {
+            found = true;
+        }
+    });
+    found
+}
+
+/// Generate and sequence the PME cells for `lhs = rhs` over `group`.
+///
+/// `unknown_view` is the region of the unknown operand being computed by
+/// this equation instance.
+///
+/// # Errors
+///
+/// Returns [`SynthError::Unrecognized`] if a cell's unknown pattern does
+/// not match the knowledge base, or conformality errors from partitioning.
+#[allow(clippy::too_many_arguments)]
+pub fn pme_cells(
+    program: &Program,
+    lhs: &Term,
+    rhs: &Term,
+    unknowns: &[(OpId, View)],
+    dims: &mut Dims,
+    group: GroupId,
+    segs: SegRanges,
+) -> Result<Vec<CellSolve>, SynthError> {
+    let gl = partition_term(program, lhs, dims, group, segs)?;
+    let gr = partition_term(program, rhs, dims, group, segs)?;
+    let rows = gl.rows.max(gr.rows);
+    let cols = gl.cols.max(gr.cols);
+    let gl = coerce(gl, rows, cols, segs)?;
+    let gr = coerce(gr, rows, cols, segs)?;
+    let mut ugs = Vec::new();
+    for (op, view) in unknowns {
+        let ug = partition_term(program, &Term::V(*view), dims, group, segs)?;
+        ugs.push((*op, broadcast(ug, rows, cols)?));
+    }
+    build_cells(program, &gl, &gr, &ugs, rows, cols)
+}
+
+fn broadcast(g: Grid, rows: usize, cols: usize) -> Result<Grid, SynthError> {
+    if g.rows == rows && g.cols == cols {
+        return Ok(g);
+    }
+    Err(SynthError::NonConformal(format!(
+        "unknown grid {}x{} does not match equation grid {}x{}",
+        g.rows, g.cols, rows, cols
+    )))
+}
+
+fn build_cells(
+    _program: &Program,
+    gl: &Grid,
+    gr: &Grid,
+    ugs: &[(OpId, Grid)],
+    rows: usize,
+    cols: usize,
+) -> Result<Vec<CellSolve>, SynthError> {
+    // outputs of every cell, per unknown (None for zero/mirror blocks)
+    let mut outputs: Vec<Vec<View>> = vec![Vec::new(); rows * cols];
+    let mut canonical: Vec<bool> = vec![true; rows * cols];
+    for (_, ug) in ugs {
+        for i in 0..rows {
+            for j in 0..cols {
+                match ug.cell(i, j) {
+                    Term::V(v) => outputs[i * cols + j].push(*v),
+                    Term::T(_) => {
+                        // the mirrored half of a symmetric unknown: solved
+                        // via its canonical sibling + a mirror statement
+                        canonical[i * cols + j] = false;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    let mut cells = Vec::new();
+    for i in 0..rows {
+        for j in 0..cols {
+            let idx = i * cols + j;
+            if !canonical[idx] || outputs[idx].is_empty() {
+                continue; // consistency / mirrored cell
+            }
+            let cell_outs = outputs[idx].clone();
+            let out = cell_outs[0];
+            if out.is_empty() {
+                continue;
+            }
+            // Left-hand terms may contain the unknown; right-hand terms
+            // are known by construction (in-place algorithms read the
+            // unknown's storage for *values*, which must not be mistaken
+            // for the quantity being solved).
+            let mut lhs_terms = Vec::new();
+            flatten_terms(&gl.cell(i, j).clone().simplify(), &mut lhs_terms);
+            let mut rhs_terms = Vec::new();
+            flatten_terms(&gr.cell(i, j).clone().simplify(), &mut rhs_terms);
+
+            let mut active = Vec::new();
+            let mut passive = Vec::new();
+            for t in lhs_terms {
+                if cell_outs.iter().any(|o| mentions_region(&t, o)) {
+                    active.push(t);
+                } else {
+                    passive.push(t);
+                }
+            }
+            passive.extend(
+                rhs_terms
+                    .into_iter()
+                    .map(|t| Term::Neg(Box::new(t)).simplify()),
+            );
+            let op = recognize(&active, &cell_outs)?;
+            let out2 = match &op {
+                SolveOp::Getrf { l } => Some(*l),
+                _ => None,
+            };
+            // the primary output is the factor *not* reported as `l`
+            let out = match &op {
+                SolveOp::Getrf { l } => *cell_outs
+                    .iter()
+                    .find(|o| !o.same_region(l))
+                    .unwrap_or(&out),
+                _ => out,
+            };
+            // move passive terms to the right-hand side (flip signs); a
+            // plain view may serve as the base unless it is a *sibling*
+            // cell's output (then it is an update with a dependency)
+            let mut base = Term::Zero(out.r1 - out.r0, out.c1 - out.c0);
+            let mut updates = Vec::new();
+            for t in passive {
+                let flipped = Term::Neg(Box::new(t)).simplify();
+                let is_leaf = as_view(&flipped)
+                    .map(|v| {
+                        !outputs.iter().enumerate().any(|(k, os)| {
+                            k != idx && os.iter().any(|ov| ov.same_region(&v))
+                        })
+                    })
+                    .unwrap_or(matches!(flipped, Term::Ident(_)));
+                let (sign, _) = split_sign(&flipped);
+                if is_leaf && !sign && base.is_zero() {
+                    base = flipped;
+                } else {
+                    updates.push(flipped);
+                }
+            }
+            // dependencies: sibling outputs read by this cell
+            let mut deps = Vec::new();
+            for (k, others) in outputs.iter().enumerate() {
+                if k == idx {
+                    continue;
+                }
+                for o in others {
+                    let mentioned = updates.iter().any(|t| mentions_region(t, o))
+                        || active.iter().any(|t| mentions_region(t, o))
+                        || mentions_region(&base, o);
+                    if mentioned && !deps.contains(o) {
+                        deps.push(*o);
+                    }
+                }
+            }
+            cells.push(CellSolve {
+                out,
+                out2,
+                row_seg: i,
+                col_seg: j,
+                updates,
+                base,
+                op,
+                deps,
+                grid: (rows, cols),
+            });
+        }
+    }
+    // topological order by dependencies
+    let mut ordered: Vec<CellSolve> = Vec::with_capacity(cells.len());
+    let mut remaining = cells;
+    while !remaining.is_empty() {
+        let ready: Vec<usize> = remaining
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| {
+                c.deps.iter().all(|d| {
+                    let produced_by = |x: &CellSolve| {
+                        x.out.same_region(d)
+                            || x.out2.map_or(false, |o2| o2.same_region(d))
+                    };
+                    ordered.iter().any(|o| produced_by(o))
+                        || !remaining.iter().any(|r| produced_by(r))
+                })
+            })
+            .map(|(k, _)| k)
+            .collect();
+        if ready.is_empty() {
+            return Err(SynthError::Unrecognized(
+                "cyclic dependency among PME cells".into(),
+            ));
+        }
+        // remove in reverse index order to keep indices valid
+        for &k in ready.iter().rev() {
+            ordered.push(remaining.remove(k));
+        }
+        // restore textual order among the ready batch
+        let n = ordered.len();
+        let batch = &mut ordered[n - ready.len()..];
+        batch.sort_by_key(|c| (c.row_seg, c.col_seg));
+    }
+    Ok(ordered)
+}
+
+/// Sequence an *unpartitioned* equation as a single cell — used for the
+/// top-level HLAC statements before any partitioning.
+///
+/// # Errors
+///
+/// Returns [`SynthError::Unrecognized`] if the unknown pattern is not in
+/// the knowledge base.
+pub fn single_cell(
+    program: &Program,
+    lhs: &Term,
+    rhs: &Term,
+    unknowns: &[(OpId, View)],
+) -> Result<CellSolve, SynthError> {
+    let gl = Grid::single(lhs.clone().simplify());
+    let gr = Grid::single(rhs.clone().simplify());
+    let ugs: Vec<(OpId, Grid)> = unknowns
+        .iter()
+        .map(|(op, v)| (*op, Grid::single(Term::V(*v))))
+        .collect();
+    let cells = build_cells(program, &gl, &gr, &ugs, 1, 1)?;
+    cells
+        .into_iter()
+        .next()
+        .ok_or_else(|| SynthError::Unrecognized("equation yields no solvable cell".into()))
+}
+
+fn recognize(active: &[Term], outs: &[View]) -> Result<SolveOp, SynthError> {
+    let out = &outs[0];
+    let is_out = |v: &View| outs.iter().any(|o| v.op == o.op && v.same_region(o));
+    let cores: Vec<(bool, Term)> = active.iter().map(split_sign).collect();
+    match cores.len() {
+        1 => {
+            let (neg, core) = &cores[0];
+            if *neg {
+                return Err(SynthError::Unrecognized(format!(
+                    "negated solve term for {out}"
+                )));
+            }
+            match core {
+                Term::V(v) if is_out(v) => Ok(SolveOp::Assign),
+                Term::Mul(a, b) => {
+                    let av = as_view(a);
+                    let bv = as_view(b);
+                    // two distinct unknown factors: LU factorization
+                    // (lower-unit factor from the left, upper from the
+                    // right — anything else is outside the knowledge base)
+                    if outs.len() == 2 {
+                        if let (Some(x), Some(y)) = (av, bv) {
+                            if x.op != y.op && is_out(&x) && is_out(&y) {
+                                if x.read_structure()
+                                    == slingen_ir::Structure::LowerTriangular
+                                    && y.read_structure()
+                                        == slingen_ir::Structure::UpperTriangular
+                                {
+                                    return Ok(SolveOp::Getrf { l: x });
+                                }
+                                return Err(SynthError::Unrecognized(format!(
+                                    "two-factor pattern {core} is not L·U"
+                                )));
+                            }
+                        }
+                    }
+                    match (av, bv) {
+                        (Some(x), Some(y))
+                            if x.op == out.op
+                                && y.op == out.op
+                                && x.same_region(out)
+                                && y.same_region(out) =>
+                        {
+                            // Xᵀ·X (upper) or X·Xᵀ (lower)
+                            if x.trans && !y.trans {
+                                Ok(SolveOp::Potrf { lower: false })
+                            } else if !x.trans && y.trans {
+                                Ok(SolveOp::Potrf { lower: true })
+                            } else {
+                                Err(SynthError::Unrecognized(format!(
+                                    "quadratic pattern {core} for {out}"
+                                )))
+                            }
+                        }
+                        (Some(t), Some(x)) if x.op == out.op && x.same_region(out) => {
+                            // the coefficient may be an earlier-solved
+                            // region of the unknown itself (e.g. U_TL in
+                            // the potrf panel solve), but never the region
+                            // being solved
+                            if t.op == out.op && t.same_region(out) {
+                                return Err(SynthError::Unrecognized(format!(
+                                    "unknown coefficient {t} for {out}"
+                                )));
+                            }
+                            Ok(SolveOp::TrsmLeft { t })
+                        }
+                        (Some(x), Some(t)) if x.op == out.op && x.same_region(out) => {
+                            if t.op == out.op && t.same_region(out) {
+                                return Err(SynthError::Unrecognized(format!(
+                                    "unknown coefficient {t} for {out}"
+                                )));
+                            }
+                            Ok(SolveOp::TrsmRight { t })
+                        }
+                        _ => Err(SynthError::Unrecognized(format!(
+                            "product pattern {core} for {out}"
+                        ))),
+                    }
+                }
+                other => Err(SynthError::Unrecognized(format!(
+                    "solve pattern {other} for {out}"
+                ))),
+            }
+        }
+        2 => {
+            // l·X + X·u
+            let mut left: Option<View> = None;
+            let mut right: Option<View> = None;
+            for (neg, core) in &cores {
+                if *neg {
+                    return Err(SynthError::Unrecognized(format!(
+                        "negated Sylvester term for {out}"
+                    )));
+                }
+                if let Term::Mul(a, b) = core {
+                    let av = as_view(a);
+                    let bv = as_view(b);
+                    match (av, bv) {
+                        (Some(k), Some(x))
+                            if x.op == out.op
+                                && x.same_region(out)
+                                && !(k.op == out.op && k.same_region(out)) =>
+                        {
+                            left = Some(k);
+                        }
+                        (Some(x), Some(k))
+                            if x.op == out.op
+                                && x.same_region(out)
+                                && !(k.op == out.op && k.same_region(out)) =>
+                        {
+                            right = Some(k);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            match (left, right) {
+                (Some(l), Some(u)) => Ok(SolveOp::Sylvester { l, u }),
+                _ => Err(SynthError::Unrecognized(format!(
+                    "two-term pattern for {out}: {:?}",
+                    active.iter().map(|t| t.to_string()).collect::<Vec<_>>()
+                ))),
+            }
+        }
+        0 => Err(SynthError::Unrecognized(format!(
+            "cell for {out} has no unknown-bearing term"
+        ))),
+        n => Err(SynthError::Unrecognized(format!(
+            "{n} unknown-bearing terms for {out}"
+        ))),
+    }
+}
+
+/// Re-classify a [`SolveOp::TrsmLeft`] with an identity base as a
+/// triangular inversion when the unknown is triangular.
+pub fn refine_trtri(op: SolveOp, base: &Term, out: &View) -> SolveOp {
+    if let SolveOp::TrsmLeft { t } = &op {
+        if matches!(base, Term::Ident(_))
+            && matches!(
+                out.structure,
+                Structure::LowerTriangular | Structure::UpperTriangular
+            )
+        {
+            return SolveOp::Trtri { l: *t };
+        }
+    }
+    op
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conform::analyze;
+    use slingen_ir::structure::StorageHalf;
+    use slingen_ir::{Expr, OperandDecl, ProgramBuilder};
+
+    /// Build the paper's running example: Uᵀ·U = S (eq. 5), m = 8.
+    fn potrf_setup() -> (Program, Term, Term, OpId, View) {
+        let mut b = ProgramBuilder::new("potrf");
+        let s = b.declare(
+            OperandDecl::mat_in("S", 8, 8)
+                .with_structure(Structure::Symmetric(StorageHalf::Upper)),
+        );
+        let u = b.declare(
+            OperandDecl::mat_out("U", 8, 8).with_structure(Structure::UpperTriangular),
+        );
+        b.equation(Expr::op(u).t().mul(Expr::op(u)), Expr::op(s));
+        let p = b.build().unwrap();
+        let uv = View::full(&p, u);
+        let lhs = Term::Mul(Box::new(Term::V(uv.t())), Box::new(Term::V(uv)));
+        let rhs = region_term(&p, s, 0, 8, 0, 8);
+        (p, lhs, rhs, u, uv)
+    }
+
+    use slingen_ir::Program;
+
+    #[test]
+    fn potrf_pme_has_three_cells() {
+        let (p, lhs, rhs, u, uv) = potrf_setup();
+        let mut dims = analyze(&lhs, &rhs).unwrap();
+        let g = dims.groups()[0].0;
+        let segs = SegRanges { t: (0, 4), b: (4, 8) };
+        let cells = pme_cells(&p, &lhs, &rhs, &[(u, uv)], &mut dims, g, segs).unwrap();
+        // (T,T): potrf; (T,B): trsm; (B,B): syrk update + potrf.
+        // The (B,T) transposed duplicate must have been dropped.
+        assert_eq!(cells.len(), 3, "{cells:#?}");
+        assert!(matches!(cells[0].op, SolveOp::Potrf { lower: false }));
+        assert!(cells[0].updates.is_empty());
+        assert!(matches!(cells[1].op, SolveOp::TrsmLeft { .. }));
+        match &cells[1].op {
+            SolveOp::TrsmLeft { t } => {
+                assert!(t.trans, "coefficient is U_TLᵀ");
+                assert_eq!((t.r0, t.r1, t.c0, t.c1), (0, 4, 0, 4));
+            }
+            _ => unreachable!(),
+        }
+        assert!(matches!(cells[2].op, SolveOp::Potrf { lower: false }));
+        assert_eq!(cells[2].updates.len(), 1, "S_BR -= U_TBᵀ U_TB");
+        // cell 2 depends on cell 1's output (the U_TB panel)
+        assert_eq!(cells[2].deps.len(), 1);
+        assert!(cells[2].deps[0].same_region(&cells[1].out));
+    }
+
+    #[test]
+    fn potrf_cells_read_only_the_stored_half() {
+        let (p, lhs, rhs, u, uv) = potrf_setup();
+        let s = p.find("S").unwrap();
+        let mut dims = analyze(&lhs, &rhs).unwrap();
+        let g = dims.groups()[0].0;
+        let segs = SegRanges { t: (0, 4), b: (4, 8) };
+        let cells = pme_cells(&p, &lhs, &rhs, &[(u, uv)], &mut dims, g, segs).unwrap();
+        for c in &cells {
+            c.base.for_each_view(&mut |v| {
+                if v.op == s {
+                    assert!(v.r0 <= v.c0, "read of S must stay in the upper half: {v}");
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn trsm_pme_rows_partition() {
+        // Uᵀ X = B: partition the solve dimension
+        let mut b = ProgramBuilder::new("trsm");
+        let u = b.declare(
+            OperandDecl::mat_in("U", 8, 8).with_structure(Structure::UpperTriangular),
+        );
+        let bb = b.declare(OperandDecl::mat_in("B", 8, 5));
+        let x = b.declare(OperandDecl::mat_out("X", 8, 5));
+        b.assign(x, Expr::op(bb));
+        let p = b.build().unwrap();
+        let uv = View::full(&p, u);
+        let xv = View::full(&p, x);
+        let lhs = Term::Mul(Box::new(Term::V(uv.t())), Box::new(Term::V(xv)));
+        let rhs = region_term(&p, bb, 0, 8, 0, 5);
+        let mut dims = analyze(&lhs, &rhs).unwrap();
+        let solve_group = dims.view_row_group(&xv).unwrap();
+        let segs = SegRanges { t: (0, 4), b: (4, 8) };
+        let cells =
+            pme_cells(&p, &lhs, &rhs, &[(x, xv)], &mut dims, solve_group, segs).unwrap();
+        assert_eq!(cells.len(), 2);
+        // Uᵀ is lower triangular: forward substitution, cell T first with
+        // no updates, cell B updated by U_TBᵀ X_T.
+        assert!(matches!(cells[0].op, SolveOp::TrsmLeft { .. }));
+        assert!(cells[0].updates.is_empty());
+        assert_eq!(cells[1].updates.len(), 1);
+        assert_eq!(cells[1].deps.len(), 1);
+    }
+
+    #[test]
+    fn trtri_pme() {
+        // L X = I, X lower triangular
+        let mut b = ProgramBuilder::new("trtri");
+        let l = b.declare(
+            OperandDecl::mat_in("L", 8, 8)
+                .with_structure(Structure::LowerTriangular)
+                .with_properties(slingen_ir::Properties::ns()),
+        );
+        let x = b.declare(
+            OperandDecl::mat_out("X", 8, 8).with_structure(Structure::LowerTriangular),
+        );
+        b.assign(x, Expr::op(l));
+        let p = b.build().unwrap();
+        let lv = View::full(&p, l);
+        let xv = View::full(&p, x);
+        let lhs = Term::Mul(Box::new(Term::V(lv)), Box::new(Term::V(xv)));
+        let rhs = Term::Ident(8);
+        let mut dims = analyze(&lhs, &rhs).unwrap();
+        let g = dims.groups()[0].0;
+        let segs = SegRanges { t: (0, 4), b: (4, 8) };
+        let cells = pme_cells(&p, &lhs, &rhs, &[(x, xv)], &mut dims, g, segs).unwrap();
+        // (T,T): L_TT X_TT = I; (B,T): L_BB X_BT = -L_BT X_TT; (B,B): I.
+        // (T,B) vanishes (X_TB is structurally zero).
+        assert_eq!(cells.len(), 3, "{cells:#?}");
+        let diag: Vec<_> = cells.iter().filter(|c| c.row_seg == c.col_seg).collect();
+        assert_eq!(diag.len(), 2);
+        for c in diag {
+            let refined = refine_trtri(c.op.clone(), &c.base, &c.out);
+            assert!(matches!(refined, SolveOp::Trtri { .. }), "{refined:?}");
+        }
+        let off = cells.iter().find(|c| c.row_seg != c.col_seg).unwrap();
+        assert!(matches!(off.op, SolveOp::TrsmLeft { .. }));
+        assert_eq!(off.updates.len(), 1);
+        assert!(off.base.is_zero());
+    }
+
+    #[test]
+    fn lyapunov_pme_drops_mirrored_cell() {
+        // L X + X Lᵀ = S with X symmetric
+        let mut b = ProgramBuilder::new("trlya");
+        let l = b.declare(
+            OperandDecl::mat_in("L", 8, 8).with_structure(Structure::LowerTriangular),
+        );
+        let s = b.declare(
+            OperandDecl::mat_in("S", 8, 8)
+                .with_structure(Structure::Symmetric(StorageHalf::Lower)),
+        );
+        let x = b.declare(
+            OperandDecl::mat_out("X", 8, 8)
+                .with_structure(Structure::Symmetric(StorageHalf::Lower)),
+        );
+        b.assign(x, Expr::op(s));
+        let p = b.build().unwrap();
+        let lv = View::full(&p, l);
+        let xv = View::full(&p, x);
+        let lhs = Term::Add(vec![
+            Term::Mul(Box::new(Term::V(lv)), Box::new(Term::V(xv))),
+            Term::Mul(Box::new(Term::V(xv)), Box::new(Term::V(lv.t()))),
+        ]);
+        let rhs = region_term(&p, s, 0, 8, 0, 8);
+        let mut dims = analyze(&lhs, &rhs).unwrap();
+        let g = dims.groups()[0].0;
+        let segs = SegRanges { t: (0, 4), b: (4, 8) };
+        let cells = pme_cells(&p, &lhs, &rhs, &[(x, xv)], &mut dims, g, segs).unwrap();
+        // (T,T) lyapunov, (B,T) sylvester, (B,B) lyapunov; (T,B) mirrored.
+        assert_eq!(cells.len(), 3, "{cells:#?}");
+        assert!(matches!(cells[0].op, SolveOp::Sylvester { .. }));
+        assert!(matches!(cells[1].op, SolveOp::Sylvester { .. }));
+        assert!(matches!(cells[2].op, SolveOp::Sylvester { .. }));
+        let off = cells.iter().find(|c| (c.row_seg, c.col_seg) == (1, 0)).unwrap();
+        match &off.op {
+            SolveOp::Sylvester { l: lft, u } => {
+                assert!(!lft.trans);
+                assert!(u.trans, "right coefficient is L_TTᵀ");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // (B,B) updates reference the mirrored panel (canonical region)
+        let bb = cells.iter().find(|c| (c.row_seg, c.col_seg) == (1, 1)).unwrap();
+        assert_eq!(bb.updates.len(), 2, "{bb:#?}");
+    }
+
+    #[test]
+    fn empty_segments_produce_empty_cells() {
+        let (p, lhs, rhs, u, uv) = potrf_setup();
+        let mut dims = analyze(&lhs, &rhs).unwrap();
+        let g = dims.groups()[0].0;
+        // first lazy iteration: T is empty
+        let segs = SegRanges { t: (0, 0), b: (0, 4) };
+        let cells = pme_cells(&p, &lhs, &rhs, &[(u, uv)], &mut dims, g, segs).unwrap();
+        // only the (B,B) cell has a nonempty output
+        let nonempty: Vec<_> = cells.iter().filter(|c| !c.out.is_empty()).collect();
+        assert_eq!(nonempty.len(), 1);
+        assert!(matches!(nonempty[0].op, SolveOp::Potrf { lower: false }));
+        assert!(nonempty[0].updates.iter().all(|t| t.is_zero()) || nonempty[0].updates.is_empty());
+    }
+}

@@ -1,0 +1,360 @@
+//! Basic LA programs: the output of Stage 1.
+//!
+//! A basic program is a straight-line sequence of statements over operand
+//! *regions*: sBLACs (`lhs-view = ±view·view ± ...`), element-wise
+//! divisions by a scalar region, scalar square roots, and region copies
+//! (including the transposed copies that maintain full storage of
+//! symmetric results). Stage 2 (`slingen-lgen`) lowers each statement to
+//! tiled, vectorized C-IR.
+
+use crate::term::View;
+use slingen_ir::Program;
+
+/// Right-hand sides of basic statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VExpr {
+    /// A region read.
+    View(View),
+    /// A scalar literal (1×1).
+    Lit(f64),
+    /// Sum.
+    Add(Box<VExpr>, Box<VExpr>),
+    /// Difference.
+    Sub(Box<VExpr>, Box<VExpr>),
+    /// Product (matrix × matrix, matrix × scalar-region, ...).
+    Mul(Box<VExpr>, Box<VExpr>),
+    /// Negation.
+    Neg(Box<VExpr>),
+    /// Element-wise division by a 1×1 region (paper rule R0 shape).
+    Div(Box<VExpr>, Box<VExpr>),
+    /// Scalar square root (1×1).
+    Sqrt(Box<VExpr>),
+}
+
+impl VExpr {
+    /// Rows of the expression.
+    pub fn rows(&self) -> usize {
+        match self {
+            VExpr::View(v) => v.rows(),
+            VExpr::Lit(_) => 1,
+            VExpr::Add(a, _) | VExpr::Sub(a, _) => a.rows(),
+            VExpr::Mul(a, b) => {
+                if a.rows() == 1 && a.cols() == 1 {
+                    b.rows()
+                } else {
+                    a.rows()
+                }
+            }
+            VExpr::Neg(a) | VExpr::Div(a, _) | VExpr::Sqrt(a) => a.rows(),
+        }
+    }
+
+    /// Columns of the expression.
+    pub fn cols(&self) -> usize {
+        match self {
+            VExpr::View(v) => v.cols(),
+            VExpr::Lit(_) => 1,
+            VExpr::Add(a, _) | VExpr::Sub(a, _) => a.cols(),
+            VExpr::Mul(a, b) => {
+                if b.rows() == 1 && b.cols() == 1 && !(a.rows() == 1 && a.cols() == 1) {
+                    a.cols()
+                } else {
+                    b.cols()
+                }
+            }
+            VExpr::Neg(a) | VExpr::Div(a, _) | VExpr::Sqrt(a) => a.cols(),
+        }
+    }
+
+    /// Visit all views.
+    pub fn for_each_view(&self, f: &mut impl FnMut(&View)) {
+        match self {
+            VExpr::View(v) => f(v),
+            VExpr::Lit(_) => {}
+            VExpr::Add(a, b) | VExpr::Sub(a, b) | VExpr::Mul(a, b) | VExpr::Div(a, b) => {
+                a.for_each_view(f);
+                b.for_each_view(f);
+            }
+            VExpr::Neg(a) | VExpr::Sqrt(a) => a.for_each_view(f),
+        }
+    }
+}
+
+/// One basic statement: `lhs = rhs` over regions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasicStmt {
+    /// Written region (never transposed; transposition lives in reads).
+    pub lhs: View,
+    /// Right-hand side.
+    pub rhs: VExpr,
+}
+
+/// A straight-line basic LA program over a [`Program`]'s operands.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BasicProgram {
+    /// The statements in execution order.
+    pub stmts: Vec<BasicStmt>,
+}
+
+impl BasicProgram {
+    /// An empty program.
+    pub fn new() -> Self {
+        BasicProgram::default()
+    }
+
+    /// Append a statement, dropping empty-region no-ops.
+    pub fn push(&mut self, stmt: BasicStmt) {
+        if stmt.lhs.is_empty() {
+            return;
+        }
+        self.stmts.push(stmt);
+    }
+
+    /// Number of statements.
+    pub fn len(&self) -> usize {
+        self.stmts.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.stmts.is_empty()
+    }
+
+    /// Render against the operand names of `program`.
+    pub fn render(&self, program: &Program) -> String {
+        let mut out = String::new();
+        for s in &self.stmts {
+            out.push_str(&render_stmt(program, s));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn render_view(program: &Program, v: &View) -> String {
+    format!(
+        "{}[{}:{}, {}:{}]{}",
+        program.operand(v.op).name,
+        v.r0,
+        v.r1,
+        v.c0,
+        v.c1,
+        if v.trans { "'" } else { "" }
+    )
+}
+
+fn render_expr(program: &Program, e: &VExpr) -> String {
+    match e {
+        VExpr::View(v) => render_view(program, v),
+        VExpr::Lit(x) => format!("{x}"),
+        VExpr::Add(a, b) => format!("({} + {})", render_expr(program, a), render_expr(program, b)),
+        VExpr::Sub(a, b) => format!("({} - {})", render_expr(program, a), render_expr(program, b)),
+        VExpr::Mul(a, b) => format!("{} * {}", render_expr(program, a), render_expr(program, b)),
+        VExpr::Neg(a) => format!("-{}", render_expr(program, a)),
+        VExpr::Div(a, b) => format!("{} / {}", render_expr(program, a), render_expr(program, b)),
+        VExpr::Sqrt(a) => format!("sqrt({})", render_expr(program, a)),
+    }
+}
+
+fn render_stmt(program: &Program, s: &BasicStmt) -> String {
+    format!("{} = {};", render_view(program, &s.lhs), render_expr(program, &s.rhs))
+}
+
+/// Reference evaluation of a basic program on dense row-major buffers —
+/// the semantic ground truth used by synthesis and lowering tests, and by
+/// the driver's self-checks.
+pub mod eval {
+    use super::{BasicProgram, BasicStmt, VExpr};
+    use crate::term::View;
+    use slingen_ir::{OpId, Program};
+    use std::collections::HashMap;
+
+    /// Dense value of an expression: `rows × cols` in row-major order.
+    #[derive(Debug, Clone)]
+    struct Val {
+        rows: usize,
+        cols: usize,
+        data: Vec<f64>,
+    }
+
+    fn read_view(program: &Program, bufs: &HashMap<OpId, Vec<f64>>, v: &View) -> Val {
+        let stride = program.operand(v.op).shape.cols;
+        let buf = &bufs[&v.op];
+        let (rows, cols) = (v.rows(), v.cols());
+        let mut data = vec![0.0; rows * cols];
+        for i in 0..rows {
+            for j in 0..cols {
+                let (si, sj) = if v.trans { (j, i) } else { (i, j) };
+                data[i * cols + j] = buf[(v.r0 + si) * stride + (v.c0 + sj)];
+            }
+        }
+        Val { rows, cols, data }
+    }
+
+    fn eval_expr(program: &Program, bufs: &HashMap<OpId, Vec<f64>>, e: &VExpr) -> Val {
+        match e {
+            VExpr::View(v) => read_view(program, bufs, v),
+            VExpr::Lit(x) => Val { rows: 1, cols: 1, data: vec![*x] },
+            VExpr::Add(a, b) | VExpr::Sub(a, b) => {
+                let x = eval_expr(program, bufs, a);
+                let y = eval_expr(program, bufs, b);
+                assert_eq!((x.rows, x.cols), (y.rows, y.cols), "elementwise shape");
+                let sign = if matches!(e, VExpr::Sub(..)) { -1.0 } else { 1.0 };
+                Val {
+                    rows: x.rows,
+                    cols: x.cols,
+                    data: x
+                        .data
+                        .iter()
+                        .zip(&y.data)
+                        .map(|(p, q)| p + sign * q)
+                        .collect(),
+                }
+            }
+            VExpr::Mul(a, b) => {
+                let x = eval_expr(program, bufs, a);
+                let y = eval_expr(program, bufs, b);
+                if x.rows == 1 && x.cols == 1 {
+                    return Val {
+                        rows: y.rows,
+                        cols: y.cols,
+                        data: y.data.iter().map(|q| x.data[0] * q).collect(),
+                    };
+                }
+                if y.rows == 1 && y.cols == 1 {
+                    return Val {
+                        rows: x.rows,
+                        cols: x.cols,
+                        data: x.data.iter().map(|p| p * y.data[0]).collect(),
+                    };
+                }
+                assert_eq!(x.cols, y.rows, "product shapes");
+                let mut data = vec![0.0; x.rows * y.cols];
+                for i in 0..x.rows {
+                    for k in 0..x.cols {
+                        let v = x.data[i * x.cols + k];
+                        for j in 0..y.cols {
+                            data[i * y.cols + j] += v * y.data[k * y.cols + j];
+                        }
+                    }
+                }
+                Val { rows: x.rows, cols: y.cols, data }
+            }
+            VExpr::Neg(a) => {
+                let x = eval_expr(program, bufs, a);
+                Val { rows: x.rows, cols: x.cols, data: x.data.iter().map(|p| -p).collect() }
+            }
+            VExpr::Div(a, b) => {
+                let x = eval_expr(program, bufs, a);
+                let y = eval_expr(program, bufs, b);
+                assert_eq!((y.rows, y.cols), (1, 1), "divisor must be scalar");
+                Val {
+                    rows: x.rows,
+                    cols: x.cols,
+                    data: x.data.iter().map(|p| p / y.data[0]).collect(),
+                }
+            }
+            VExpr::Sqrt(a) => {
+                let x = eval_expr(program, bufs, a);
+                Val { rows: x.rows, cols: x.cols, data: x.data.iter().map(|p| p.sqrt()).collect() }
+            }
+        }
+    }
+
+    fn write_view(
+        program: &Program,
+        bufs: &mut HashMap<OpId, Vec<f64>>,
+        v: &View,
+        val: &Val,
+    ) {
+        assert_eq!((val.rows, val.cols), (v.rows(), v.cols()), "store shape");
+        let stride = program.operand(v.op).shape.cols;
+        let buf = bufs.get_mut(&v.op).expect("destination buffer");
+        for i in 0..val.rows {
+            for j in 0..val.cols {
+                buf[(v.r0 + i) * stride + (v.c0 + j)] = val.data[i * val.cols + j];
+            }
+        }
+    }
+
+    /// Execute one statement.
+    pub fn run_stmt(
+        program: &Program,
+        bufs: &mut HashMap<OpId, Vec<f64>>,
+        stmt: &BasicStmt,
+    ) {
+        let val = eval_expr(program, bufs, &stmt.rhs);
+        write_view(program, bufs, &stmt.lhs, &val);
+    }
+
+    /// Execute a whole basic program. `bufs` maps every referenced operand
+    /// to its row-major storage.
+    pub fn run(
+        program: &Program,
+        basic: &BasicProgram,
+        bufs: &mut HashMap<OpId, Vec<f64>>,
+    ) {
+        for s in &basic.stmts {
+            run_stmt(program, bufs, s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slingen_ir::{Expr, OperandDecl, ProgramBuilder, Structure};
+
+    #[test]
+    fn push_drops_empty_regions() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.declare(OperandDecl::mat_in("A", 4, 4));
+        let c = b.declare(OperandDecl::mat_out("C", 4, 4));
+        b.assign(c, Expr::op(a));
+        let p = b.build().unwrap();
+        let mut bp = BasicProgram::new();
+        let full = View::full(&p, c);
+        let empty = View { r0: 2, r1: 2, ..full };
+        bp.push(BasicStmt { lhs: empty, rhs: VExpr::View(full) });
+        assert!(bp.is_empty());
+        bp.push(BasicStmt { lhs: full, rhs: VExpr::View(View::full(&p, a)) });
+        assert_eq!(bp.len(), 1);
+    }
+
+    #[test]
+    fn rendering_names_operands() {
+        let mut b = ProgramBuilder::new("t");
+        let l = b.declare(
+            OperandDecl::mat_in("L", 4, 4).with_structure(Structure::LowerTriangular),
+        );
+        let x = b.declare(OperandDecl::mat_out("X", 4, 4));
+        b.assign(x, Expr::op(l));
+        let p = b.build().unwrap();
+        let mut bp = BasicProgram::new();
+        let lv = View::full(&p, l);
+        let xv = View::full(&p, x);
+        bp.push(BasicStmt {
+            lhs: xv,
+            rhs: VExpr::Sub(Box::new(VExpr::View(xv)), Box::new(VExpr::Mul(
+                Box::new(VExpr::View(lv.t())),
+                Box::new(VExpr::View(lv)),
+            ))),
+        });
+        let text = bp.render(&p);
+        assert!(text.contains("X[0:4, 0:4] = (X[0:4, 0:4] - L[0:4, 0:4]' * L[0:4, 0:4]);"), "{text}");
+    }
+
+    #[test]
+    fn expr_shapes() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.declare(OperandDecl::mat_in("A", 4, 2));
+        let c = b.declare(OperandDecl::mat_out("C", 4, 4));
+        b.assign(c, Expr::op(a).mul(Expr::op(a).t()));
+        let p = b.build().unwrap();
+        let av = View::full(&p, a);
+        let prod = VExpr::Mul(Box::new(VExpr::View(av)), Box::new(VExpr::View(av.t())));
+        assert_eq!((prod.rows(), prod.cols()), (4, 4));
+        let scaled = VExpr::Mul(Box::new(VExpr::Lit(2.0)), Box::new(VExpr::View(av)));
+        assert_eq!((scaled.rows(), scaled.cols()), (4, 2));
+    }
+}

@@ -1,0 +1,543 @@
+//! Views and the block-term language of the synthesis engine.
+
+use slingen_ir::structure::StorageHalf;
+use slingen_ir::{OpId, Program, Structure};
+use std::fmt;
+
+/// A rectangular region of a declared operand, optionally transposed.
+///
+/// Regions are half-open: rows `r0..r1`, columns `c0..c1`. The `structure`
+/// describes the region *as stored* (e.g. the diagonal block of an upper
+/// triangular operand is upper triangular; an off-diagonal block is
+/// general).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct View {
+    /// The underlying operand.
+    pub op: OpId,
+    /// First row (inclusive).
+    pub r0: usize,
+    /// Last row (exclusive).
+    pub r1: usize,
+    /// First column (inclusive).
+    pub c0: usize,
+    /// Last column (exclusive).
+    pub c1: usize,
+    /// Read transposed.
+    pub trans: bool,
+    /// Structure of the stored region.
+    pub structure: Structure,
+}
+
+impl View {
+    /// The full (untransposed) view of an operand.
+    pub fn full(program: &Program, op: OpId) -> View {
+        let d = program.operand(op);
+        View {
+            op,
+            r0: 0,
+            r1: d.shape.rows,
+            c0: 0,
+            c1: d.shape.cols,
+            trans: false,
+            structure: d.structure,
+        }
+    }
+
+    /// Rows of the view as read (after transposition).
+    pub fn rows(&self) -> usize {
+        if self.trans {
+            self.c1 - self.c0
+        } else {
+            self.r1 - self.r0
+        }
+    }
+
+    /// Columns of the view as read.
+    pub fn cols(&self) -> usize {
+        if self.trans {
+            self.r1 - self.r0
+        } else {
+            self.c1 - self.c0
+        }
+    }
+
+    /// Whether the region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.r0 >= self.r1 || self.c0 >= self.c1
+    }
+
+    /// Whether the region is a single element.
+    pub fn is_scalar(&self) -> bool {
+        self.r1 - self.r0 == 1 && self.c1 - self.c0 == 1
+    }
+
+    /// The transposed view.
+    pub fn t(mut self) -> View {
+        self.trans = !self.trans;
+        self
+    }
+
+    /// Structure as *read* (transposition flips triangles).
+    pub fn read_structure(&self) -> Structure {
+        if self.trans {
+            self.structure.transposed()
+        } else {
+            self.structure
+        }
+    }
+
+    /// Canonical coordinates for region identity: transposition is a read
+    /// mode, not a different region, and the two mirror coordinates of a
+    /// symmetric operand name the same stored data.
+    fn canonical_coords(&self) -> (usize, usize, usize, usize) {
+        if self.structure.is_symmetric() && (self.c0, self.r0) < (self.r0, self.c0) {
+            (self.c0, self.c1, self.r0, self.r1)
+        } else {
+            (self.r0, self.r1, self.c0, self.c1)
+        }
+    }
+
+    /// Whether two views name the same stored region (ignoring the
+    /// transposition read flag; mirror coordinates of symmetric operands
+    /// compare equal).
+    pub fn same_region(&self, other: &View) -> bool {
+        self.op == other.op && self.canonical_coords() == other.canonical_coords()
+    }
+}
+
+impl fmt::Display for View {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "%{}[{}:{}, {}:{}]{}",
+            self.op.0,
+            self.r0,
+            self.r1,
+            self.c0,
+            self.c1,
+            if self.trans { "'" } else { "" }
+        )
+    }
+}
+
+/// Structure of a sub-region of an operand with structure `s`.
+///
+/// Regions are classified relative to the operand's diagonal. Off-diagonal
+/// blocks of triangular operands are `Zero` (above a lower triangle) or
+/// `General`; diagonal blocks keep the structure.
+pub fn region_structure(s: Structure, r0: usize, r1: usize, c0: usize, c1: usize) -> Structure {
+    use Structure::*;
+    match s {
+        General => General,
+        Zero => Zero,
+        LowerTriangular => {
+            if r0 == c0 && r1 == c1 {
+                LowerTriangular
+            } else if r0 >= c1 {
+                // strictly below the diagonal
+                General
+            } else if c0 >= r1 {
+                Zero
+            } else {
+                // straddles the diagonal (only happens for unaligned
+                // partitions, which the engine never produces)
+                General
+            }
+        }
+        UpperTriangular => {
+            if r0 == c0 && r1 == c1 {
+                UpperTriangular
+            } else if c0 >= r1 {
+                General
+            } else if r0 >= c1 {
+                Zero
+            } else {
+                General
+            }
+        }
+        Symmetric(h) => {
+            if r0 == c0 && r1 == c1 {
+                Symmetric(h)
+            } else {
+                General
+            }
+        }
+        Diagonal => {
+            if r0 == c0 && r1 == c1 {
+                Diagonal
+            } else {
+                Zero
+            }
+        }
+        Identity => {
+            if r0 == c0 && r1 == c1 {
+                Identity
+            } else {
+                Zero
+            }
+        }
+    }
+}
+
+/// Construct the term for region `(r0..r1, c0..c1)` of operand `op`.
+///
+/// For symmetric operands stored in one half, a region in the *other*
+/// half is returned as the transpose of the mirrored stored region —
+/// this is what makes transposed-duplicate PME cells recognizable.
+pub fn region_term(program: &Program, op: OpId, r0: usize, r1: usize, c0: usize, c1: usize) -> Term {
+    if r0 >= r1 || c0 >= c1 {
+        // empty regions behave as zero blocks so boundary iterations of
+        // the derivation fold away
+        return Term::Zero(r1.saturating_sub(r0), c1.saturating_sub(c0));
+    }
+    let s = program.operand(op).structure;
+    let rs = region_structure(s, r0, r1, c0, c1);
+    if rs == Structure::Zero {
+        return Term::Zero(r1 - r0, c1 - c0);
+    }
+    if rs == Structure::Identity {
+        return Term::Ident(r1 - r0);
+    }
+    if let Structure::Symmetric(half) = s {
+        let mirrored = match half {
+            StorageHalf::Upper => r0 > c0 || (r0 == c0 && r1 != c1 && r0 >= c1),
+            StorageHalf::Lower => c0 > r0 || (r0 == c0 && r1 != c1 && c0 >= r1),
+        };
+        // Only off-diagonal blocks mirror; diagonal blocks stay.
+        if !(r0 == c0 && r1 == c1) && mirrored {
+            return Term::T(Box::new(Term::V(View {
+                op,
+                r0: c0,
+                r1: c1,
+                c0: r0,
+                c1: r1,
+                trans: false,
+                structure: region_structure(s, c0, c1, r0, r1),
+            })));
+        }
+    }
+    Term::V(View { op, r0, r1, c0, c1, trans: false, structure: rs })
+}
+
+/// A block term: the expression language the PME engine rewrites.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Term {
+    /// A view of an operand region.
+    V(View),
+    /// An identity block of the given order.
+    Ident(usize),
+    /// A zero block (`rows × cols`).
+    Zero(usize, usize),
+    /// Transpose.
+    T(Box<Term>),
+    /// Negation.
+    Neg(Box<Term>),
+    /// Product.
+    Mul(Box<Term>, Box<Term>),
+    /// Sum of terms.
+    Add(Vec<Term>),
+}
+
+impl Term {
+    /// Rows of the term as read.
+    pub fn rows(&self) -> usize {
+        match self {
+            Term::V(v) => v.rows(),
+            Term::Ident(n) => *n,
+            Term::Zero(r, _) => *r,
+            Term::T(t) => t.cols(),
+            Term::Neg(t) => t.rows(),
+            Term::Mul(a, _) => a.rows(),
+            Term::Add(ts) => ts.first().map_or(0, Term::rows),
+        }
+    }
+
+    /// Columns of the term as read.
+    pub fn cols(&self) -> usize {
+        match self {
+            Term::V(v) => v.cols(),
+            Term::Ident(n) => *n,
+            Term::Zero(_, c) => *c,
+            Term::T(t) => t.rows(),
+            Term::Neg(t) => t.cols(),
+            Term::Mul(_, b) => b.cols(),
+            Term::Add(ts) => ts.first().map_or(0, Term::cols),
+        }
+    }
+
+    /// Whether the term is identically zero.
+    pub fn is_zero(&self) -> bool {
+        match self {
+            Term::Zero(..) => true,
+            Term::Neg(t) | Term::T(t) => t.is_zero(),
+            Term::Mul(a, b) => a.is_zero() || b.is_zero(),
+            Term::Add(ts) => ts.iter().all(Term::is_zero),
+            _ => false,
+        }
+    }
+
+    /// Visit all views.
+    pub fn for_each_view(&self, f: &mut impl FnMut(&View)) {
+        match self {
+            Term::V(v) => f(v),
+            Term::T(t) | Term::Neg(t) => t.for_each_view(f),
+            Term::Mul(a, b) => {
+                a.for_each_view(f);
+                b.for_each_view(f);
+            }
+            Term::Add(ts) => ts.iter().for_each(|t| t.for_each_view(f)),
+            _ => {}
+        }
+    }
+
+    /// Whether any view belongs to `op`.
+    pub fn mentions(&self, op: OpId) -> bool {
+        let mut found = false;
+        self.for_each_view(&mut |v| {
+            if v.op == op {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Simplify: remove zero summands, fold `T(T(x))`, push transposes and
+    /// negations inward, collapse products with identity, flatten nested
+    /// sums.
+    pub fn simplify(self) -> Term {
+        match self {
+            Term::T(inner) => match inner.simplify() {
+                Term::T(x) => *x,
+                Term::V(v) => Term::V(v.t()),
+                Term::Ident(n) => Term::Ident(n),
+                Term::Zero(r, c) => Term::Zero(c, r),
+                Term::Neg(x) => Term::Neg(Box::new(Term::T(x).simplify())),
+                Term::Mul(a, b) => Term::Mul(
+                    Box::new(Term::T(b).simplify()),
+                    Box::new(Term::T(a).simplify()),
+                ),
+                Term::Add(ts) => {
+                    Term::Add(ts.into_iter().map(|t| Term::T(Box::new(t)).simplify()).collect())
+                }
+            },
+            Term::Neg(inner) => match inner.simplify() {
+                Term::Neg(x) => *x,
+                Term::Zero(r, c) => Term::Zero(r, c),
+                Term::Add(ts) => Term::Add(
+                    ts.into_iter().map(|t| Term::Neg(Box::new(t)).simplify()).collect(),
+                ),
+                x => Term::Neg(Box::new(x)),
+            },
+            Term::Mul(a, b) => {
+                let a = a.simplify();
+                let b = b.simplify();
+                if a.is_zero() || b.is_zero() {
+                    return Term::Zero(a.rows(), b.cols());
+                }
+                if let Term::Ident(_) = a {
+                    return b;
+                }
+                if let Term::Ident(_) = b {
+                    return a;
+                }
+                // pull negations out of products
+                match (a, b) {
+                    (Term::Neg(x), Term::Neg(y)) => Term::Mul(x, y),
+                    (Term::Neg(x), y) => Term::Neg(Box::new(Term::Mul(x, Box::new(y)))),
+                    (x, Term::Neg(y)) => Term::Neg(Box::new(Term::Mul(Box::new(x), y))),
+                    (x, y) => Term::Mul(Box::new(x), Box::new(y)),
+                }
+            }
+            Term::Add(ts) => {
+                let mut flat = Vec::new();
+                for t in ts {
+                    match t.simplify() {
+                        Term::Add(inner) => flat.extend(inner),
+                        z if z.is_zero() => {}
+                        other => flat.push(other),
+                    }
+                }
+                match flat.len() {
+                    0 => Term::Zero(0, 0),
+                    1 => flat.pop().unwrap(),
+                    _ => Term::Add(flat),
+                }
+            }
+            leaf => leaf,
+        }
+    }
+
+    /// The transpose, simplified.
+    pub fn transposed(&self) -> Term {
+        Term::T(Box::new(self.clone())).simplify()
+    }
+
+    /// Structural equality modulo symmetric-view canonicalization.
+    pub fn equivalent(&self, other: &Term) -> bool {
+        match (self, other) {
+            (Term::V(a), Term::V(b)) => a.same_region(b),
+            (Term::Ident(a), Term::Ident(b)) => a == b,
+            (Term::Zero(r1, c1), Term::Zero(r2, c2)) => r1 == r2 && c1 == c2,
+            (Term::T(a), Term::T(b)) => a.equivalent(b),
+            (Term::Neg(a), Term::Neg(b)) => a.equivalent(b),
+            (Term::Mul(a1, b1), Term::Mul(a2, b2)) => a1.equivalent(a2) && b1.equivalent(b2),
+            (Term::Add(x), Term::Add(y)) => {
+                x.len() == y.len()
+                    && x.iter().all(|t| y.iter().any(|u| t.equivalent(u)))
+            }
+            // symmetric view read through its transpose
+            (Term::V(a), Term::T(b)) | (Term::T(b), Term::V(a)) => match b.as_ref() {
+                Term::V(bv) => a.same_region(&bv.t()),
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::V(v) => write!(f, "{v}"),
+            Term::Ident(n) => write!(f, "I{n}"),
+            Term::Zero(r, c) => write!(f, "0({r}x{c})"),
+            Term::T(t) => write!(f, "({t})'"),
+            Term::Neg(t) => write!(f, "-({t})"),
+            Term::Mul(a, b) => write!(f, "({a} * {b})"),
+            Term::Add(ts) => {
+                write!(f, "(")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " + ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slingen_ir::{OperandDecl, ProgramBuilder};
+
+    fn test_program() -> (Program, OpId, OpId, OpId) {
+        let mut b = ProgramBuilder::new("t");
+        let l = b.declare(
+            OperandDecl::mat_in("L", 8, 8).with_structure(Structure::LowerTriangular),
+        );
+        let s = b.declare(
+            OperandDecl::mat_in("S", 8, 8)
+                .with_structure(Structure::Symmetric(StorageHalf::Upper)),
+        );
+        let x = b.declare(OperandDecl::mat_out("X", 8, 8));
+        // trivial statement so the program validates
+        b.assign(x, slingen_ir::Expr::op(l).mul(slingen_ir::Expr::op(s)));
+        (b.build().unwrap(), l, s, x)
+    }
+
+    #[test]
+    fn region_structures() {
+        use Structure::*;
+        assert_eq!(region_structure(LowerTriangular, 0, 4, 0, 4), LowerTriangular);
+        assert_eq!(region_structure(LowerTriangular, 4, 8, 0, 4), General);
+        assert_eq!(region_structure(LowerTriangular, 0, 4, 4, 8), Zero);
+        assert_eq!(region_structure(UpperTriangular, 0, 4, 4, 8), General);
+        assert_eq!(region_structure(UpperTriangular, 4, 8, 0, 4), Zero);
+        assert_eq!(
+            region_structure(Symmetric(StorageHalf::Upper), 4, 8, 4, 8),
+            Symmetric(StorageHalf::Upper)
+        );
+        assert_eq!(region_structure(Identity, 0, 4, 0, 4), Identity);
+        assert_eq!(region_structure(Identity, 4, 8, 0, 4), Zero);
+    }
+
+    #[test]
+    fn region_terms_fold_zero_blocks() {
+        let (p, l, _, _) = test_program();
+        assert!(matches!(region_term(&p, l, 0, 4, 4, 8), Term::Zero(4, 4)));
+        match region_term(&p, l, 4, 8, 4, 8) {
+            Term::V(v) => assert_eq!(v.structure, Structure::LowerTriangular),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn symmetric_lower_half_mirrors() {
+        let (p, _, s, _) = test_program();
+        // below-diagonal block of an UpSym operand reads as the transpose
+        // of the stored block
+        match region_term(&p, s, 4, 8, 0, 4) {
+            Term::T(inner) => match *inner {
+                Term::V(v) => {
+                    assert_eq!((v.r0, v.r1, v.c0, v.c1), (0, 4, 4, 8));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+        // stored half reads directly
+        assert!(matches!(region_term(&p, s, 0, 4, 4, 8), Term::V(_)));
+    }
+
+    #[test]
+    fn simplify_folds() {
+        let (p, l, _, x) = test_program();
+        let lv = region_term(&p, l, 4, 8, 0, 4);
+        let z = Term::Zero(4, 4);
+        // 0 * L + L = L
+        let t = Term::Add(vec![
+            Term::Mul(Box::new(z.clone()), Box::new(lv.clone())),
+            lv.clone(),
+        ])
+        .simplify();
+        assert!(t.equivalent(&lv));
+        // T(T(x)) = x
+        let xv = region_term(&p, x, 0, 4, 0, 4);
+        assert!(xv.transposed().transposed().equivalent(&xv));
+        // T(A*B) = T(B)*T(A)
+        let prod = Term::Mul(Box::new(lv.clone()), Box::new(xv.clone()));
+        let tp = prod.transposed();
+        match tp {
+            Term::Mul(a, b) => {
+                assert!(a.equivalent(&xv.transposed()));
+                assert!(b.equivalent(&lv.transposed()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // I * x = x
+        let t = Term::Mul(Box::new(Term::Ident(4)), Box::new(xv.clone())).simplify();
+        assert!(t.equivalent(&xv));
+        // -(-x) = x
+        let t = Term::Neg(Box::new(Term::Neg(Box::new(xv.clone())))).simplify();
+        assert!(t.equivalent(&xv));
+    }
+
+    #[test]
+    fn transposed_duplicate_detection() {
+        // cell (B,T) of the potrf PME is the transpose of cell (T,B)
+        let (p, _, s, x) = test_program();
+        let xtt = region_term(&p, x, 0, 4, 0, 4);
+        let xtb = region_term(&p, x, 0, 4, 4, 8);
+        let stb = region_term(&p, s, 0, 4, 4, 8);
+        // (T,B): X_TT' X_TB = S_TB
+        let tb = Term::Mul(Box::new(xtt.transposed()), Box::new(xtb.clone())).simplify();
+        // (B,T): X_TB' X_TT = S_TB'  — its transpose should equal (T,B)
+        let bt = Term::Mul(Box::new(xtb.transposed()), Box::new(xtt.clone())).simplify();
+        assert!(bt.transposed().equivalent(&tb));
+        let sbt = region_term(&p, s, 4, 8, 0, 4); // mirrors to T(S_TB)
+        assert!(sbt.transposed().equivalent(&stb));
+    }
+
+    #[test]
+    fn dims_of_terms() {
+        let (p, l, _, x) = test_program();
+        let lv = region_term(&p, l, 4, 8, 0, 4);
+        let xv = region_term(&p, x, 0, 4, 0, 8);
+        let prod = Term::Mul(Box::new(lv), Box::new(xv));
+        assert_eq!((prod.rows(), prod.cols()), (4, 8));
+        assert_eq!((prod.transposed().rows(), prod.transposed().cols()), (8, 4));
+    }
+}

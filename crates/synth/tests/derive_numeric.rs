@@ -1,0 +1,449 @@
+//! Numeric validation of the synthesis engine: every derived algorithm is
+//! executed by the reference evaluator and compared against the
+//! `slingen-blas` oracle, across sizes, vector widths, and both loop
+//! policies.
+
+use slingen_blas::{testgen, Uplo};
+use slingen_ir::structure::StorageHalf;
+use slingen_ir::{Expr, OpId, OperandDecl, Program, ProgramBuilder, Properties, Structure};
+use slingen_synth::program::eval;
+use slingen_synth::{synthesize_program, AlgorithmDb, Policy};
+use std::collections::HashMap;
+
+fn buffers_for(program: &Program) -> HashMap<OpId, Vec<f64>> {
+    program
+        .operands()
+        .iter()
+        .enumerate()
+        .map(|(i, o)| (OpId(i), vec![0.0; o.shape.rows * o.shape.cols]))
+        .collect()
+}
+
+fn max_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+}
+
+const SIZES: [usize; 6] = [1, 2, 3, 4, 6, 12];
+const WIDTHS: [usize; 3] = [1, 2, 4];
+
+#[test]
+fn potrf_upper_all_policies_and_widths() {
+    for &n in &SIZES {
+        for &nu in &WIDTHS {
+            for policy in Policy::ALL {
+                let mut b = ProgramBuilder::new("potrf");
+                let s = b.declare(
+                    OperandDecl::mat_in("S", n, n)
+                        .with_structure(Structure::Symmetric(StorageHalf::Upper))
+                        .with_properties(Properties::pd()),
+                );
+                let u = b.declare(
+                    OperandDecl::mat_out("U", n, n)
+                        .with_structure(Structure::UpperTriangular)
+                        .with_properties(Properties::ns()),
+                );
+                b.equation(Expr::op(u).t().mul(Expr::op(u)), Expr::op(s));
+                let p = b.build().unwrap();
+                let mut db = AlgorithmDb::new();
+                let basic = synthesize_program(&p, policy, nu, &mut db)
+                    .unwrap_or_else(|e| panic!("n={n} nu={nu} {policy}: {e}"));
+
+                let spd = testgen::spd(n, 42 + n as u64);
+                let mut bufs = buffers_for(&p);
+                bufs.insert(s, spd.as_slice().to_vec());
+                eval::run(&p, &basic, &mut bufs);
+
+                let mut expect = spd.as_slice().to_vec();
+                slingen_blas::dpotrf(Uplo::Upper, n, &mut expect, n);
+                // compare the upper triangle (the strict lower half of the
+                // output buffer is unspecified, as in LAPACK)
+                let got = &bufs[&u];
+                for i in 0..n {
+                    for j in i..n {
+                        assert!(
+                            (got[i * n + j] - expect[i * n + j]).abs() < 1e-9,
+                            "n={n} nu={nu} {policy} at ({i},{j}): {} vs {}\n{}",
+                            got[i * n + j],
+                            expect[i * n + j],
+                            basic.render(&p)
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn potrf_lower_variant() {
+    for &n in &[2usize, 5, 8] {
+        for policy in Policy::ALL {
+            let mut b = ProgramBuilder::new("potrf_l");
+            let k = b.declare(
+                OperandDecl::mat_in("K", n, n)
+                    .with_structure(Structure::Symmetric(StorageHalf::Lower))
+                    .with_properties(Properties::pd()),
+            );
+            let l = b.declare(
+                OperandDecl::mat_out("L", n, n)
+                    .with_structure(Structure::LowerTriangular)
+                    .with_properties(Properties::ns()),
+            );
+            b.equation(Expr::op(l).mul(Expr::op(l).t()), Expr::op(k));
+            let p = b.build().unwrap();
+            let mut db = AlgorithmDb::new();
+            let basic = synthesize_program(&p, policy, 4, &mut db).unwrap();
+
+            let spd = testgen::spd(n, 77);
+            let mut bufs = buffers_for(&p);
+            bufs.insert(k, spd.as_slice().to_vec());
+            eval::run(&p, &basic, &mut bufs);
+
+            let mut expect = spd.as_slice().to_vec();
+            slingen_blas::dpotrf(Uplo::Lower, n, &mut expect, n);
+            let got = &bufs[&l];
+            for i in 0..n {
+                for j in 0..=i {
+                    assert!(
+                        (got[i * n + j] - expect[i * n + j]).abs() < 1e-9,
+                        "n={n} {policy} at ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn trsm_left_transposed() {
+    // Uᵀ·B = P (the Kalman filter's solve), B the unknown
+    for &n in &SIZES {
+        let cols = (n / 2).max(1);
+        for policy in Policy::ALL {
+            let mut b = ProgramBuilder::new("trsm");
+            let u = b.declare(
+                OperandDecl::mat_in("U", n, n)
+                    .with_structure(Structure::UpperTriangular)
+                    .with_properties(Properties::ns()),
+            );
+            let pmat = b.declare(OperandDecl::mat_in("P", n, cols));
+            let x = b.declare(OperandDecl::mat_out("B", n, cols));
+            b.equation(Expr::op(u).t().mul(Expr::op(x)), Expr::op(pmat));
+            let p = b.build().unwrap();
+            let mut db = AlgorithmDb::new();
+            let basic = synthesize_program(&p, policy, 4, &mut db).unwrap();
+
+            let tri = testgen::well_conditioned_triangular(n, Uplo::Upper, 5);
+            let rhs = testgen::general(n, cols, 6);
+            let mut bufs = buffers_for(&p);
+            bufs.insert(u, tri.as_slice().to_vec());
+            bufs.insert(pmat, rhs.as_slice().to_vec());
+            eval::run(&p, &basic, &mut bufs);
+
+            let mut expect = rhs.as_slice().to_vec();
+            slingen_blas::dtrsm(
+                slingen_blas::Side::Left,
+                Uplo::Upper,
+                slingen_blas::Trans::Yes,
+                slingen_blas::Diag::NonUnit,
+                n,
+                cols,
+                1.0,
+                tri.as_slice(),
+                n,
+                &mut expect,
+                cols,
+            );
+            assert!(
+                max_diff(&bufs[&x], &expect) < 1e-9,
+                "n={n} {policy}\n{}",
+                basic.render(&p)
+            );
+        }
+    }
+}
+
+#[test]
+fn trsm_right_solves() {
+    // X·L = B  (right-side solve)
+    for &n in &[2usize, 4, 7] {
+        let rows = 3;
+        for policy in Policy::ALL {
+            let mut b = ProgramBuilder::new("trsm_r");
+            let l = b.declare(
+                OperandDecl::mat_in("L", n, n)
+                    .with_structure(Structure::LowerTriangular)
+                    .with_properties(Properties::ns()),
+            );
+            let bmat = b.declare(OperandDecl::mat_in("B", rows, n));
+            let x = b.declare(OperandDecl::mat_out("X", rows, n));
+            b.equation(Expr::op(x).mul(Expr::op(l)), Expr::op(bmat));
+            let p = b.build().unwrap();
+            let mut db = AlgorithmDb::new();
+            let basic = synthesize_program(&p, policy, 4, &mut db).unwrap();
+
+            let tri = testgen::well_conditioned_triangular(n, Uplo::Lower, 15);
+            let rhs = testgen::general(rows, n, 16);
+            let mut bufs = buffers_for(&p);
+            bufs.insert(l, tri.as_slice().to_vec());
+            bufs.insert(bmat, rhs.as_slice().to_vec());
+            eval::run(&p, &basic, &mut bufs);
+
+            let mut expect = rhs.as_slice().to_vec();
+            slingen_blas::dtrsm(
+                slingen_blas::Side::Right,
+                Uplo::Lower,
+                slingen_blas::Trans::No,
+                slingen_blas::Diag::NonUnit,
+                rows,
+                n,
+                1.0,
+                tri.as_slice(),
+                n,
+                &mut expect,
+                n,
+            );
+            assert!(max_diff(&bufs[&x], &expect) < 1e-9, "n={n} {policy}");
+        }
+    }
+}
+
+#[test]
+fn trsv_vector_rhs() {
+    // L·t0 = y with a vector unknown (from the gpr program)
+    for &n in &SIZES {
+        for policy in Policy::ALL {
+            let mut b = ProgramBuilder::new("trsv");
+            let l = b.declare(
+                OperandDecl::mat_in("L", n, n)
+                    .with_structure(Structure::LowerTriangular)
+                    .with_properties(Properties::ns()),
+            );
+            let y = b.declare(OperandDecl::vec_in("y", n));
+            let t0 = b.declare(OperandDecl::vec_out("t0", n));
+            b.equation(Expr::op(l).mul(Expr::op(t0)), Expr::op(y));
+            let p = b.build().unwrap();
+            let mut db = AlgorithmDb::new();
+            let basic = synthesize_program(&p, policy, 4, &mut db).unwrap();
+
+            let tri = testgen::well_conditioned_triangular(n, Uplo::Lower, 25);
+            let rhs = testgen::vector(n, 26);
+            let mut bufs = buffers_for(&p);
+            bufs.insert(l, tri.as_slice().to_vec());
+            bufs.insert(y, rhs.clone());
+            eval::run(&p, &basic, &mut bufs);
+
+            let mut expect = rhs;
+            slingen_blas::dtrsv(
+                Uplo::Lower,
+                slingen_blas::Trans::No,
+                slingen_blas::Diag::NonUnit,
+                n,
+                tri.as_slice(),
+                n,
+                &mut expect,
+            );
+            assert!(max_diff(&bufs[&t0], &expect) < 1e-9, "n={n} {policy}");
+        }
+    }
+}
+
+#[test]
+fn trtri_inversion() {
+    for &n in &SIZES {
+        for policy in Policy::ALL {
+            let mut b = ProgramBuilder::new("trtri");
+            let l = b.declare(
+                OperandDecl::mat_in("L", n, n)
+                    .with_structure(Structure::LowerTriangular)
+                    .with_properties(Properties::ns()),
+            );
+            let x = b.declare(
+                OperandDecl::mat_out("X", n, n)
+                    .with_structure(Structure::LowerTriangular)
+                    .with_properties(Properties::ns()),
+            );
+            b.equation(Expr::op(x), Expr::op(l).inv());
+            let p = b.build().unwrap();
+            let mut db = AlgorithmDb::new();
+            let basic = synthesize_program(&p, policy, 4, &mut db)
+                .unwrap_or_else(|e| panic!("n={n} {policy}: {e}"));
+
+            let tri = testgen::well_conditioned_triangular(n, Uplo::Lower, 35);
+            let mut bufs = buffers_for(&p);
+            bufs.insert(l, tri.as_slice().to_vec());
+            eval::run(&p, &basic, &mut bufs);
+
+            let mut expect = tri.as_slice().to_vec();
+            slingen_blas::dtrtri(Uplo::Lower, n, &mut expect, n);
+            let got = &bufs[&x];
+            for i in 0..n {
+                for j in 0..=i {
+                    assert!(
+                        (got[i * n + j] - expect[i * n + j]).abs() < 1e-9,
+                        "n={n} {policy} at ({i},{j}): {} vs {}\n{}",
+                        got[i * n + j],
+                        expect[i * n + j],
+                        basic.render(&p)
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn trsyl_sylvester() {
+    // L·X + X·U = C
+    for &(m, n) in &[(1usize, 1usize), (2, 2), (4, 3), (5, 8), (12, 12)] {
+        for policy in Policy::ALL {
+            let mut b = ProgramBuilder::new("trsyl");
+            let l = b.declare(
+                OperandDecl::mat_in("L", m, m)
+                    .with_structure(Structure::LowerTriangular)
+                    .with_properties(Properties::ns()),
+            );
+            let u = b.declare(
+                OperandDecl::mat_in("U", n, n)
+                    .with_structure(Structure::UpperTriangular)
+                    .with_properties(Properties::ns()),
+            );
+            let c = b.declare(OperandDecl::mat_in("C", m, n));
+            let x = b.declare(OperandDecl::mat_out("X", m, n));
+            b.equation(
+                Expr::op(l).mul(Expr::op(x)).add(Expr::op(x).mul(Expr::op(u))),
+                Expr::op(c),
+            );
+            let p = b.build().unwrap();
+            let mut db = AlgorithmDb::new();
+            let basic = synthesize_program(&p, policy, 4, &mut db)
+                .unwrap_or_else(|e| panic!("m={m} n={n} {policy}: {e}"));
+
+            let lt = testgen::well_conditioned_triangular(m, Uplo::Lower, 45);
+            let ut = testgen::well_conditioned_triangular(n, Uplo::Upper, 46);
+            let rhs = testgen::general(m, n, 47);
+            let mut bufs = buffers_for(&p);
+            bufs.insert(l, lt.as_slice().to_vec());
+            bufs.insert(u, ut.as_slice().to_vec());
+            bufs.insert(c, rhs.as_slice().to_vec());
+            eval::run(&p, &basic, &mut bufs);
+
+            let mut expect = rhs.as_slice().to_vec();
+            slingen_blas::dtrsyl(
+                m,
+                n,
+                lt.as_slice(),
+                m,
+                ut.as_slice(),
+                n,
+                &mut expect,
+                n,
+            );
+            assert!(
+                max_diff(&bufs[&x], &expect) < 1e-9,
+                "m={m} n={n} {policy}\n{}",
+                basic.render(&p)
+            );
+        }
+    }
+}
+
+#[test]
+fn trlya_lyapunov() {
+    // L·X + X·Lᵀ = S, X symmetric
+    for &n in &SIZES {
+        for policy in Policy::ALL {
+            let mut b = ProgramBuilder::new("trlya");
+            let l = b.declare(
+                OperandDecl::mat_in("L", n, n)
+                    .with_structure(Structure::LowerTriangular)
+                    .with_properties(Properties::ns()),
+            );
+            let s = b.declare(
+                OperandDecl::mat_in("S", n, n)
+                    .with_structure(Structure::Symmetric(StorageHalf::Lower)),
+            );
+            let x = b.declare(
+                OperandDecl::mat_out("X", n, n)
+                    .with_structure(Structure::Symmetric(StorageHalf::Lower)),
+            );
+            b.equation(
+                Expr::op(l).mul(Expr::op(x)).add(Expr::op(x).mul(Expr::op(l).t())),
+                Expr::op(s),
+            );
+            let p = b.build().unwrap();
+            let mut db = AlgorithmDb::new();
+            let basic = synthesize_program(&p, policy, 4, &mut db)
+                .unwrap_or_else(|e| panic!("n={n} {policy}: {e}"));
+
+            let lt = testgen::well_conditioned_triangular(n, Uplo::Lower, 55);
+            let sym = testgen::symmetrize(&testgen::general(n, n, 56), Uplo::Lower);
+            let mut bufs = buffers_for(&p);
+            bufs.insert(l, lt.as_slice().to_vec());
+            bufs.insert(s, sym.as_slice().to_vec());
+            eval::run(&p, &basic, &mut bufs);
+
+            let mut expect = sym.as_slice().to_vec();
+            slingen_blas::dtrlya(n, lt.as_slice(), n, &mut expect, n);
+            assert!(
+                max_diff(&bufs[&x], &expect) < 1e-9,
+                "n={n} {policy}\n{}",
+                basic.render(&p)
+            );
+        }
+    }
+}
+
+#[test]
+fn algorithm_db_reuse_is_transparent() {
+    // identical output with the Stage-1a cache on and off, and nontrivial
+    // hit counts when on
+    let n = 12;
+    let build = || {
+        let mut b = ProgramBuilder::new("potrf");
+        let s = b.declare(
+            OperandDecl::mat_in("S", n, n)
+                .with_structure(Structure::Symmetric(StorageHalf::Upper))
+                .with_properties(Properties::pd()),
+        );
+        let u = b.declare(
+            OperandDecl::mat_out("U", n, n)
+                .with_structure(Structure::UpperTriangular)
+                .with_properties(Properties::ns()),
+        );
+        b.equation(Expr::op(u).t().mul(Expr::op(u)), Expr::op(s));
+        (b.build().unwrap(), s, u)
+    };
+    let (p, _, _) = build();
+    let mut db_on = AlgorithmDb::new();
+    let with_cache = synthesize_program(&p, Policy::Lazy, 4, &mut db_on).unwrap();
+    let mut db_off = AlgorithmDb::new();
+    db_off.set_enabled(false);
+    let without_cache = synthesize_program(&p, Policy::Lazy, 4, &mut db_off).unwrap();
+    assert_eq!(with_cache, without_cache, "cache must be transparent");
+    assert!(db_on.hits() > 0, "repeated ν-size codelets should hit the DB");
+    assert_eq!(db_off.hits(), 0);
+}
+
+#[test]
+fn policies_produce_different_programs_same_result() {
+    let n = 8;
+    let mut b = ProgramBuilder::new("potrf");
+    let s = b.declare(
+        OperandDecl::mat_in("S", n, n)
+            .with_structure(Structure::Symmetric(StorageHalf::Upper))
+            .with_properties(Properties::pd()),
+    );
+    let u = b.declare(
+        OperandDecl::mat_out("U", n, n)
+            .with_structure(Structure::UpperTriangular)
+            .with_properties(Properties::ns()),
+    );
+    b.equation(Expr::op(u).t().mul(Expr::op(u)), Expr::op(s));
+    let p = b.build().unwrap();
+    let mut db = AlgorithmDb::new();
+    let lazy = synthesize_program(&p, Policy::Lazy, 4, &mut db).unwrap();
+    let eager = synthesize_program(&p, Policy::Eager, 4, &mut db).unwrap();
+    assert_ne!(lazy, eager, "policies are distinct algorithmic variants");
+    let _ = (s, u);
+}

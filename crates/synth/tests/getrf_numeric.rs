@@ -1,0 +1,121 @@
+//! LU factorization (the remaining operation of the paper's LA language):
+//! `L·U = A` with both factors unknown, validated against the reference
+//! `dgetrf_nopiv`.
+
+use slingen_ir::{Expr, OpId, OperandDecl, ProgramBuilder, Properties, Structure};
+use slingen_synth::program::eval;
+use slingen_synth::{synthesize_program, AlgorithmDb, Policy};
+use std::collections::HashMap;
+
+#[test]
+fn lu_factorization_matches_reference() {
+    for &n in &[1usize, 2, 3, 5, 8, 12] {
+        for policy in Policy::ALL {
+            let mut b = ProgramBuilder::new("getrf");
+            let a = b.declare(
+                OperandDecl::mat_in("A", n, n).with_properties(Properties::ns()),
+            );
+            let l = b.declare(
+                OperandDecl::mat_out("L", n, n)
+                    .with_structure(Structure::LowerTriangular)
+                    .with_properties(Properties {
+                        unit_diagonal: true,
+                        ..Properties::ns()
+                    }),
+            );
+            let u = b.declare(
+                OperandDecl::mat_out("U", n, n)
+                    .with_structure(Structure::UpperTriangular)
+                    .with_properties(Properties::ns()),
+            );
+            b.equation(Expr::op(l).mul(Expr::op(u)), Expr::op(a));
+            let p = b.build().unwrap();
+            let mut db = AlgorithmDb::new();
+            let basic = synthesize_program(&p, policy, 4, &mut db)
+                .unwrap_or_else(|e| panic!("n={n} {policy}: {e}"));
+
+            // diagonally dominant input: no pivoting needed
+            let mut amat = slingen_blas::testgen::general(n, n, 900 + n as u64);
+            for i in 0..n {
+                amat[(i, i)] += n as f64 + 2.0;
+            }
+            let mut bufs: HashMap<OpId, Vec<f64>> = HashMap::new();
+            bufs.insert(a, amat.as_slice().to_vec());
+            bufs.insert(l, vec![0.0; n * n]);
+            bufs.insert(u, vec![0.0; n * n]);
+            eval::run(&p, &basic, &mut bufs);
+
+            let mut packed = amat.as_slice().to_vec();
+            slingen_blas::dgetrf_nopiv(n, &mut packed, n);
+            for i in 0..n {
+                for j in 0..n {
+                    if j >= i {
+                        // U entries on/above the diagonal
+                        assert!(
+                            (bufs[&u][i * n + j] - packed[i * n + j]).abs() < 1e-9,
+                            "n={n} {policy} U({i},{j})"
+                        );
+                    }
+                    if j < i {
+                        // L entries below the diagonal
+                        assert!(
+                            (bufs[&l][i * n + j] - packed[i * n + j]).abs() < 1e-9,
+                            "n={n} {policy} L({i},{j})"
+                        );
+                    }
+                }
+                // explicit unit diagonal of L
+                assert!((bufs[&l][i * n + i] - 1.0).abs() < 1e-12, "n={n} L({i},{i})");
+            }
+        }
+    }
+}
+
+#[test]
+fn lu_through_full_pipeline() {
+    // lower to C-IR, optimize, execute in the VM
+    let n = 8;
+    let mut b = ProgramBuilder::new("getrf");
+    let a = b.declare(OperandDecl::mat_in("A", n, n).with_properties(Properties::ns()));
+    let l = b.declare(
+        OperandDecl::mat_out("L", n, n).with_structure(Structure::LowerTriangular),
+    );
+    let u = b.declare(
+        OperandDecl::mat_out("U", n, n).with_structure(Structure::UpperTriangular),
+    );
+    b.equation(Expr::op(l).mul(Expr::op(u)), Expr::op(a));
+    let p = b.build().unwrap();
+    let mut db = AlgorithmDb::new();
+    let basic = synthesize_program(&p, Policy::Lazy, 4, &mut db).unwrap();
+    let f = slingen_lgen::lower_program(
+        &p,
+        &basic,
+        "getrf",
+        &slingen_lgen::LowerOptions { nu: 4, loop_threshold: 64 },
+    )
+    .unwrap();
+    let mut opt = f.clone();
+    slingen_cir::passes::optimize(&mut opt, &slingen_cir::passes::PassConfig::default());
+    let mut fb = slingen_cir::FunctionBuilder::new("probe", 4);
+    let map = slingen_lgen::BufferMap::build(&p, &mut fb);
+    let mut amat = slingen_blas::testgen::general(n, n, 42);
+    for i in 0..n {
+        amat[(i, i)] += n as f64 + 2.0;
+    }
+    let mut bufs = slingen_vm::BufferSet::for_function(&opt);
+    bufs.set(map.buf(a), amat.as_slice());
+    slingen_vm::execute(&opt, &mut bufs, &mut slingen_vm::NullMonitor).unwrap();
+    let mut packed = amat.as_slice().to_vec();
+    slingen_blas::dgetrf_nopiv(n, &mut packed, n);
+    let got_u = bufs.get(map.buf(u));
+    for i in 0..n {
+        for j in i..n {
+            assert!(
+                (got_u[i * n + j] - packed[i * n + j]).abs() < 1e-9,
+                "U({i},{j}): {} vs {}",
+                got_u[i * n + j],
+                packed[i * n + j]
+            );
+        }
+    }
+}

@@ -1,0 +1,622 @@
+//! The C-IR interpreter.
+
+use crate::kernels::KernelLib;
+use crate::monitor::{Event, Monitor};
+use slingen_cir::{BufKind, CStmt, Function, Instr, LaneSel, MemRef, SOperand};
+use std::fmt;
+
+/// Errors raised during execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// Memory access outside a buffer's declared length.
+    OutOfBounds {
+        /// Buffer name.
+        buffer: String,
+        /// Offending element index.
+        index: i64,
+        /// Declared length.
+        len: usize,
+    },
+    /// `Call` to a kernel that is not registered.
+    UnknownKernel(String),
+    /// `Call` argument count does not match the callee's parameters.
+    BadCallArity {
+        /// Kernel name.
+        kernel: String,
+        /// Arguments supplied.
+        given: usize,
+        /// Parameters expected.
+        expected: usize,
+    },
+    /// The function references a buffer id outside its table.
+    BadBuffer(usize),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::OutOfBounds { buffer, index, len } => {
+                write!(f, "out-of-bounds access: {buffer}[{index}] (len {len})")
+            }
+            VmError::UnknownKernel(name) => write!(f, "unknown kernel `{name}`"),
+            VmError::BadCallArity { kernel, given, expected } => {
+                write!(f, "call to `{kernel}` with {given} buffers, expected {expected}")
+            }
+            VmError::BadBuffer(id) => write!(f, "invalid buffer id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// The caller-visible memory of a VM run: one `Vec<f64>` per buffer of the
+/// top-level function (parameters *and* locals, in declaration order).
+///
+/// ```
+/// use slingen_cir::{FunctionBuilder, BufKind};
+/// use slingen_vm::BufferSet;
+///
+/// let mut b = FunctionBuilder::new("f", 1);
+/// let x = b.buffer("x", 3, BufKind::ParamIn);
+/// let f = b.finish();
+/// let mut bufs = BufferSet::for_function(&f);
+/// bufs.set(x, &[1.0, 2.0, 3.0]);
+/// assert_eq!(bufs.get(x), &[1.0, 2.0, 3.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BufferSet {
+    data: Vec<Vec<f64>>,
+}
+
+impl BufferSet {
+    /// Zero-initialized buffers sized from `f`'s declarations.
+    pub fn for_function(f: &Function) -> Self {
+        BufferSet { data: f.buffers.iter().map(|b| vec![0.0; b.len]).collect() }
+    }
+
+    /// Overwrite a buffer's contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` length differs from the declared length.
+    pub fn set(&mut self, id: slingen_cir::BufId, values: &[f64]) {
+        assert_eq!(
+            self.data[id.0].len(),
+            values.len(),
+            "buffer {} length mismatch",
+            id.0
+        );
+        self.data[id.0].copy_from_slice(values);
+    }
+
+    /// Read a buffer's contents.
+    pub fn get(&self, id: slingen_cir::BufId) -> &[f64] {
+        &self.data[id.0]
+    }
+
+    /// Number of buffers.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether there are no buffers.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// Global memory during a run: top-level buffers first, then transient
+/// activations' locals.
+struct Memory {
+    bufs: Vec<Vec<f64>>,
+    names: Vec<String>,
+}
+
+struct Activation<'f> {
+    f: &'f Function,
+    /// Local BufId -> global buffer index.
+    map: Vec<usize>,
+    sregs: Vec<f64>,
+    vregs: Vec<Vec<f64>>,
+    loopvars: Vec<i64>,
+}
+
+struct Vm<'l, 'm> {
+    mem: Memory,
+    lib: Option<&'l KernelLib>,
+    monitor: &'m mut dyn Monitor,
+}
+
+/// Execute `f` against `buffers` without a kernel library.
+///
+/// # Errors
+///
+/// Returns [`VmError`] on out-of-bounds accesses or unresolvable calls.
+pub fn execute(
+    f: &Function,
+    buffers: &mut BufferSet,
+    monitor: &mut dyn Monitor,
+) -> Result<(), VmError> {
+    execute_with_lib(f, buffers, None, monitor)
+}
+
+/// Execute `f` against `buffers`, resolving [`Instr::Call`]s in `lib`.
+///
+/// # Errors
+///
+/// Returns [`VmError`] on out-of-bounds accesses, unknown kernels, or call
+/// arity mismatches.
+pub fn execute_with_lib(
+    f: &Function,
+    buffers: &mut BufferSet,
+    lib: Option<&KernelLib>,
+    monitor: &mut dyn Monitor,
+) -> Result<(), VmError> {
+    let mem = Memory {
+        bufs: std::mem::take(&mut buffers.data),
+        names: f.buffers.iter().map(|b| b.name.clone()).collect(),
+    };
+    let mut vm = Vm { mem, lib, monitor };
+    let map: Vec<usize> = (0..f.buffers.len()).collect();
+    let result = vm.run(f, map);
+    buffers.data = vm.mem.bufs;
+    buffers.data.truncate(f.buffers.len());
+    result
+}
+
+impl<'l, 'm> Vm<'l, 'm> {
+    fn run(&mut self, f: &Function, map: Vec<usize>) -> Result<(), VmError> {
+        let mut act = Activation {
+            f,
+            map,
+            sregs: vec![0.0; f.n_sregs],
+            vregs: vec![vec![0.0; f.width]; f.n_vregs],
+            loopvars: vec![0; f.n_loopvars],
+        };
+        self.exec_stmts(&f.body, &mut act)
+    }
+
+    fn exec_stmts(&mut self, stmts: &[CStmt], act: &mut Activation<'_>) -> Result<(), VmError> {
+        for s in stmts {
+            match s {
+                CStmt::I(i) => self.exec_instr(i, act)?,
+                CStmt::For { var, lo, hi, step, body } => {
+                    let lo = lo.eval(&|v| act.loopvars[v.0]);
+                    let hi = hi.eval(&|v| act.loopvars[v.0]);
+                    let mut iv = lo;
+                    while iv < hi {
+                        act.loopvars[var.0] = iv;
+                        self.exec_stmts(body, act)?;
+                        iv += step;
+                    }
+                }
+                CStmt::If { cond, then_, else_ } => {
+                    if cond.eval(&|v| act.loopvars[v.0]) {
+                        self.exec_stmts(then_, act)?;
+                    } else {
+                        self.exec_stmts(else_, act)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn resolve(&self, m: &MemRef, extra: i64, act: &Activation<'_>) -> Result<(usize, i64), VmError> {
+        let local = m.buf.0;
+        if local >= act.map.len() {
+            return Err(VmError::BadBuffer(local));
+        }
+        let global = act.map[local];
+        let idx = m.offset.eval(&|v| act.loopvars[v.0]) + extra;
+        let len = self.mem.bufs[global].len();
+        if idx < 0 || idx as usize >= len {
+            return Err(VmError::OutOfBounds {
+                buffer: self.mem.names.get(global).cloned().unwrap_or_else(|| format!("buf{global}")),
+                index: idx,
+                len,
+            });
+        }
+        Ok((global, idx))
+    }
+
+    fn sval(&self, o: &SOperand, act: &Activation<'_>) -> f64 {
+        match o {
+            SOperand::Reg(r) => act.sregs[r.0],
+            SOperand::Imm(v) => *v,
+        }
+    }
+
+    fn exec_instr(&mut self, i: &Instr, act: &mut Activation<'_>) -> Result<(), VmError> {
+        let mut reads: Vec<(usize, i64)> = Vec::new();
+        let mut writes: Vec<(usize, i64)> = Vec::new();
+        match i {
+            Instr::SLoad { dst, src } => {
+                let (g, idx) = self.resolve(src, 0, act)?;
+                act.sregs[dst.0] = self.mem.bufs[g][idx as usize];
+                reads.push((g, idx));
+            }
+            Instr::SStore { src, dst } => {
+                let v = self.sval(src, act);
+                let (g, idx) = self.resolve(dst, 0, act)?;
+                self.mem.bufs[g][idx as usize] = v;
+                writes.push((g, idx));
+            }
+            Instr::SBin { op, dst, a, b } => {
+                act.sregs[dst.0] = op.apply(self.sval(a, act), self.sval(b, act));
+            }
+            Instr::SSqrt { dst, a } => {
+                act.sregs[dst.0] = self.sval(a, act).sqrt();
+            }
+            Instr::SMov { dst, a } => {
+                act.sregs[dst.0] = self.sval(a, act);
+            }
+            Instr::VLoad { dst, base, lanes } => {
+                let mut vals = vec![0.0; act.f.width];
+                for (lane, l) in lanes.iter().enumerate() {
+                    if let Some(off) = l {
+                        let (g, idx) = self.resolve(base, *off, act)?;
+                        vals[lane] = self.mem.bufs[g][idx as usize];
+                        reads.push((g, idx));
+                    }
+                }
+                act.vregs[dst.0] = vals;
+            }
+            Instr::VStore { src, base, lanes } => {
+                for (lane, l) in lanes.iter().enumerate() {
+                    if let Some(off) = l {
+                        let (g, idx) = self.resolve(base, *off, act)?;
+                        self.mem.bufs[g][idx as usize] = act.vregs[src.0][lane];
+                        writes.push((g, idx));
+                    }
+                }
+            }
+            Instr::VMov { dst, src } => {
+                let v = act.vregs[src.0].clone();
+                act.vregs[dst.0] = v;
+            }
+            Instr::VBin { op, dst, a, b } => {
+                let mut vals = vec![0.0; act.f.width];
+                for lane in 0..act.f.width {
+                    vals[lane] = op.apply(act.vregs[a.0][lane], act.vregs[b.0][lane]);
+                }
+                act.vregs[dst.0] = vals;
+            }
+            Instr::VBroadcast { dst, src } => {
+                let v = self.sval(src, act);
+                act.vregs[dst.0] = vec![v; act.f.width];
+            }
+            Instr::VShuffle { dst, a, b, sel } => {
+                let mut vals = vec![0.0; act.f.width];
+                for (lane, s) in sel.iter().enumerate() {
+                    vals[lane] = match s {
+                        LaneSel::A(j) => act.vregs[a.0][*j],
+                        LaneSel::B(j) => act.vregs[b.0][*j],
+                        LaneSel::Zero => 0.0,
+                    };
+                }
+                act.vregs[dst.0] = vals;
+            }
+            Instr::VBlend { dst, a, b, mask } => {
+                let mut vals = vec![0.0; act.f.width];
+                for lane in 0..act.f.width {
+                    vals[lane] = if mask[lane] {
+                        act.vregs[b.0][lane]
+                    } else {
+                        act.vregs[a.0][lane]
+                    };
+                }
+                act.vregs[dst.0] = vals;
+            }
+            Instr::VExtract { dst, src, lane } => {
+                act.sregs[dst.0] = act.vregs[src.0][*lane];
+            }
+            Instr::VReduceAdd { dst, src } => {
+                act.sregs[dst.0] = act.vregs[src.0].iter().sum();
+            }
+            Instr::Call { kernel, bufs, ints: _ } => {
+                // report the call itself first (interface overhead)
+                self.monitor.event(&Event {
+                    instr: i,
+                    width: act.f.width,
+                    reads: Vec::new(),
+                    writes: Vec::new(),
+                });
+                let lib = self.lib.ok_or_else(|| VmError::UnknownKernel(kernel.clone()))?;
+                let callee =
+                    lib.get(kernel).ok_or_else(|| VmError::UnknownKernel(kernel.clone()))?;
+                let expected = callee.params().count();
+                if bufs.len() != expected {
+                    return Err(VmError::BadCallArity {
+                        kernel: kernel.clone(),
+                        given: bufs.len(),
+                        expected,
+                    });
+                }
+                // map callee buffers: params to caller buffers, locals fresh
+                let mut map = vec![usize::MAX; callee.buffers.len()];
+                let mut arg = 0;
+                let base_len = self.mem.bufs.len();
+                for (idx, decl) in callee.buffers.iter().enumerate() {
+                    if decl.kind == BufKind::Local {
+                        self.mem.bufs.push(vec![0.0; decl.len]);
+                        self.mem.names.push(format!("{}::{}", kernel, decl.name));
+                        map[idx] = self.mem.bufs.len() - 1;
+                    } else {
+                        let local = bufs[arg].0;
+                        if local >= act.map.len() {
+                            return Err(VmError::BadBuffer(local));
+                        }
+                        map[idx] = act.map[local];
+                        arg += 1;
+                    }
+                }
+                self.run(callee, map)?;
+                // free callee locals
+                self.mem.bufs.truncate(base_len);
+                self.mem.names.truncate(base_len);
+                return Ok(());
+            }
+        }
+        self.monitor.event(&Event { instr: i, width: act.f.width, reads, writes });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::{CountingMonitor, NullMonitor};
+    use slingen_cir::{Affine, BinOp, FunctionBuilder, InstrClass};
+
+    #[test]
+    fn scalar_axpy_executes() {
+        // y = 2*x + y over 4 elements, scalar loop
+        let mut b = FunctionBuilder::new("axpy", 1);
+        let x = b.buffer("x", 4, BufKind::ParamIn);
+        let y = b.buffer("y", 4, BufKind::ParamInOut);
+        let i = b.begin_for(0, 4, 1);
+        let rx = b.sload(MemRef::new(x, Affine::var(i)));
+        let ry = b.sload(MemRef::new(y, Affine::var(i)));
+        let ax = b.sbin(BinOp::Mul, rx, 2.0);
+        let s = b.sbin(BinOp::Add, ax, ry);
+        b.sstore(s, MemRef::new(y, Affine::var(i)));
+        b.end_for();
+        let f = b.finish();
+        let mut bufs = BufferSet::for_function(&f);
+        bufs.set(x, &[1.0, 2.0, 3.0, 4.0]);
+        bufs.set(y, &[10.0, 20.0, 30.0, 40.0]);
+        execute(&f, &mut bufs, &mut NullMonitor).unwrap();
+        assert_eq!(bufs.get(y), &[12.0, 24.0, 36.0, 48.0]);
+    }
+
+    #[test]
+    fn vector_ops_execute() {
+        let mut b = FunctionBuilder::new("v", 4);
+        let x = b.buffer("x", 4, BufKind::ParamIn);
+        let y = b.buffer("y", 4, BufKind::ParamOut);
+        let v = b.vload_contig(MemRef::new(x, 0));
+        let w = b.vbin(BinOp::Mul, v, v);
+        let sh = b.vshuffle(w, w, vec![LaneSel::A(3), LaneSel::A(2), LaneSel::B(1), LaneSel::Zero]);
+        b.vstore_contig(sh, MemRef::new(y, 0));
+        let f = b.finish();
+        let mut bufs = BufferSet::for_function(&f);
+        bufs.set(x, &[1.0, 2.0, 3.0, 4.0]);
+        execute(&f, &mut bufs, &mut NullMonitor).unwrap();
+        assert_eq!(bufs.get(y), &[16.0, 9.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn masked_load_zeroes_inactive_lanes() {
+        let mut b = FunctionBuilder::new("m", 4);
+        let x = b.buffer("x", 2, BufKind::ParamIn);
+        let y = b.buffer("y", 4, BufKind::ParamOut);
+        let v = b.vload(MemRef::new(x, 0), vec![Some(0), Some(1), None, None]);
+        b.vstore_contig(v, MemRef::new(y, 0));
+        let f = b.finish();
+        let mut bufs = BufferSet::for_function(&f);
+        bufs.set(x, &[5.0, 6.0]);
+        execute(&f, &mut bufs, &mut NullMonitor).unwrap();
+        assert_eq!(bufs.get(y), &[5.0, 6.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn blend_extract_reduce() {
+        let mut b = FunctionBuilder::new("ber", 4);
+        let y = b.buffer("y", 3, BufKind::ParamOut);
+        let a = b.vbroadcast(1.0);
+        let c = b.vbroadcast(2.0);
+        let bl = b.vblend(a, c, vec![false, true, false, true]); // 1,2,1,2
+        let e = b.vextract(bl, 1);
+        b.sstore(e, MemRef::new(y, 0));
+        let r = b.vreduce_add(bl);
+        b.sstore(r, MemRef::new(y, 1));
+        let q = b.ssqrt(16.0);
+        b.sstore(q, MemRef::new(y, 2));
+        let f = b.finish();
+        let mut bufs = BufferSet::for_function(&f);
+        execute(&f, &mut bufs, &mut NullMonitor).unwrap();
+        assert_eq!(bufs.get(y), &[2.0, 6.0, 4.0]);
+    }
+
+    #[test]
+    fn out_of_bounds_is_reported() {
+        let mut b = FunctionBuilder::new("oob", 1);
+        let x = b.buffer("x", 2, BufKind::ParamInOut);
+        let r = b.sload(MemRef::new(x, 5));
+        b.sstore(r, MemRef::new(x, 0));
+        let f = b.finish();
+        let mut bufs = BufferSet::for_function(&f);
+        let err = execute(&f, &mut bufs, &mut NullMonitor).unwrap_err();
+        assert!(matches!(err, VmError::OutOfBounds { index: 5, len: 2, .. }));
+    }
+
+    #[test]
+    fn monitor_sees_all_instructions() {
+        let mut b = FunctionBuilder::new("cnt", 1);
+        let x = b.buffer("x", 4, BufKind::ParamInOut);
+        let i = b.begin_for(0, 4, 1);
+        let r = b.sload(MemRef::new(x, Affine::var(i)));
+        let d = b.sbin(BinOp::Div, r, 3.0);
+        b.sstore(d, MemRef::new(x, Affine::var(i)));
+        b.end_for();
+        let f = b.finish();
+        let mut bufs = BufferSet::for_function(&f);
+        let mut m = CountingMonitor::default();
+        execute(&f, &mut bufs, &mut m).unwrap();
+        assert_eq!(m.count(InstrClass::Load), 4);
+        assert_eq!(m.count(InstrClass::FDivSqrt), 4);
+        assert_eq!(m.count(InstrClass::Store), 4);
+        assert_eq!(m.flops(), 4);
+    }
+
+    #[test]
+    fn calls_execute_kernels_with_fresh_locals() {
+        // kernel: c[0] = a[0] + a[1], uses a local scratch
+        let mut kb = FunctionBuilder::new("sum2", 1);
+        let ka = kb.buffer("a", 2, BufKind::ParamIn);
+        let kt = kb.buffer("scratch", 1, BufKind::Local);
+        let kc = kb.buffer("c", 1, BufKind::ParamOut);
+        let r0 = kb.sload(MemRef::new(ka, 0));
+        let r1 = kb.sload(MemRef::new(ka, 1));
+        let s = kb.sbin(BinOp::Add, r0, r1);
+        kb.sstore(s, MemRef::new(kt, 0));
+        let t = kb.sload(MemRef::new(kt, 0));
+        kb.sstore(t, MemRef::new(kc, 0));
+        let kernel = kb.finish();
+        let mut lib = KernelLib::new();
+        lib.register(kernel);
+
+        let mut b = FunctionBuilder::new("main", 1);
+        let a = b.buffer("a", 2, BufKind::ParamIn);
+        let c = b.buffer("c", 1, BufKind::ParamOut);
+        b.instr(Instr::Call { kernel: "sum2".into(), bufs: vec![a, c], ints: vec![] });
+        let f = b.finish();
+        let mut bufs = BufferSet::for_function(&f);
+        bufs.set(a, &[3.0, 4.0]);
+        let mut m = CountingMonitor::default();
+        execute_with_lib(&f, &mut bufs, Some(&lib), &mut m).unwrap();
+        assert_eq!(bufs.get(c), &[7.0]);
+        assert_eq!(m.count(InstrClass::Call), 1);
+        assert_eq!(m.count(InstrClass::FAdd), 1);
+        // caller's buffer set is restored to its own two buffers
+        assert_eq!(bufs.len(), 2);
+    }
+
+    #[test]
+    fn unknown_kernel_errors() {
+        let mut b = FunctionBuilder::new("main", 1);
+        let a = b.buffer("a", 1, BufKind::ParamInOut);
+        b.instr(Instr::Call { kernel: "nope".into(), bufs: vec![a], ints: vec![] });
+        let f = b.finish();
+        let mut bufs = BufferSet::for_function(&f);
+        let lib = KernelLib::new();
+        let err = execute_with_lib(&f, &mut bufs, Some(&lib), &mut NullMonitor).unwrap_err();
+        assert_eq!(err, VmError::UnknownKernel("nope".into()));
+    }
+
+    #[test]
+    fn call_arity_checked() {
+        let mut lib = KernelLib::new();
+        let mut kb = FunctionBuilder::new("k", 1);
+        kb.buffer("a", 1, BufKind::ParamIn);
+        kb.buffer("b", 1, BufKind::ParamOut);
+        lib.register(kb.finish());
+        let mut b = FunctionBuilder::new("main", 1);
+        let a = b.buffer("a", 1, BufKind::ParamInOut);
+        b.instr(Instr::Call { kernel: "k".into(), bufs: vec![a], ints: vec![] });
+        let f = b.finish();
+        let mut bufs = BufferSet::for_function(&f);
+        let err = execute_with_lib(&f, &mut bufs, Some(&lib), &mut NullMonitor).unwrap_err();
+        assert!(matches!(err, VmError::BadCallArity { .. }));
+    }
+
+    #[test]
+    fn if_branches_follow_conditions() {
+        use slingen_cir::{CmpOp, Cond};
+        let mut b = FunctionBuilder::new("br", 1);
+        let y = b.buffer("y", 4, BufKind::ParamOut);
+        let i = b.begin_for(0, 4, 1);
+        b.begin_if(Cond::new(Affine::var(i), CmpOp::Lt, Affine::constant(2)));
+        b.sstore(1.0, MemRef::new(y, Affine::var(i)));
+        b.begin_else();
+        b.sstore(2.0, MemRef::new(y, Affine::var(i)));
+        b.end_if();
+        b.end_for();
+        let f = b.finish();
+        let mut bufs = BufferSet::for_function(&f);
+        execute(&f, &mut bufs, &mut NullMonitor).unwrap();
+        assert_eq!(bufs.get(y), &[1.0, 1.0, 2.0, 2.0]);
+    }
+}
+
+#[cfg(test)]
+mod nested_call_tests {
+    use super::*;
+    use crate::kernels::KernelLib;
+    use crate::monitor::{CountingMonitor, NullMonitor};
+    use slingen_cir::{BinOp, FunctionBuilder, Instr, MemRef};
+
+    /// Kernels calling kernels: locals at each activation stay isolated
+    /// and the buffer table is restored after every return.
+    #[test]
+    fn nested_kernel_calls() {
+        let mut lib = KernelLib::new();
+        // inner: b[0] = a[0] * 2
+        let mut ib = FunctionBuilder::new("double", 1);
+        let ia = ib.buffer("a", 1, BufKind::ParamIn);
+        let ibuf = ib.buffer("b", 1, BufKind::ParamOut);
+        let r = ib.sload(MemRef::new(ia, 0));
+        let d = ib.sbin(BinOp::Mul, r, 2.0);
+        ib.sstore(d, MemRef::new(ibuf, 0));
+        lib.register(ib.finish());
+        // outer: scratch = double(a); out = double(scratch)
+        let mut ob = FunctionBuilder::new("quad", 1);
+        let oa = ob.buffer("a", 1, BufKind::ParamIn);
+        let scratch = ob.buffer("scratch", 1, BufKind::Local);
+        let oout = ob.buffer("out", 1, BufKind::ParamOut);
+        ob.instr(Instr::Call { kernel: "double".into(), bufs: vec![oa, scratch], ints: vec![] });
+        ob.instr(Instr::Call { kernel: "double".into(), bufs: vec![scratch, oout], ints: vec![] });
+        lib.register(ob.finish());
+        // main
+        let mut mb = FunctionBuilder::new("main", 1);
+        let ma = mb.buffer("a", 1, BufKind::ParamIn);
+        let mout = mb.buffer("out", 1, BufKind::ParamOut);
+        mb.instr(Instr::Call { kernel: "quad".into(), bufs: vec![ma, mout], ints: vec![] });
+        let f = mb.finish();
+        let mut bufs = BufferSet::for_function(&f);
+        bufs.set(ma, &[3.0]);
+        let mut m = CountingMonitor::default();
+        execute_with_lib(&f, &mut bufs, Some(&lib), &mut m).unwrap();
+        assert_eq!(bufs.get(mout), &[12.0]);
+        assert_eq!(m.count(slingen_cir::InstrClass::Call), 3);
+        assert_eq!(bufs.len(), 2, "caller buffers restored");
+    }
+
+    /// Repeated calls reuse fresh (zeroed) locals every time.
+    #[test]
+    fn locals_are_fresh_per_activation() {
+        let mut lib = KernelLib::new();
+        // kernel: out[0] = scratch[0] + 1 (scratch must start at 0)
+        let mut kb = FunctionBuilder::new("probe", 1);
+        let scratch = kb.buffer("scratch", 1, BufKind::Local);
+        let kout = kb.buffer("out", 1, BufKind::ParamInOut);
+        let r = kb.sload(MemRef::new(scratch, 0));
+        let prev = kb.sload(MemRef::new(kout, 0));
+        let one = kb.sbin(BinOp::Add, r, 1.0);
+        let acc = kb.sbin(BinOp::Add, prev, one);
+        kb.sstore(acc, MemRef::new(kout, 0));
+        // poison the scratch for the *next* activation (must not leak)
+        kb.sstore(99.0, MemRef::new(scratch, 0));
+        lib.register(kb.finish());
+        let mut mb = FunctionBuilder::new("main", 1);
+        let mo = mb.buffer("out", 1, BufKind::ParamInOut);
+        for _ in 0..3 {
+            mb.instr(Instr::Call { kernel: "probe".into(), bufs: vec![mo], ints: vec![] });
+        }
+        let f = mb.finish();
+        let mut bufs = BufferSet::for_function(&f);
+        execute_with_lib(&f, &mut bufs, Some(&lib), &mut NullMonitor).unwrap();
+        assert_eq!(bufs.get(mo), &[3.0], "each call adds exactly 1");
+    }
+}

@@ -1,0 +1,97 @@
+//! Kernel libraries: named C-IR functions callable through
+//! [`slingen_cir::Instr::Call`].
+//!
+//! Library-based baselines (the MKL-, ReLAPACK-, RECSY-style competitors)
+//! model a fixed-interface library: the caller emits `Call` instructions
+//! and pays the interface overhead in the cost model, while the kernel
+//! bodies are ordinary C-IR executed by the same VM. Kernels are
+//! *size-specialized on demand* by their generators and memoized here —
+//! the VM only sees the finished functions.
+
+use slingen_cir::Function;
+use std::collections::HashMap;
+
+/// A registry of callable kernels.
+#[derive(Debug, Default)]
+pub struct KernelLib {
+    kernels: HashMap<String, Function>,
+}
+
+impl KernelLib {
+    /// An empty library.
+    pub fn new() -> Self {
+        KernelLib::default()
+    }
+
+    /// Register `f` under its function name. Returns the name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a different function is already registered under the same
+    /// name (identical re-registration is allowed and ignored).
+    pub fn register(&mut self, f: Function) -> String {
+        let name = f.name.clone();
+        if let Some(existing) = self.kernels.get(&name) {
+            assert_eq!(
+                existing, &f,
+                "kernel `{name}` re-registered with different body"
+            );
+            return name;
+        }
+        self.kernels.insert(name.clone(), f);
+        name
+    }
+
+    /// Look up a kernel by name.
+    pub fn get(&self, name: &str) -> Option<&Function> {
+        self.kernels.get(name)
+    }
+
+    /// Whether `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.kernels.contains_key(name)
+    }
+
+    /// Number of registered kernels.
+    pub fn len(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Whether the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.kernels.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slingen_cir::FunctionBuilder;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut lib = KernelLib::new();
+        let f = FunctionBuilder::new("dgemm_4_4_4", 4).finish();
+        let name = lib.register(f);
+        assert_eq!(name, "dgemm_4_4_4");
+        assert!(lib.contains("dgemm_4_4_4"));
+        assert!(!lib.contains("dgemm_8_8_8"));
+        assert_eq!(lib.len(), 1);
+    }
+
+    #[test]
+    fn identical_reregistration_is_ok() {
+        let mut lib = KernelLib::new();
+        lib.register(FunctionBuilder::new("k", 1).finish());
+        lib.register(FunctionBuilder::new("k", 1).finish());
+        assert_eq!(lib.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "re-registered")]
+    fn conflicting_reregistration_panics() {
+        let mut lib = KernelLib::new();
+        lib.register(FunctionBuilder::new("k", 1).finish());
+        lib.register(FunctionBuilder::new("k", 4).finish());
+    }
+}

@@ -1,0 +1,96 @@
+//! Execution monitors: observers of the dynamic instruction stream.
+
+use slingen_cir::{Instr, InstrClass};
+use std::collections::BTreeMap;
+
+/// One executed instruction with its resolved memory effects.
+///
+/// Memory cells are `(global buffer index, element index)` pairs; buffer
+/// indices are global to the VM run (callee locals get fresh indices), so
+/// a monitor can track cross-call dependences.
+#[derive(Debug)]
+pub struct Event<'a> {
+    /// The executed instruction.
+    pub instr: &'a Instr,
+    /// Vector width ν of the executing function.
+    pub width: usize,
+    /// Memory cells read.
+    pub reads: Vec<(usize, i64)>,
+    /// Memory cells written.
+    pub writes: Vec<(usize, i64)>,
+}
+
+/// Observer of executed instructions.
+pub trait Monitor {
+    /// Called once per dynamically executed instruction.
+    fn event(&mut self, event: &Event<'_>);
+}
+
+/// A monitor that ignores everything (pure execution).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullMonitor;
+
+impl Monitor for NullMonitor {
+    fn event(&mut self, _event: &Event<'_>) {}
+}
+
+/// Counts dynamic instructions by class, plus flops.
+///
+/// ```
+/// use slingen_vm::{CountingMonitor, Monitor};
+/// let counts = CountingMonitor::default();
+/// assert_eq!(counts.total(), 0);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct CountingMonitor {
+    counts: BTreeMap<InstrClass, u64>,
+    flops: u64,
+}
+
+impl CountingMonitor {
+    /// Dynamic count for one class.
+    pub fn count(&self, class: InstrClass) -> u64 {
+        self.counts.get(&class).copied().unwrap_or(0)
+    }
+
+    /// Total dynamic instructions observed.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Total double-precision flops performed.
+    pub fn flops(&self) -> u64 {
+        self.flops
+    }
+
+    /// All (class, count) pairs.
+    pub fn by_class(&self) -> impl Iterator<Item = (InstrClass, u64)> + '_ {
+        self.counts.iter().map(|(c, n)| (*c, *n))
+    }
+}
+
+impl Monitor for CountingMonitor {
+    fn event(&mut self, event: &Event<'_>) {
+        *self.counts.entry(event.instr.class()).or_insert(0) += 1;
+        self.flops += event.instr.flops(event.width);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slingen_cir::{BinOp, SReg};
+
+    #[test]
+    fn counting_monitor_tallies() {
+        let mut m = CountingMonitor::default();
+        let i = Instr::SBin { op: BinOp::Mul, dst: SReg(0), a: 1.0.into(), b: 2.0.into() };
+        let ev = Event { instr: &i, width: 1, reads: vec![], writes: vec![] };
+        m.event(&ev);
+        m.event(&ev);
+        assert_eq!(m.count(InstrClass::FMul), 2);
+        assert_eq!(m.count(InstrClass::FAdd), 0);
+        assert_eq!(m.total(), 2);
+        assert_eq!(m.flops(), 2);
+    }
+}

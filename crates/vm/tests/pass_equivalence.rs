@@ -1,0 +1,158 @@
+//! Property-based validation of the Stage-3 optimization pipeline: for
+//! randomized straight-line C-IR programs, `optimize` must preserve VM
+//! semantics exactly, at every pass configuration.
+
+use proptest::prelude::*;
+use slingen_cir::passes::{optimize, PassConfig};
+use slingen_cir::{Affine, BinOp, BufKind, FunctionBuilder, MemRef};
+use slingen_vm::{BufferSet, NullMonitor};
+
+/// A tiny random program: a sequence of ops over two 16-element buffers
+/// and a small register pool, with loops sprinkled in.
+#[derive(Debug, Clone)]
+enum Op {
+    Load { buf: u8, off: u8 },
+    Store { buf: u8, off: u8, reg: u8 },
+    Bin { op: u8, a: u8, b: u8 },
+    Sqrt { a: u8 },
+    VLoad { buf: u8, off: u8, masked: bool },
+    VStore { buf: u8, off: u8, vreg: u8 },
+    VBin { op: u8, a: u8, b: u8 },
+    Bcast { a: u8 },
+    Loop { body_len: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..2u8, 0..12u8).prop_map(|(buf, off)| Op::Load { buf, off }),
+        (0..2u8, 0..12u8, 0..6u8).prop_map(|(buf, off, reg)| Op::Store { buf, off, reg }),
+        (0..3u8, 0..6u8, 0..6u8).prop_map(|(op, a, b)| Op::Bin { op, a, b }),
+        (0..6u8,).prop_map(|(a,)| Op::Sqrt { a }),
+        (0..2u8, 0..12u8, any::<bool>()).prop_map(|(buf, off, masked)| Op::VLoad {
+            buf,
+            off,
+            masked
+        }),
+        (0..2u8, 0..12u8, 0..4u8).prop_map(|(buf, off, vreg)| Op::VStore { buf, off, vreg }),
+        (0..3u8, 0..4u8, 0..4u8).prop_map(|(op, a, b)| Op::VBin { op, a, b }),
+        (0..6u8,).prop_map(|(a,)| Op::Bcast { a }),
+        (1..4u8,).prop_map(|(body_len,)| Op::Loop { body_len }),
+    ]
+}
+
+fn build(ops: &[Op]) -> slingen_cir::Function {
+    let mut b = FunctionBuilder::new("rand", 4);
+    let bufs = [
+        b.buffer("x", 16, BufKind::ParamInOut),
+        b.buffer("y", 16, BufKind::ParamInOut),
+    ];
+    // seed registers so all indices are defined
+    let mut sregs = Vec::new();
+    for i in 0..6 {
+        sregs.push(b.smov(1.0 + i as f64 * 0.25));
+    }
+    let mut vregs = Vec::new();
+    for i in 0..4 {
+        vregs.push(b.vbroadcast(0.5 + i as f64 * 0.5));
+    }
+    let binop = |o: u8| match o {
+        0 => BinOp::Add,
+        1 => BinOp::Sub,
+        _ => BinOp::Mul,
+    };
+    let mut i = 0;
+    while i < ops.len() {
+        match ops[i] {
+            Op::Load { buf, off } => {
+                let r = b.sload(MemRef::new(bufs[buf as usize], off as i64));
+                sregs[(off % 6) as usize] = r;
+            }
+            Op::Store { buf, off, reg } => {
+                b.sstore(sregs[reg as usize], MemRef::new(bufs[buf as usize], off as i64));
+            }
+            Op::Bin { op, a, b: bb } => {
+                let r = b.sbin(binop(op), sregs[a as usize], sregs[bb as usize]);
+                sregs[(a % 6) as usize] = r;
+            }
+            Op::Sqrt { a } => {
+                // keep the domain positive: square first
+                let sq = b.sbin(BinOp::Mul, sregs[a as usize], sregs[a as usize]);
+                let r = b.ssqrt(sq);
+                sregs[(a % 6) as usize] = r;
+            }
+            Op::VLoad { buf, off, masked } => {
+                let lanes = if masked {
+                    vec![Some(0), Some(1), None, Some(3)]
+                } else {
+                    vec![Some(0), Some(1), Some(2), Some(3)]
+                };
+                let v = b.vload(MemRef::new(bufs[buf as usize], off as i64), lanes);
+                vregs[(off % 4) as usize] = v;
+            }
+            Op::VStore { buf, off, vreg } => {
+                b.vstore_contig(vregs[vreg as usize], MemRef::new(bufs[buf as usize], off as i64));
+            }
+            Op::VBin { op, a, b: bb } => {
+                let v = b.vbin(binop(op), vregs[a as usize], vregs[bb as usize]);
+                vregs[(a % 4) as usize] = v;
+            }
+            Op::Bcast { a } => {
+                let v = b.vbroadcast(sregs[a as usize]);
+                vregs[(a % 4) as usize] = v;
+            }
+            Op::Loop { body_len } => {
+                let lv = b.begin_for(0, 3, 1);
+                let take = (body_len as usize).min(ops.len() - i - 1);
+                for op in &ops[i + 1..i + 1 + take] {
+                    if let Op::Store { buf, off, reg } = op {
+                        let addr = MemRef::new(
+                            bufs[*buf as usize],
+                            Affine::var(lv).plus(&Affine::constant(*off as i64 % 8)),
+                        );
+                        b.sstore(sregs[*reg as usize], addr);
+                    }
+                }
+                b.end_for();
+                i += take;
+            }
+        }
+        i += 1;
+    }
+    b.finish()
+}
+
+fn run(f: &slingen_cir::Function) -> (Vec<f64>, Vec<f64>) {
+    let mut bufs = BufferSet::for_function(f);
+    let x: Vec<f64> = (0..16).map(|i| (i as f64) * 0.3 - 2.0).collect();
+    let y: Vec<f64> = (0..16).map(|i| 5.0 - (i as f64) * 0.7).collect();
+    bufs.set(slingen_cir::BufId(0), &x);
+    bufs.set(slingen_cir::BufId(1), &y);
+    slingen_vm::execute(f, &mut bufs, &mut NullMonitor).unwrap();
+    (
+        bufs.get(slingen_cir::BufId(0)).to_vec(),
+        bufs.get(slingen_cir::BufId(1)).to_vec(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn optimize_preserves_semantics(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        let f0 = build(&ops);
+        let baseline = run(&f0);
+        for config in [PassConfig::default(), PassConfig::minimal(), PassConfig {
+            load_store_analysis: true,
+            scalar_replacement: false,
+            cse: false,
+            iterations: 1,
+            unroll_budget: 1 << 12,
+        }] {
+            let mut f = f0.clone();
+            optimize(&mut f, &config);
+            let got = run(&f);
+            prop_assert_eq!(&got.0, &baseline.0, "buffer x differs under {:?}", config);
+            prop_assert_eq!(&got.1, &baseline.1, "buffer y differs under {:?}", config);
+        }
+    }
+}
