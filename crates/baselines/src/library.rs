@@ -63,12 +63,8 @@ pub fn library_codegen(
     program: &Program,
     style: LibraryStyle,
 ) -> Result<BaselineCode, Box<dyn std::error::Error>> {
-    let max_dim = program
-        .operands()
-        .iter()
-        .map(|o| o.shape.rows.max(o.shape.cols))
-        .max()
-        .unwrap_or(1);
+    let max_dim =
+        program.operands().iter().map(|o| o.shape.rows.max(o.shape.cols)).max().unwrap_or(1);
     let nb = match style {
         LibraryStyle::WholeStatement => max_dim.max(1),
         LibraryStyle::Blocked { nb } => nb.max(1),
@@ -128,10 +124,7 @@ pub fn library_codegen(
     for name in kernel_names {
         // kernels may declare local temporaries; the call passes only the
         // shared parameter buffers, in matching order
-        let expected = kernels
-            .get(&name)
-            .map(|k| k.params().count())
-            .unwrap_or(0);
+        let expected = kernels.get(&name).map(|k| k.params().count()).unwrap_or(0);
         let bufs: Vec<slingen_cir::BufId> = param_bufs.iter().copied().take(expected).collect();
         fb.instr(Instr::Call { kernel: name, bufs, ints: vec![] });
     }

@@ -67,10 +67,7 @@ mod tests {
         let code = scalar_codegen(&p, true).unwrap();
         code.function.for_each_instr(&mut |i| {
             assert!(
-                !matches!(
-                    i,
-                    Instr::VBin { .. } | Instr::VLoad { .. } | Instr::VStore { .. }
-                ),
+                !matches!(i, Instr::VBin { .. } | Instr::VLoad { .. } | Instr::VStore { .. }),
                 "scalar baseline must not vectorize"
             );
         });

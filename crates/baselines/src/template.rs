@@ -19,9 +19,7 @@ use slingen_vm::KernelLib;
 /// # Errors
 ///
 /// Propagates synthesis/lowering failures.
-pub fn template_codegen(
-    program: &Program,
-) -> Result<BaselineCode, Box<dyn std::error::Error>> {
+pub fn template_codegen(program: &Program) -> Result<BaselineCode, Box<dyn std::error::Error>> {
     let mut db = AlgorithmDb::new();
     let basic = synthesize_program(program, Policy::Lazy, 4, &mut db)?;
     let opts = LowerOptions { nu: 4, loop_threshold: 8 };

@@ -8,8 +8,8 @@ use slingen_lgen::BufferMap;
 use slingen_vm::{BufferSet, NullMonitor};
 
 fn run_baseline(program: &Program, flavor: Flavor, seed: u64) -> Vec<(OpId, Vec<f64>)> {
-    let code = baseline_codegen(program, flavor)
-        .unwrap_or_else(|e| panic!("{}: {e}", flavor.label()));
+    let code =
+        baseline_codegen(program, flavor).unwrap_or_else(|e| panic!("{}: {e}", flavor.label()));
     let mut fb = slingen_cir::FunctionBuilder::new("probe", 4);
     let map = BufferMap::build(program, &mut fb);
     let mut bufs = BufferSet::for_function(&code.function);

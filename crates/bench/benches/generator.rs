@@ -37,9 +37,7 @@ fn bench_stages(c: &mut Criterion) {
     let mut db = AlgorithmDb::new();
     let basic = synthesize_program(&program, Policy::Lazy, 4, &mut db).unwrap();
     g.bench_function("stage2_lowering", |b| {
-        b.iter(|| {
-            lower_program(&program, &basic, "potrf", &LowerOptions::default()).unwrap()
-        })
+        b.iter(|| lower_program(&program, &basic, "potrf", &LowerOptions::default()).unwrap())
     });
     let f0 = lower_program(&program, &basic, "potrf", &LowerOptions::default()).unwrap();
     g.bench_function("stage3_passes", |b| {
@@ -48,6 +46,34 @@ fn bench_stages(c: &mut Criterion) {
             optimize(&mut f, &PassConfig::default());
             f
         })
+    });
+    // pass pipeline on a bigger, fully-unrolled function (~43k instrs)
+    let program64 = apps::potrf(64);
+    let mut db64 = AlgorithmDb::new();
+    let basic64 = synthesize_program(&program64, Policy::Lazy, 4, &mut db64).unwrap();
+    let f64_ = lower_program(&program64, &basic64, "potrf", &LowerOptions::default()).unwrap();
+    g.bench_function("stage3_passes_potrf64", |b| {
+        b.iter(|| {
+            let mut f = f64_.clone();
+            optimize(&mut f, &PassConfig::default());
+            f
+        })
+    });
+    g.finish();
+}
+
+/// The autotuning fan-out: all policies synthesized through one shared
+/// algorithm database, lowered/optimized/measured on parallel threads.
+fn bench_autotune(c: &mut Criterion) {
+    let mut g = c.benchmark_group("autotune");
+    g.sample_size(10);
+    let potrf = apps::potrf(24);
+    g.bench_function("autotune_fanout_potrf24", |b| {
+        b.iter(|| slingen::generate(&potrf, &Options::default()).unwrap())
+    });
+    let kf = apps::kf(8);
+    g.bench_function("autotune_fanout_kf8", |b| {
+        b.iter(|| slingen::generate(&kf, &Options::default()).unwrap())
     });
     g.finish();
 }
@@ -73,5 +99,5 @@ fn bench_vm(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_generation, bench_stages, bench_vm);
+criterion_group!(benches, bench_generation, bench_stages, bench_autotune, bench_vm);
 criterion_main!(benches);

@@ -1,0 +1,186 @@
+//! Generator-throughput tracker: measures wall time of each pipeline
+//! stage (and, with `--passes`, each Stage-3 pass) on the standard
+//! workloads, and emits machine-readable `BENCH_generator.json`.
+//!
+//! Usage: `cargo run --release -p slingen-bench --bin bench [--passes]
+//! [--out PATH]`
+//!
+//! The JSON is a list of per-workload records:
+//! `{"app", "stage1_ms", "stage2_ms", "stage3_ms", "autotune_ms", ...}`,
+//! preceded by a small metadata header. Each PR that touches the
+//! generation hot path should re-run this and compare against the
+//! committed numbers (see ROADMAP.md).
+
+use slingen::{apps, Options};
+use slingen_cir::passes::{optimize_traced, PassConfig};
+use slingen_ir::Program;
+use slingen_lgen::{lower_program, LowerOptions};
+use slingen_synth::{synthesize_program, AlgorithmDb, Policy};
+use std::time::Instant;
+
+/// Median wall-clock milliseconds of `f` over enough repetitions for a
+/// stable reading (at least 3 runs, at most ~2 s).
+fn time_ms(mut f: impl FnMut()) -> f64 {
+    let mut samples = Vec::new();
+    let budget = Instant::now();
+    loop {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed().as_secs_f64() * 1e3);
+        if samples.len() >= 3 && (budget.elapsed().as_secs_f64() > 2.0 || samples.len() >= 15) {
+            break;
+        }
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+struct Record {
+    app: String,
+    stage1_ms: f64,
+    stage2_ms: f64,
+    stage3_ms: f64,
+    autotune_ms: f64,
+    static_instrs: usize,
+}
+
+fn measure(name: &str, program: &Program, passes_breakdown: bool) -> Record {
+    let opts = Options::default();
+    let stage1_ms = time_ms(|| {
+        let mut db = AlgorithmDb::new();
+        synthesize_program(program, Policy::Lazy, opts.nu, &mut db).unwrap();
+    });
+    let mut db = AlgorithmDb::new();
+    let basic = synthesize_program(program, Policy::Lazy, opts.nu, &mut db).unwrap();
+    let lopts = LowerOptions { nu: opts.nu, loop_threshold: opts.loop_threshold };
+    let stage2_ms = time_ms(|| {
+        lower_program(program, &basic, program.name(), &lopts).unwrap();
+    });
+    let f0 = lower_program(program, &basic, program.name(), &lopts).unwrap();
+    let cfg = PassConfig::default();
+    let stage3_ms = time_ms(|| {
+        let mut f = f0.clone();
+        slingen_cir::passes::optimize(&mut f, &cfg);
+    });
+    let mut fopt = f0.clone();
+    slingen_cir::passes::optimize(&mut fopt, &cfg);
+    if passes_breakdown {
+        // the breakdown observes the real pipeline, so it can never drift
+        // from what `optimize` actually runs
+        let mut f = f0.clone();
+        optimize_traced(&mut f, &cfg, &mut |pass, elapsed| {
+            eprintln!("    {pass:<10} {:8.3} ms", elapsed.as_secs_f64() * 1e3);
+        });
+    }
+    let autotune_ms = time_ms(|| {
+        slingen::generate(program, &opts).unwrap();
+    });
+    Record {
+        app: name.to_string(),
+        stage1_ms,
+        stage2_ms,
+        stage3_ms,
+        autotune_ms,
+        static_instrs: fopt.static_instr_count(),
+    }
+}
+
+/// Extract `"key": <value>` (string or object value) from the top level of
+/// a previously written JSON document, returning the raw text.
+fn extract_top_level(src: &str, key: &str) -> Option<String> {
+    let kq = format!("\"{key}\":");
+    let start = src.find(&kq)?;
+    let vstart = start + kq.len();
+    let rest = src[vstart..].trim_start();
+    let voff = src.len() - src[vstart..].len() + (src[vstart..].len() - rest.len());
+    if rest.starts_with('{') {
+        // bracket-count to the matching close (no nested strings with
+        // braces are emitted by this tool)
+        let mut depth = 0usize;
+        for (i, c) in rest.char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(src[start..=voff + i].to_string());
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    } else if let Some(stripped) = rest.strip_prefix('"') {
+        let close = stripped.find('"')?;
+        Some(src[start..=voff + close + 1].to_string())
+    } else {
+        None
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let passes_breakdown = args.iter().any(|a| a == "--passes");
+    let out_path = match args.iter().position(|a| a == "--out") {
+        Some(i) => match args.get(i + 1) {
+            Some(p) if !p.starts_with("--") => p.clone(),
+            _ => {
+                eprintln!("error: --out requires a path argument");
+                std::process::exit(2);
+            }
+        },
+        None => "BENCH_generator.json".to_string(),
+    };
+
+    let workloads: Vec<(String, Program)> = vec![
+        ("potrf8".into(), apps::potrf(8)),
+        ("potrf16".into(), apps::potrf(16)),
+        ("potrf32".into(), apps::potrf(32)),
+        ("potrf64".into(), apps::potrf(64)),
+        ("kf8".into(), apps::kf(8)),
+    ];
+
+    let mut records = Vec::new();
+    for (name, program) in &workloads {
+        eprintln!("measuring {name} ...");
+        let r = measure(name, program, passes_breakdown);
+        eprintln!(
+            "  stage1 {:8.3} ms  stage2 {:8.3} ms  stage3 {:8.3} ms  autotune {:8.3} ms  ({} instrs)",
+            r.stage1_ms, r.stage2_ms, r.stage3_ms, r.autotune_ms, r.static_instrs
+        );
+        records.push(r);
+    }
+
+    let mut json = String::from("{\n  \"benchmark\": \"slingen-generator-throughput\",\n");
+    json.push_str("  \"unit\": \"wall-clock milliseconds (median)\",\n");
+    // hand-maintained sections of an existing file (regeneration notes,
+    // PR-over-PR before/after history) survive the rewrite
+    for key in ["regenerate", "criterion_before_after"] {
+        if let Some(section) = std::fs::read_to_string(&out_path)
+            .ok()
+            .as_deref()
+            .and_then(|prev| extract_top_level(prev, key))
+        {
+            json.push_str("  ");
+            json.push_str(&section);
+            json.push_str(",\n");
+        }
+    }
+    json.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"app\": \"{}\", \"stage1_ms\": {:.3}, \"stage2_ms\": {:.3}, \
+             \"stage3_ms\": {:.3}, \"autotune_ms\": {:.3}, \"static_instrs\": {}}}{}\n",
+            r.app,
+            r.stage1_ms,
+            r.stage2_ms,
+            r.stage3_ms,
+            r.autotune_ms,
+            r.static_instrs,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    eprintln!("wrote {out_path}");
+}

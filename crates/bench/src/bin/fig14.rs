@@ -17,13 +17,8 @@ fn run_kernel(kernel: &str, full: bool) {
         let p = program_for(kernel, n);
         let fl = nominal_flops(kernel, n, 0);
         let mut row = vec![measure_slingen(&p, n, fl)];
-        let mut flavors = vec![
-            Flavor::Mkl,
-            Flavor::Relapack,
-            Flavor::Eigen,
-            Flavor::Icc,
-            Flavor::ClangPolly,
-        ];
+        let mut flavors =
+            vec![Flavor::Mkl, Flavor::Relapack, Flavor::Eigen, Flavor::Icc, Flavor::ClangPolly];
         if kernel == "trsyl" {
             flavors.insert(2, Flavor::Recsy);
         }
@@ -58,11 +53,8 @@ fn run_kernel(kernel: &str, full: bool) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
-    let which = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "all".to_string());
+    let which =
+        args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| "all".to_string());
     let kernels: Vec<&str> = match which.as_str() {
         "all" => vec!["potrf", "trsyl", "trlya", "trtri"],
         k => vec![match k {

@@ -20,11 +20,8 @@ fn app_row(name: &str, program: &slingen_ir::Program, n: usize, fl: f64) -> Stri
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
-    let which = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "all".to_string());
+    let which =
+        args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| "all".to_string());
     let all = which == "all";
 
     if all || which == "kf" {

@@ -14,12 +14,7 @@ fn main() {
     let basic = synthesize_program(&program, Policy::Lazy, 4, &mut db).unwrap();
     println!("== Stage 1: synthesized basic program (Figs. 7-9 analog) ==");
     println!("{}", basic.render(&program));
-    println!(
-        "(algorithm DB: {} entries, {} hits, {} misses)\n",
-        db.len(),
-        db.hits(),
-        db.misses()
-    );
+    println!("(algorithm DB: {} entries, {} hits, {} misses)\n", db.len(), db.hits(), db.misses());
 
     let g = slingen::generate(&program, &Options::default()).unwrap();
     println!("== Stage 3 output: generated C ({} variant) ==", g.policy);

@@ -86,13 +86,7 @@ pub fn measure_baseline(
     nominal_flops: f64,
 ) -> Measurement {
     let code = baseline_codegen(program, flavor).expect("baseline generation");
-    let report = run_function(
-        program,
-        &code.function,
-        Some(&code.kernels),
-        &flavor.machine(),
-        7,
-    );
+    let report = run_function(program, &code.function, Some(&code.kernels), &flavor.machine(), 7);
     Measurement {
         label: flavor.label(),
         n,

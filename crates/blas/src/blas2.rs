@@ -1,6 +1,8 @@
 //! Level-2 BLAS: matrix-vector operations (row-major, explicit leading
 //! dimension `lda` = row stride).
 
+#![allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+
 use crate::{Diag, Trans, Uplo};
 
 /// `y ← alpha·op(A)·x + beta·y` where `A` is `m × n` (as stored).
@@ -90,15 +92,7 @@ pub fn dsymv(
 }
 
 /// Triangular matrix-vector product `x ← op(T)·x`.
-pub fn dtrmv(
-    uplo: Uplo,
-    trans: Trans,
-    diag: Diag,
-    n: usize,
-    t: &[f64],
-    ldt: usize,
-    x: &mut [f64],
-) {
+pub fn dtrmv(uplo: Uplo, trans: Trans, diag: Diag, n: usize, t: &[f64], ldt: usize, x: &mut [f64]) {
     let get = |i: usize, j: usize| -> f64 {
         if i == j && diag == Diag::Unit {
             1.0
@@ -143,15 +137,7 @@ pub fn dtrmv(
 ///
 /// Panics if a diagonal entry is exactly zero (matrix must be
 /// non-singular, the LA `NS` property).
-pub fn dtrsv(
-    uplo: Uplo,
-    trans: Trans,
-    diag: Diag,
-    n: usize,
-    t: &[f64],
-    ldt: usize,
-    x: &mut [f64],
-) {
+pub fn dtrsv(uplo: Uplo, trans: Trans, diag: Diag, n: usize, t: &[f64], ldt: usize, x: &mut [f64]) {
     let get = |i: usize, j: usize| -> f64 {
         if i == j && diag == Diag::Unit {
             1.0
@@ -160,10 +146,7 @@ pub fn dtrsv(
         }
     };
     // effective orientation after transposition
-    let lower = match (uplo, trans) {
-        (Uplo::Lower, Trans::No) | (Uplo::Upper, Trans::Yes) => true,
-        _ => false,
-    };
+    let lower = matches!((uplo, trans), (Uplo::Lower, Trans::No) | (Uplo::Upper, Trans::Yes));
     let coeff = |i: usize, j: usize| -> f64 {
         match trans {
             Trans::No => get(i, j),

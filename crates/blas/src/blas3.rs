@@ -136,26 +136,17 @@ pub fn dtrsm(
         }
     };
     // effective orientation of op(T)
-    let lower = matches!(
-        (uplo, trans),
-        (Uplo::Lower, Trans::No) | (Uplo::Upper, Trans::Yes)
-    );
+    let lower = matches!((uplo, trans), (Uplo::Lower, Trans::No) | (Uplo::Upper, Trans::Yes));
     match side {
         Side::Left => {
             // solve op(T) X = B column-block-wise via forward/back subst
-            let order: Vec<usize> = if lower {
-                (0..dim).collect()
-            } else {
-                (0..dim).rev().collect()
-            };
+            let order: Vec<usize> =
+                if lower { (0..dim).collect() } else { (0..dim).rev().collect() };
             for &i in &order {
                 let d = coeff(i, i);
                 assert!(d != 0.0, "singular triangular matrix");
-                let deps: Vec<usize> = if lower {
-                    (0..i).collect()
-                } else {
-                    (i + 1..dim).collect()
-                };
+                let deps: Vec<usize> =
+                    if lower { (0..i).collect() } else { (i + 1..dim).collect() };
                 for j in 0..n {
                     let mut acc = b[i * ldb + j];
                     for &p in &deps {
@@ -168,19 +159,13 @@ pub fn dtrsm(
         Side::Right => {
             // solve X op(T) = B row-wise: xᵢ op(T) = bᵢ, i.e. op(T)ᵀ xᵢᵀ = bᵢᵀ
             let effective_lower = !lower; // transposing flips orientation
-            let order: Vec<usize> = if effective_lower {
-                (0..dim).collect()
-            } else {
-                (0..dim).rev().collect()
-            };
+            let order: Vec<usize> =
+                if effective_lower { (0..dim).collect() } else { (0..dim).rev().collect() };
             for &j in &order {
                 let d = coeff(j, j);
                 assert!(d != 0.0, "singular triangular matrix");
-                let deps: Vec<usize> = if effective_lower {
-                    (0..j).collect()
-                } else {
-                    (j + 1..dim).collect()
-                };
+                let deps: Vec<usize> =
+                    if effective_lower { (0..j).collect() } else { (j + 1..dim).collect() };
                 for i in 0..m {
                     let mut acc = b[i * ldb + j];
                     for &p in &deps {

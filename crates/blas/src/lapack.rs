@@ -112,6 +112,7 @@ pub fn dtrtri(uplo: Uplo, n: usize, t: &mut [f64], ldt: usize) {
 /// # Panics
 ///
 /// Panics if `L[i,i] + U[j,j] = 0` for some `(i, j)` (no unique solution).
+#[allow(clippy::too_many_arguments)]
 pub fn dtrsyl(
     m: usize,
     n: usize,
@@ -236,10 +237,7 @@ mod tests {
                 let mut x = t.clone();
                 dtrtri(uplo, n, x.as_mut_slice(), n);
                 let prod = t.matmul(&x);
-                assert!(
-                    prod.approx_eq(&Mat::identity(n), 1e-10),
-                    "uplo={uplo:?} n={n}\n{prod}"
-                );
+                assert!(prod.approx_eq(&Mat::identity(n), 1e-10), "uplo={uplo:?} n={n}\n{prod}");
             }
         }
     }

@@ -42,18 +42,7 @@ pub fn potrf_recursive(uplo: Uplo, n: usize, s: &mut [f64], lds: usize, base_siz
                 lds,
             );
             let s22 = &mut bottom[n1..];
-            dsyrk(
-                Uplo::Upper,
-                Trans::Yes,
-                n2,
-                n1,
-                -1.0,
-                &top[n1..],
-                lds,
-                1.0,
-                s22,
-                lds,
-            );
+            dsyrk(Uplo::Upper, Trans::Yes, n2, n1, -1.0, &top[n1..], lds, 1.0, s22, lds);
             potrf_recursive(uplo, n2, s22, lds, base_size);
             // zero the mirrored block for full storage consistency
             for i in 0..n2 {
@@ -98,7 +87,6 @@ pub fn potrf_recursive(uplo: Uplo, n: usize, s: &mut [f64], lds: usize, base_siz
         }
     }
 }
-
 
 /// Copy an `n × n` block starting at `src[0]` (row stride `ld`) into a
 /// dense `n × n` buffer (stride `n`). Used where BLAS calls would otherwise
@@ -221,32 +209,8 @@ pub fn trsyl_recursive(
         trsyl_recursive(m1, n, l, ldl, u, ldu, c, ldc, base_size);
         // C2 -= L21 · X1
         let (x1, c2) = c.split_at_mut(m1 * ldc);
-        dgemm(
-            Trans::No,
-            Trans::No,
-            m2,
-            n,
-            m1,
-            -1.0,
-            &l[m1 * ldl..],
-            ldl,
-            x1,
-            ldc,
-            1.0,
-            c2,
-            ldc,
-        );
-        trsyl_recursive(
-            m2,
-            n,
-            &l[m1 * ldl + m1..],
-            ldl,
-            u,
-            ldu,
-            c2,
-            ldc,
-            base_size,
-        );
+        dgemm(Trans::No, Trans::No, m2, n, m1, -1.0, &l[m1 * ldl..], ldl, x1, ldc, 1.0, c2, ldc);
+        trsyl_recursive(m2, n, &l[m1 * ldl + m1..], ldl, u, ldu, c2, ldc, base_size);
     } else {
         // split U (columns of X): U = [U11 U12; 0 U22]
         let n1 = n / 2;
@@ -274,17 +238,7 @@ pub fn trsyl_recursive(
                 c[i * ldc + n1 + j] -= update[i * n2 + j];
             }
         }
-        trsyl_recursive(
-            m,
-            n2,
-            l,
-            ldl,
-            &u[n1 * ldu + n1..],
-            ldu,
-            &mut c[n1..],
-            ldc,
-            base_size,
-        );
+        trsyl_recursive(m, n2, l, ldl, &u[n1 * ldu + n1..], ldu, &mut c[n1..], ldc, base_size);
     }
 }
 
@@ -331,17 +285,7 @@ pub fn trlya_recursive(
                 l11t[i * n1 + j] = l[j * ldl + i];
             }
         }
-        trsyl_recursive(
-            n2,
-            n1,
-            &l[n1 * ldl + n1..],
-            ldl,
-            &l11t,
-            n1,
-            bottom,
-            lds,
-            base_size,
-        );
+        trsyl_recursive(n2, n1, &l[n1 * ldl + n1..], ldl, &l11t, n1, bottom, lds, base_size);
     }
     // mirror X21 into X12 (full storage)
     for i in 0..n1 {
@@ -420,33 +364,8 @@ pub fn trsm_recursive(
         trsm_recursive(side, uplo, trans, m1, n, t, ldt, b, ldb, base_size);
         let (x1, b2) = b.split_at_mut(m1 * ldb);
         // B2 -= U12ᵀ X1
-        dgemm(
-            Trans::Yes,
-            Trans::No,
-            m2,
-            n,
-            m1,
-            -1.0,
-            &t[m1..],
-            ldt,
-            x1,
-            ldb,
-            1.0,
-            b2,
-            ldb,
-        );
-        trsm_recursive(
-            side,
-            uplo,
-            trans,
-            m2,
-            n,
-            &t[m1 * ldt + m1..],
-            ldt,
-            b2,
-            ldb,
-            base_size,
-        );
+        dgemm(Trans::Yes, Trans::No, m2, n, m1, -1.0, &t[m1..], ldt, x1, ldb, 1.0, b2, ldb);
+        trsm_recursive(side, uplo, trans, m2, n, &t[m1 * ldt + m1..], ldt, b2, ldb, base_size);
     } else {
         dtrsm(side, uplo, trans, Diag::NonUnit, m, n, 1.0, t, ldt, b, ldb);
     }

@@ -306,10 +306,7 @@ mod tests {
         assert_eq!(Affine::constant(4).to_string(), "4");
         assert_eq!(Affine::var(i).to_string(), "i0");
         assert_eq!(Affine::var(i).scaled(3).offset(-2).to_string(), "3*i0 - 2");
-        assert_eq!(
-            Affine::var(i).minus(&Affine::var(j).scaled(2)).to_string(),
-            "i0 - 2*i1"
-        );
+        assert_eq!(Affine::var(i).minus(&Affine::var(j).scaled(2)).to_string(), "i0 - 2*i1");
         assert_eq!(Affine::var(i).scaled(-1).to_string(), "-i0");
     }
 

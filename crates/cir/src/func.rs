@@ -350,7 +350,12 @@ impl FunctionBuilder {
 
     /// Open a `for` loop; returns the induction variable. Close with
     /// [`FunctionBuilder::end_for`].
-    pub fn begin_for(&mut self, lo: impl Into<Affine>, hi: impl Into<Affine>, step: i64) -> LoopVar {
+    pub fn begin_for(
+        &mut self,
+        lo: impl Into<Affine>,
+        hi: impl Into<Affine>,
+        step: i64,
+    ) -> LoopVar {
         assert!(step > 0, "loop step must be positive");
         let var = LoopVar(self.n_loopvars);
         self.n_loopvars += 1;
@@ -439,10 +444,7 @@ mod tests {
         let x = b.buffer("x", 16, BufKind::ParamInOut);
         let i = b.begin_for(0, 4, 1);
         let j = b.begin_for(0, 4, 2);
-        let addr = MemRef::new(
-            x,
-            Affine::var(i).scaled(4).plus(&Affine::var(j)),
-        );
+        let addr = MemRef::new(x, Affine::var(i).scaled(4).plus(&Affine::var(j)));
         let r = b.sload(addr.clone());
         let r2 = b.sbin(BinOp::Mul, r, 2.0);
         b.sstore(r2, addr);

@@ -1,0 +1,100 @@
+//! A fast, non-cryptographic hasher for the pass-internal maps
+//! (rustc-hash/FxHash style multiply-rotate mixing).
+//!
+//! The Stage-3 passes key availability and cell maps on small structured
+//! keys and look them up once per instruction; the default SipHash
+//! dominates their profile. This hasher is not DoS-resistant — use it only
+//! for compiler-internal tables whose keys are not attacker-controlled.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-rotate hasher (FxHash).
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(i as u64);
+    }
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add(i as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(i as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+}
+
+/// `HashMap` with the Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` with the Fx hasher.
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<(usize, i64), u32> = FxHashMap::default();
+        for i in 0..1000usize {
+            m.insert((i, -(i as i64)), i as u32);
+        }
+        for i in 0..1000usize {
+            assert_eq!(m.get(&(i, -(i as i64))), Some(&(i as u32)));
+        }
+    }
+
+    #[test]
+    fn distinct_streams_differ() {
+        use std::hash::Hash;
+        let h = |x: &[u64]| {
+            let mut hasher = FxHasher::default();
+            x.hash(&mut hasher);
+            hasher.finish()
+        };
+        assert_ne!(h(&[1, 2]), h(&[2, 1]));
+        assert_ne!(h(&[0]), h(&[]));
+    }
+}

@@ -99,7 +99,7 @@ impl fmt::Display for SOperand {
 }
 
 /// Binary floating-point operations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum BinOp {
     /// Addition.
     Add,
@@ -136,7 +136,7 @@ impl fmt::Display for BinOp {
 
 /// One lane of a two-source shuffle: pick lane `lane` from source `a`/`b`,
 /// or produce zero.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum LaneSel {
     /// Take the given lane of the first source.
     A(usize),
@@ -464,8 +464,7 @@ mod tests {
             InstrClass::FMul
         );
         assert_eq!(
-            Instr::VBlend { dst: VReg(0), a: VReg(1), b: VReg(2), mask: vec![true, false] }
-                .class(),
+            Instr::VBlend { dst: VReg(0), a: VReg(1), b: VReg(2), mask: vec![true, false] }.class(),
             InstrClass::Blend
         );
     }

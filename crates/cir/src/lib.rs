@@ -23,6 +23,7 @@
 
 pub mod affine;
 pub mod func;
+pub mod fxhash;
 pub mod instr;
 pub mod passes;
 pub mod pretty;

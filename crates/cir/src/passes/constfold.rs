@@ -7,7 +7,7 @@
 use crate::func::{CStmt, Function};
 
 fn fold_stmts(stmts: Vec<CStmt>) -> Vec<CStmt> {
-    let mut out = Vec::new();
+    let mut out = Vec::with_capacity(stmts.len());
     for s in stmts {
         match s {
             CStmt::If { cond, then_, else_ } => {

@@ -6,24 +6,30 @@
 //! copy propagation and DCE then dissolve. Loads participate with a
 //! per-buffer epoch that is bumped by any store to the buffer (distinct
 //! buffers never alias, by C-IR construction).
+//!
+//! Throughput notes: the pass streams over the body and rewrites repeated
+//! computations *in place* (no rebuilt instruction vectors, no clones);
+//! register versions and buffer epochs live in dense tables indexed by
+//! register/buffer id; and commutative canonicalization uses the derived
+//! [`Ord`] on the key types directly.
 
 use crate::func::{CStmt, Function};
-use crate::instr::{Instr, SOperand, SReg, VReg};
-use std::collections::HashMap;
+use crate::fxhash::FxHashMap;
+use crate::instr::{BinOp, Instr, LaneSel, SOperand, SReg, VReg};
 
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 enum Key {
-    SBin(crate::instr::BinOp, SKey, SKey),
+    SBin(BinOp, SKey, SKey),
     SSqrt(SKey),
     SLoad(usize, i64, u64),
-    VBin(crate::instr::BinOp, VKey, VKey),
+    VBin(BinOp, VKey, VKey),
     VBroadcast(SKey),
-    VShuffle(VKey, VKey, Vec<crate::instr::LaneSel>),
+    VShuffle(VKey, VKey, Vec<LaneSel>),
     VBlend(VKey, VKey, Vec<bool>),
-    VLoad(usize, String, Vec<Option<i64>>, u64),
+    VLoad(usize, i64, Vec<Option<i64>>, u64),
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 enum SKey {
     Reg(SReg, u32),
     Imm(u64),
@@ -31,24 +37,74 @@ enum SKey {
 
 type VKey = (VReg, u32);
 
-#[derive(Default)]
+/// Pass state: dense version/epoch tables plus the availability maps.
+///
+/// Table slots are `(generation, value)` pairs; a slot from an older
+/// generation reads as the default, which makes [`Cse::reset`] O(1)
+/// regardless of table size (no per-boundary refills).
 struct Cse {
-    svers: HashMap<SReg, u32>,
-    vvers: HashMap<VReg, u32>,
-    epochs: HashMap<usize, u64>,
-    avail_s: HashMap<Key, (SReg, u32)>,
-    avail_v: HashMap<Key, (VReg, u32)>,
+    gen: u32,
+    svers: Vec<(u32, u32)>,
+    vvers: Vec<(u32, u32)>,
+    epochs: Vec<(u32, u64)>,
+    avail_s: FxHashMap<Key, (SReg, u32)>,
+    avail_v: FxHashMap<Key, (VReg, u32)>,
 }
 
 impl Cse {
+    fn for_function(f: &Function) -> Self {
+        Cse {
+            gen: 0,
+            svers: vec![(0, 0); f.n_sregs],
+            vvers: vec![(0, 0); f.n_vregs],
+            epochs: vec![(0, 0); f.buffers.len()],
+            avail_s: FxHashMap::default(),
+            avail_v: FxHashMap::default(),
+        }
+    }
+
+    /// Forget everything (control-flow boundary).
+    fn reset(&mut self) {
+        self.gen += 1;
+        self.avail_s.clear();
+        self.avail_v.clear();
+    }
+
     fn sver(&self, r: SReg) -> u32 {
-        self.svers.get(&r).copied().unwrap_or(0)
+        match self.svers.get(r.0) {
+            Some((g, v)) if *g == self.gen => *v,
+            _ => 0,
+        }
     }
     fn vver(&self, r: VReg) -> u32 {
-        self.vvers.get(&r).copied().unwrap_or(0)
+        match self.vvers.get(r.0) {
+            Some((g, v)) if *g == self.gen => *v,
+            _ => 0,
+        }
     }
     fn epoch(&self, b: usize) -> u64 {
-        self.epochs.get(&b).copied().unwrap_or(0)
+        match self.epochs.get(b) {
+            Some((g, e)) if *g == self.gen => *e,
+            _ => 0,
+        }
+    }
+    fn bump_s(&mut self, r: SReg) {
+        let gen = self.gen;
+        super::grow_update(&mut self.svers, r.0, |s| {
+            *s = if s.0 == gen { (gen, s.1 + 1) } else { (gen, 1) }
+        });
+    }
+    fn bump_v(&mut self, r: VReg) {
+        let gen = self.gen;
+        super::grow_update(&mut self.vvers, r.0, |s| {
+            *s = if s.0 == gen { (gen, s.1 + 1) } else { (gen, 1) }
+        });
+    }
+    fn bump_epoch(&mut self, b: usize) {
+        let gen = self.gen;
+        super::grow_update(&mut self.epochs, b, |s| {
+            *s = if s.0 == gen { (gen, s.1 + 1) } else { (gen, 1) }
+        });
     }
     fn skey(&self, o: &SOperand) -> SKey {
         match o {
@@ -67,32 +123,19 @@ fn instr_key(st: &Cse, ins: &Instr) -> Option<Key> {
             let (ka, kb) = (st.skey(a), st.skey(b));
             // commutative ops: canonical operand order
             let (ka, kb) = match op {
-                crate::instr::BinOp::Add | crate::instr::BinOp::Mul => {
-                    if format!("{ka:?}") <= format!("{kb:?}") {
-                        (ka, kb)
-                    } else {
-                        (kb, ka)
-                    }
-                }
+                BinOp::Add | BinOp::Mul if kb < ka => (kb, ka),
                 _ => (ka, kb),
             };
             Some(Key::SBin(*op, ka, kb))
         }
         Instr::SSqrt { a, .. } => Some(Key::SSqrt(st.skey(a))),
-        Instr::SLoad { src, .. } => src
-            .offset
-            .as_constant()
-            .map(|off| Key::SLoad(src.buf.0, off, st.epoch(src.buf.0))),
+        Instr::SLoad { src, .. } => {
+            src.offset.as_constant().map(|off| Key::SLoad(src.buf.0, off, st.epoch(src.buf.0)))
+        }
         Instr::VBin { op, a, b, .. } => {
             let (ka, kb) = (st.vkey(*a), st.vkey(*b));
             let (ka, kb) = match op {
-                crate::instr::BinOp::Add | crate::instr::BinOp::Mul => {
-                    if ka <= kb {
-                        (ka, kb)
-                    } else {
-                        (kb, ka)
-                    }
-                }
+                BinOp::Add | BinOp::Mul if kb < ka => (kb, ka),
                 _ => (ka, kb),
             };
             Some(Key::VBin(*op, ka, kb))
@@ -104,108 +147,94 @@ fn instr_key(st: &Cse, ins: &Instr) -> Option<Key> {
         Instr::VBlend { a, b, mask, .. } => {
             Some(Key::VBlend(st.vkey(*a), st.vkey(*b), mask.clone()))
         }
-        Instr::VLoad { base, lanes, .. } => base.offset.as_constant().map(|off| {
-            Key::VLoad(
-                base.buf.0,
-                off.to_string(),
-                lanes.clone(),
-                st.epoch(base.buf.0),
-            )
-        }),
+        Instr::VLoad { base, lanes, .. } => base
+            .offset
+            .as_constant()
+            .map(|off| Key::VLoad(base.buf.0, off, lanes.clone(), st.epoch(base.buf.0))),
         _ => None,
     }
 }
 
-fn cse_block(instrs: Vec<Instr>, st: &mut Cse) -> Vec<Instr> {
-    let mut out = Vec::new();
-    for ins in instrs {
-        let key = instr_key(st, &ins);
-        let mut replaced = false;
-        if let Some(k) = &key {
-            if let Some(sdst) = ins.sreg_write() {
-                if let Some((r, v)) = st.avail_s.get(k) {
-                    if st.sver(*r) == *v && *r != sdst {
-                        out.push(Instr::SMov { dst: sdst, a: (*r).into() });
-                        replaced = true;
-                    }
-                }
-            } else if let Some(vdst) = ins.vreg_write() {
-                if let Some((r, v)) = st.avail_v.get(k) {
-                    if st.vver(*r) == *v && *r != vdst {
-                        out.push(Instr::VMov { dst: vdst, src: *r });
-                        replaced = true;
-                    }
+/// Process one instruction, replacing repeats with moves in place.
+/// Returns `true` when the instruction was rewritten.
+fn process(st: &mut Cse, ins: &mut Instr) -> bool {
+    let key = instr_key(st, ins);
+    let mut replaced = false;
+    if let Some(k) = &key {
+        if let Some(sdst) = ins.sreg_write() {
+            if let Some((r, v)) = st.avail_s.get(k) {
+                if st.sver(*r) == *v && *r != sdst {
+                    *ins = Instr::SMov { dst: sdst, a: (*r).into() };
+                    replaced = true;
                 }
             }
-        }
-        if !replaced {
-            out.push(ins.clone());
-        }
-        // effects: bump versions/epochs, then record availability
-        match &ins {
-            Instr::SStore { dst, .. } => {
-                *st.epochs.entry(dst.buf.0).or_insert(0) += 1;
-            }
-            Instr::VStore { base, .. } => {
-                *st.epochs.entry(base.buf.0).or_insert(0) += 1;
-            }
-            Instr::Call { .. } => {
-                st.epochs.values_mut().for_each(|e| *e += 1);
-                // calls clobber nothing in registers, but be safe:
-                st.avail_s.clear();
-                st.avail_v.clear();
-            }
-            _ => {}
-        }
-        if let Some(r) = ins.sreg_write() {
-            *st.svers.entry(r).or_insert(0) += 1;
-        }
-        if let Some(r) = ins.vreg_write() {
-            *st.vvers.entry(r).or_insert(0) += 1;
-        }
-        if let Some(k) = key {
-            if let Some(r) = ins.sreg_write() {
-                st.avail_s.insert(k, (r, st.sver(r)));
-            } else if let Some(r) = ins.vreg_write() {
-                st.avail_v.insert(k, (r, st.vver(r)));
+        } else if let Some(vdst) = ins.vreg_write() {
+            if let Some((r, v)) = st.avail_v.get(k) {
+                if st.vver(*r) == *v && *r != vdst {
+                    *ins = Instr::VMov { dst: vdst, src: *r };
+                    replaced = true;
+                }
             }
         }
     }
-    out
+    // effects: bump versions/epochs, then record availability
+    match &*ins {
+        Instr::SStore { dst, .. } => st.bump_epoch(dst.buf.0),
+        Instr::VStore { base, .. } => st.bump_epoch(base.buf.0),
+        Instr::Call { .. } => {
+            let gen = st.gen;
+            st.epochs
+                .iter_mut()
+                .for_each(|s| *s = if s.0 == gen { (gen, s.1 + 1) } else { (gen, 1) });
+            // calls clobber nothing in registers, but be safe:
+            st.avail_s.clear();
+            st.avail_v.clear();
+        }
+        _ => {}
+    }
+    if let Some(r) = ins.sreg_write() {
+        st.bump_s(r);
+    }
+    if let Some(r) = ins.vreg_write() {
+        st.bump_v(r);
+    }
+    if let Some(k) = key {
+        if let Some(r) = ins.sreg_write() {
+            st.avail_s.insert(k, (r, st.sver(r)));
+        } else if let Some(r) = ins.vreg_write() {
+            st.avail_v.insert(k, (r, st.vver(r)));
+        }
+    }
+    replaced
 }
 
-fn walk(stmts: Vec<CStmt>) -> Vec<CStmt> {
-    let mut out = Vec::new();
-    let mut st = Cse::default();
-    let mut run: Vec<Instr> = Vec::new();
-    let flush = |run: &mut Vec<Instr>, st: &mut Cse, out: &mut Vec<CStmt>| {
-        if !run.is_empty() {
-            out.extend(cse_block(std::mem::take(run), st).into_iter().map(CStmt::I));
-        }
-    };
+fn walk(stmts: &mut [CStmt], st: &mut Cse) -> bool {
+    let mut changed = false;
     for s in stmts {
         match s {
-            CStmt::I(i) => run.push(i),
-            CStmt::For { var, lo, hi, step, body } => {
-                flush(&mut run, &mut st, &mut out);
-                out.push(CStmt::For { var, lo, hi, step, body: walk(body) });
-                st = Cse::default();
+            CStmt::I(ins) => changed |= process(st, ins),
+            CStmt::For { body, .. } => {
+                st.reset();
+                changed |= walk(body, st);
+                st.reset();
             }
-            CStmt::If { cond, then_, else_ } => {
-                flush(&mut run, &mut st, &mut out);
-                out.push(CStmt::If { cond, then_: walk(then_), else_: walk(else_) });
-                st = Cse::default();
+            CStmt::If { then_, else_, .. } => {
+                st.reset();
+                changed |= walk(then_, st);
+                st.reset();
+                changed |= walk(else_, st);
+                st.reset();
             }
         }
     }
-    flush(&mut run, &mut st, &mut out);
-    out
+    changed
 }
 
-/// Eliminate common subexpressions in `f`.
-pub fn cse(f: &mut Function) {
-    let body = std::mem::take(&mut f.body);
-    f.body = walk(body);
+/// Eliminate common subexpressions in `f`; returns whether anything
+/// changed.
+pub fn cse(f: &mut Function) -> bool {
+    let mut st = Cse::for_function(f);
+    walk(&mut f.body, &mut st)
 }
 
 #[cfg(test)]
@@ -224,7 +253,7 @@ mod tests {
         b.sstore(x, MemRef::new(t, 0));
         b.sstore(y, MemRef::new(t, 1));
         let mut f = b.finish();
-        cse(&mut f);
+        assert!(cse(&mut f), "must report a change");
         let mut muls = 0;
         let mut movs = 0;
         f.for_each_instr(&mut |i| match i {
@@ -255,6 +284,27 @@ mod tests {
             }
         });
         assert_eq!(adds, 1);
+    }
+
+    #[test]
+    fn commutative_imm_reg_mixes_match() {
+        // Imm/Reg operand orders must canonicalize to the same key.
+        let mut b = FunctionBuilder::new("f", 1);
+        let t = b.buffer("t", 2, BufKind::ParamOut);
+        let a = b.smov(3.0);
+        let x = b.sbin(BinOp::Mul, a, 2.0);
+        let y = b.sbin(BinOp::Mul, 2.0, a);
+        b.sstore(x, MemRef::new(t, 0));
+        b.sstore(y, MemRef::new(t, 1));
+        let mut f = b.finish();
+        cse(&mut f);
+        let mut muls = 0;
+        f.for_each_instr(&mut |i| {
+            if matches!(i, Instr::SBin { op: BinOp::Mul, .. }) {
+                muls += 1;
+            }
+        });
+        assert_eq!(muls, 1);
     }
 
     #[test]
@@ -337,5 +387,15 @@ mod tests {
         });
         assert_eq!(vmuls, 1);
         assert_eq!(vmovs, 1);
+    }
+
+    #[test]
+    fn no_change_reports_false() {
+        let mut b = FunctionBuilder::new("f", 1);
+        let t = b.buffer("t", 1, BufKind::ParamOut);
+        let a = b.smov(3.0);
+        b.sstore(a, MemRef::new(t, 0));
+        let mut f = b.finish();
+        assert!(!cse(&mut f));
     }
 }

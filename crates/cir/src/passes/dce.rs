@@ -11,37 +11,65 @@
 //!   symbolic-offset load of the buffer, and the buffer never escapes
 //!   through a call). After the load/store forwarding pass this deletes
 //!   the memory traffic the paper's Fig. 12 optimization makes redundant.
+//!
+//! Throughput notes: register read sets are dense bit tables indexed by
+//! register id, usage is recollected into reused allocations each round,
+//! and the sweep compacts statement vectors in place instead of rebuilding
+//! them.
 
-use crate::func::{BufKind, CStmt, Function};
-use crate::instr::{Instr, SReg, VReg};
-use std::collections::HashSet;
+use crate::func::{BufKind, BufferDecl, CStmt, Function};
+use crate::fxhash::FxHashSet;
+use crate::instr::Instr;
 
 #[derive(Default)]
 struct Usage {
-    sreads: HashSet<SReg>,
-    vreads: HashSet<VReg>,
-    loaded_cells: HashSet<(usize, i64)>,
-    symbolic_load_bufs: HashSet<usize>,
-    call_bufs: HashSet<usize>,
+    sreads: Vec<bool>,
+    vreads: Vec<bool>,
+    loaded_cells: FxHashSet<(usize, i64)>,
+    symbolic_load_bufs: Vec<bool>,
+    call_bufs: Vec<bool>,
 }
 
-fn collect(f: &Function) -> Usage {
-    let mut u = Usage::default();
+impl Usage {
+    fn reset(&mut self, f: &Function) {
+        self.sreads.clear();
+        self.sreads.resize(f.n_sregs, false);
+        self.vreads.clear();
+        self.vreads.resize(f.n_vregs, false);
+        self.loaded_cells.clear();
+        self.symbolic_load_bufs.clear();
+        self.symbolic_load_bufs.resize(f.buffers.len(), false);
+        self.call_bufs.clear();
+        self.call_bufs.resize(f.buffers.len(), false);
+    }
+
+    fn sread(&self, r: usize) -> bool {
+        self.sreads.get(r).copied().unwrap_or(false)
+    }
+    fn vread(&self, r: usize) -> bool {
+        self.vreads.get(r).copied().unwrap_or(false)
+    }
+}
+
+fn mark(v: &mut Vec<bool>, i: usize) {
+    super::grow_update(v, i, |b| *b = true);
+}
+
+fn collect(f: &Function, u: &mut Usage) {
+    u.reset(f);
     f.for_each_instr(&mut |i| {
         for r in i.sreg_reads() {
-            u.sreads.insert(r);
+            mark(&mut u.sreads, r.0);
         }
         for r in i.vreg_reads() {
-            u.vreads.insert(r);
+            mark(&mut u.vreads, r.0);
         }
         match i {
             Instr::SLoad { src, .. } => match src.offset.as_constant() {
                 Some(off) => {
                     u.loaded_cells.insert((src.buf.0, off));
                 }
-                None => {
-                    u.symbolic_load_bufs.insert(src.buf.0);
-                }
+                None => mark(&mut u.symbolic_load_bufs, src.buf.0),
             },
             Instr::VLoad { base, lanes, .. } => match base.offset.as_constant() {
                 Some(boff) => {
@@ -49,100 +77,108 @@ fn collect(f: &Function) -> Usage {
                         u.loaded_cells.insert((base.buf.0, boff + l));
                     }
                 }
-                None => {
-                    u.symbolic_load_bufs.insert(base.buf.0);
-                }
+                None => mark(&mut u.symbolic_load_bufs, base.buf.0),
             },
             Instr::Call { bufs, .. } => {
                 for b in bufs {
-                    u.call_bufs.insert(b.0);
+                    mark(&mut u.call_bufs, b.0);
                 }
             }
             _ => {}
         }
     });
-    u
 }
 
-fn store_is_dead(f: &Function, u: &Usage, buf: usize, cells: &[i64]) -> bool {
-    if f.buffers[buf].kind != BufKind::Local {
+fn store_is_dead(
+    buffers: &[BufferDecl],
+    u: &Usage,
+    buf: usize,
+    cells: impl Iterator<Item = i64>,
+) -> bool {
+    if buffers[buf].kind != BufKind::Local {
         return false;
     }
-    if u.symbolic_load_bufs.contains(&buf) || u.call_bufs.contains(&buf) {
+    if u.symbolic_load_bufs.get(buf).copied().unwrap_or(false)
+        || u.call_bufs.get(buf).copied().unwrap_or(false)
+    {
         return false;
     }
-    cells.iter().all(|off| !u.loaded_cells.contains(&(buf, *off)))
-}
-
-fn sweep(f: &Function, u: &Usage, stmts: Vec<CStmt>, removed: &mut bool) -> Vec<CStmt> {
-    let mut out = Vec::new();
-    for s in stmts {
-        match s {
-            CStmt::I(ins) => {
-                let dead = match &ins {
-                    Instr::SStore { dst, .. } => match dst.offset.as_constant() {
-                        Some(off) => store_is_dead(f, u, dst.buf.0, &[off]),
-                        None => false,
-                    },
-                    Instr::VStore { base, lanes, .. } => match base.offset.as_constant() {
-                        Some(boff) => {
-                            let cells: Vec<i64> =
-                                lanes.iter().flatten().map(|l| boff + l).collect();
-                            store_is_dead(f, u, base.buf.0, &cells)
-                        }
-                        None => false,
-                    },
-                    Instr::Call { .. } => false,
-                    other => {
-                        let swrite_dead =
-                            other.sreg_write().map_or(true, |r| !u.sreads.contains(&r));
-                        let vwrite_dead =
-                            other.vreg_write().map_or(true, |r| !u.vreads.contains(&r));
-                        let writes_nothing =
-                            other.sreg_write().is_none() && other.vreg_write().is_none();
-                        !writes_nothing && swrite_dead && vwrite_dead
-                    }
-                };
-                if dead {
-                    *removed = true;
-                } else {
-                    out.push(CStmt::I(ins));
-                }
-            }
-            CStmt::For { var, lo, hi, step, body } => {
-                let body = sweep(f, u, body, removed);
-                if body.is_empty() {
-                    *removed = true;
-                } else {
-                    out.push(CStmt::For { var, lo, hi, step, body });
-                }
-            }
-            CStmt::If { cond, then_, else_ } => {
-                let then_ = sweep(f, u, then_, removed);
-                let else_ = sweep(f, u, else_, removed);
-                if then_.is_empty() && else_.is_empty() {
-                    *removed = true;
-                } else {
-                    out.push(CStmt::If { cond, then_, else_ });
-                }
-            }
+    for off in cells {
+        if u.loaded_cells.contains(&(buf, off)) {
+            return false;
         }
     }
-    out
+    true
+}
+
+fn instr_is_dead(buffers: &[BufferDecl], u: &Usage, ins: &Instr) -> bool {
+    match ins {
+        Instr::SStore { dst, .. } => match dst.offset.as_constant() {
+            Some(off) => store_is_dead(buffers, u, dst.buf.0, std::iter::once(off)),
+            None => false,
+        },
+        Instr::VStore { base, lanes, .. } => match base.offset.as_constant() {
+            Some(boff) => {
+                store_is_dead(buffers, u, base.buf.0, lanes.iter().flatten().map(|l| boff + l))
+            }
+            None => false,
+        },
+        Instr::Call { .. } => false,
+        other => {
+            let swrite_dead = other.sreg_write().is_none_or(|r| !u.sread(r.0));
+            let vwrite_dead = other.vreg_write().is_none_or(|r| !u.vread(r.0));
+            let writes_nothing = other.sreg_write().is_none() && other.vreg_write().is_none();
+            !writes_nothing && swrite_dead && vwrite_dead
+        }
+    }
+}
+
+/// Compact `stmts` in place, dropping dead instructions and emptied
+/// control flow; sets `removed` when anything was dropped.
+fn sweep(buffers: &[BufferDecl], u: &Usage, stmts: &mut Vec<CStmt>, removed: &mut bool) {
+    let mut w = 0;
+    for r in 0..stmts.len() {
+        let keep = match &mut stmts[r] {
+            CStmt::I(ins) => !instr_is_dead(buffers, u, ins),
+            CStmt::For { body, .. } => {
+                sweep(buffers, u, body, removed);
+                !body.is_empty()
+            }
+            CStmt::If { then_, else_, .. } => {
+                sweep(buffers, u, then_, removed);
+                sweep(buffers, u, else_, removed);
+                !(then_.is_empty() && else_.is_empty())
+            }
+        };
+        if keep {
+            if w != r {
+                stmts.swap(w, r);
+            }
+            w += 1;
+        } else {
+            *removed = true;
+        }
+    }
+    stmts.truncate(w);
 }
 
 /// Remove dead instructions and dead local stores from `f`, iterating to a
-/// fixpoint.
-pub fn dce(f: &mut Function) {
+/// fixpoint; returns whether anything was removed.
+pub fn dce(f: &mut Function) -> bool {
+    let mut any = false;
+    let mut u = Usage::default();
     loop {
-        let u = collect(f);
+        collect(f, &mut u);
         let mut removed = false;
-        let body = std::mem::take(&mut f.body);
-        f.body = sweep(f, &u, body, &mut removed);
+        let mut body = std::mem::take(&mut f.body);
+        sweep(&f.buffers, &u, &mut body, &mut removed);
+        f.body = body;
         if !removed {
             break;
         }
+        any = true;
     }
+    any
 }
 
 #[cfg(test)]
@@ -161,7 +197,7 @@ mod tests {
         let d = b.smov(9.0);
         b.sstore(d, MemRef::new(t, 0));
         let mut f = b.finish();
-        dce(&mut f);
+        assert!(dce(&mut f), "must report removals");
         assert_eq!(f.static_instr_count(), 2, "only the stored value survives");
     }
 
@@ -171,7 +207,7 @@ mod tests {
         let t = b.buffer("t", 1, BufKind::ParamOut);
         b.sstore(1.0, MemRef::new(t, 0));
         let mut f = b.finish();
-        dce(&mut f);
+        assert!(!dce(&mut f), "nothing removable");
         assert_eq!(f.static_instr_count(), 1);
     }
 

@@ -21,10 +21,16 @@
 //!
 //! Soundness relies on the C-IR invariant that distinct buffers never
 //! alias. Conservative resets happen at control-flow boundaries and calls.
+//!
+//! Throughput notes: both `forward` and `copyprop` stream over the body
+//! mutating instructions in place (no rebuilt vectors, no per-instruction
+//! clones); register versions live in dense tables indexed by register id,
+//! and copy facts are validated by version instead of being invalidated by
+//! reverse scans.
 
 use crate::func::{CStmt, Function};
+use crate::fxhash::FxHashMap;
 use crate::instr::{Instr, LaneSel, SOperand, SReg, VReg};
-use std::collections::HashMap;
 
 /// Who holds the current value of a memory cell.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,25 +40,28 @@ enum CellSrc {
     Imm(f64),
 }
 
-#[derive(Default)]
+/// Pass state: dense register-version tables plus the cell map.
 struct State {
-    svers: HashMap<SReg, u32>,
-    vvers: HashMap<VReg, u32>,
-    cells: HashMap<(usize, i64), CellSrc>,
+    svers: Vec<u32>,
+    vvers: Vec<u32>,
+    cells: FxHashMap<(usize, i64), CellSrc>,
 }
 
 impl State {
+    fn for_function(f: &Function) -> Self {
+        State { svers: vec![0; f.n_sregs], vvers: vec![0; f.n_vregs], cells: FxHashMap::default() }
+    }
     fn sver(&self, r: SReg) -> u32 {
-        self.svers.get(&r).copied().unwrap_or(0)
+        self.svers.get(r.0).copied().unwrap_or(0)
     }
     fn vver(&self, r: VReg) -> u32 {
-        self.vvers.get(&r).copied().unwrap_or(0)
+        self.vvers.get(r.0).copied().unwrap_or(0)
     }
     fn bump_s(&mut self, r: SReg) {
-        *self.svers.entry(r).or_insert(0) += 1;
+        super::grow_update(&mut self.svers, r.0, |v| *v += 1);
     }
     fn bump_v(&mut self, r: VReg) {
-        *self.vvers.entry(r).or_insert(0) += 1;
+        super::grow_update(&mut self.vvers, r.0, |v| *v += 1);
     }
     fn valid(&self, c: &CellSrc) -> bool {
         match c {
@@ -64,37 +73,37 @@ impl State {
     fn invalidate_buffer(&mut self, buf: usize) {
         self.cells.retain(|(b, _), _| *b != buf);
     }
-    fn clear(&mut self) {
+    fn clear_cells(&mut self) {
         self.cells.clear();
     }
 }
 
-/// Try to rewrite a vector load from tracked cells into shuffles/blends.
+/// Try to rewrite a vector load from tracked cells into a shuffle/blend.
 ///
-/// Returns the replacement instructions, or `None` to keep the load.
-fn rewrite_vload(
-    st: &State,
-    dst: VReg,
-    sources: &[Option<CellSrc>],
-) -> Option<Vec<Instr>> {
+/// Returns the replacement instruction, or `None` to keep the load.
+fn rewrite_vload(dst: VReg, sources: &[Option<CellSrc>]) -> Option<Instr> {
     // All active lanes must be valid vector lanes (scalar sources would
     // need broadcast+blend chains that rarely pay off; see module docs).
-    let mut regs: Vec<VReg> = Vec::new();
+    let mut regs: [Option<VReg>; 2] = [None, None];
     for s in sources.iter().flatten() {
         match s {
             CellSrc::VLane(r, _, _) => {
-                if !regs.contains(r) {
-                    regs.push(*r);
+                if regs[0] == Some(*r) || regs[1] == Some(*r) {
+                    continue;
+                }
+                if regs[0].is_none() {
+                    regs[0] = Some(*r);
+                } else if regs[1].is_none() {
+                    regs[1] = Some(*r);
+                } else {
+                    return None; // more than two source registers
                 }
             }
             _ => return None,
         }
     }
-    if regs.is_empty() || regs.len() > 2 {
-        return None;
-    }
-    let a = regs[0];
-    let b = *regs.get(1).unwrap_or(&regs[0]);
+    let a = regs[0]?;
+    let b = regs[1].unwrap_or(a);
     let sel: Vec<LaneSel> = sources
         .iter()
         .map(|s| match s {
@@ -109,336 +118,377 @@ fn rewrite_vload(
             Some(_) => unreachable!("filtered above"),
         })
         .collect();
-    let _ = st;
     // Blend pattern: every active lane i selects lane i of a source and no
     // zeros are required.
     let is_blend = sel.iter().enumerate().all(|(i, s)| match s {
         LaneSel::A(j) | LaneSel::B(j) => *j == i,
         LaneSel::Zero => false,
     });
-    if is_blend && regs.len() == 2 {
+    if is_blend && regs[1].is_some() {
         let mask = sel.iter().map(|s| matches!(s, LaneSel::B(_))).collect();
-        return Some(vec![Instr::VBlend { dst, a, b, mask }]);
+        return Some(Instr::VBlend { dst, a, b, mask });
     }
-    Some(vec![Instr::VShuffle { dst, a, b, sel }])
+    Some(Instr::VShuffle { dst, a, b, sel })
 }
 
-fn process_block(
-    instrs: Vec<Instr>,
-    st: &mut State,
-    ls_analysis: bool,
-    scalar_repl: bool,
-) -> Vec<Instr> {
-    let mut out: Vec<Instr> = Vec::new();
-    for ins in instrs {
-        match &ins {
-            Instr::SStore { src, dst } => {
-                if let Some(off) = dst.offset.as_constant() {
-                    let cell = match src {
-                        SOperand::Reg(r) => CellSrc::S(*r, st.sver(*r)),
-                        SOperand::Imm(v) => CellSrc::Imm(*v),
-                    };
-                    st.cells.insert((dst.buf.0, off), cell);
-                } else {
-                    st.invalidate_buffer(dst.buf.0);
-                }
-                out.push(ins);
+/// Outcome of processing one instruction in place.
+enum Outcome {
+    Keep,
+    Rewritten,
+    Drop,
+}
+
+fn process(st: &mut State, ins: &mut Instr, ls_analysis: bool, scalar_repl: bool) -> Outcome {
+    match ins {
+        Instr::SStore { src, dst } => {
+            if let Some(off) = dst.offset.as_constant() {
+                let cell = match src {
+                    SOperand::Reg(r) => CellSrc::S(*r, st.sver(*r)),
+                    SOperand::Imm(v) => CellSrc::Imm(*v),
+                };
+                st.cells.insert((dst.buf.0, off), cell);
+            } else {
+                st.invalidate_buffer(dst.buf.0);
             }
-            Instr::VStore { src, base, lanes } => {
-                if let Some(boff) = base.offset.as_constant() {
-                    let ver = st.vver(*src);
-                    for (lane, l) in lanes.iter().enumerate() {
-                        if let Some(off) = l {
-                            st.cells
-                                .insert((base.buf.0, boff + off), CellSrc::VLane(*src, ver, lane));
-                        }
+            Outcome::Keep
+        }
+        Instr::VStore { src, base, lanes } => {
+            if let Some(boff) = base.offset.as_constant() {
+                let ver = st.vver(*src);
+                for (lane, l) in lanes.iter().enumerate() {
+                    if let Some(off) = l {
+                        st.cells.insert((base.buf.0, boff + off), CellSrc::VLane(*src, ver, lane));
                     }
-                } else {
-                    st.invalidate_buffer(base.buf.0);
                 }
-                out.push(ins);
+            } else {
+                st.invalidate_buffer(base.buf.0);
             }
-            Instr::SLoad { dst, src } => {
-                let mut replaced = false;
-                if scalar_repl {
-                    if let Some(off) = src.offset.as_constant() {
-                        if let Some(cell) = st.cells.get(&(src.buf.0, off)).copied() {
-                            if st.valid(&cell) {
-                                match cell {
-                                    CellSrc::S(r, _) if r != *dst => {
-                                        out.push(Instr::SMov { dst: *dst, a: r.into() });
-                                        replaced = true;
-                                    }
-                                    CellSrc::S(_, _) => {
-                                        // load into the same register: drop
-                                        replaced = true;
-                                    }
-                                    CellSrc::Imm(v) => {
-                                        out.push(Instr::SMov { dst: *dst, a: v.into() });
-                                        replaced = true;
-                                    }
-                                    CellSrc::VLane(r, _, lane) if ls_analysis => {
-                                        out.push(Instr::VExtract {
-                                            dst: *dst,
-                                            src: r,
-                                            lane,
-                                        });
-                                        replaced = true;
-                                    }
-                                    CellSrc::VLane(..) => {}
+            Outcome::Keep
+        }
+        Instr::SLoad { dst, src } => {
+            let dst = *dst;
+            let tracked = src.offset.as_constant().map(|off| (src.buf.0, off));
+            let mut outcome = Outcome::Keep;
+            if scalar_repl {
+                if let Some(cellkey) = tracked {
+                    if let Some(cell) = st.cells.get(&cellkey).copied() {
+                        if st.valid(&cell) {
+                            match cell {
+                                CellSrc::S(r, _) if r != dst => {
+                                    *ins = Instr::SMov { dst, a: r.into() };
+                                    outcome = Outcome::Rewritten;
                                 }
+                                CellSrc::S(_, _) => {
+                                    // load into the same register: drop
+                                    outcome = Outcome::Drop;
+                                }
+                                CellSrc::Imm(v) => {
+                                    *ins = Instr::SMov { dst, a: v.into() };
+                                    outcome = Outcome::Rewritten;
+                                }
+                                CellSrc::VLane(r, _, lane) if ls_analysis => {
+                                    *ins = Instr::VExtract { dst, src: r, lane };
+                                    outcome = Outcome::Rewritten;
+                                }
+                                CellSrc::VLane(..) => {}
                             }
                         }
                     }
                 }
-                if !replaced {
-                    out.push(ins.clone());
-                }
-                st.bump_s(*dst);
-                // the register now also holds the cell's value
-                if let Instr::SLoad { dst, src } = &ins {
-                    if let Some(off) = src.offset.as_constant() {
-                        st.cells.insert((src.buf.0, off), CellSrc::S(*dst, st.sver(*dst)));
+            }
+            st.bump_s(dst);
+            // the register now also holds the cell's value
+            if let Some(cellkey) = tracked {
+                st.cells.insert(cellkey, CellSrc::S(dst, st.sver(dst)));
+            }
+            outcome
+        }
+        Instr::VLoad { dst, base, lanes } => {
+            let dst = *dst;
+            let boff = base.offset.as_constant();
+            let mut replacement = None;
+            if ls_analysis {
+                if let Some(boff) = boff {
+                    let sources: Vec<Option<CellSrc>> = lanes
+                        .iter()
+                        .map(|l| l.and_then(|off| st.cells.get(&(base.buf.0, boff + off)).copied()))
+                        .collect();
+                    let all_tracked = lanes
+                        .iter()
+                        .zip(&sources)
+                        .all(|(l, s)| l.is_none() || s.is_some_and(|c| st.valid(&c)));
+                    if all_tracked {
+                        replacement = rewrite_vload(dst, &sources);
                     }
                 }
             }
-            Instr::VLoad { dst, base, lanes } => {
-                let mut replaced = false;
-                if ls_analysis {
-                    if let Some(boff) = base.offset.as_constant() {
-                        let sources: Vec<Option<CellSrc>> = lanes
-                            .iter()
-                            .map(|l| {
-                                l.and_then(|off| {
-                                    st.cells.get(&(base.buf.0, boff + off)).copied()
-                                })
-                            })
-                            .collect();
-                        let all_tracked = lanes
-                            .iter()
-                            .zip(&sources)
-                            .all(|(l, s)| l.is_none() || s.map_or(false, |c| st.valid(&c)));
-                        if all_tracked {
-                            if let Some(reps) = rewrite_vload(st, *dst, &sources) {
-                                out.extend(reps);
-                                replaced = true;
-                            }
-                        }
-                    }
-                }
-                if !replaced {
-                    out.push(ins.clone());
-                }
-                st.bump_v(*dst);
-                // register lanes now mirror the loaded cells
-                if let Some(boff) = base.offset.as_constant() {
-                    let ver = st.vver(*dst);
-                    for (lane, l) in lanes.iter().enumerate() {
-                        if let Some(off) = l {
-                            st.cells
-                                .insert((base.buf.0, boff + off), CellSrc::VLane(*dst, ver, lane));
-                        }
+            st.bump_v(dst);
+            // register lanes now mirror the loaded cells
+            if let Some(boff) = boff {
+                let ver = st.vver(dst);
+                for (lane, l) in lanes.iter().enumerate() {
+                    if let Some(off) = l {
+                        st.cells.insert((base.buf.0, boff + off), CellSrc::VLane(dst, ver, lane));
                     }
                 }
             }
-            Instr::Call { .. } => {
-                st.clear();
-                out.push(ins);
-            }
-            other => {
-                if let Some(r) = other.sreg_write() {
-                    st.bump_s(r);
+            match replacement {
+                Some(rep) => {
+                    *ins = rep;
+                    Outcome::Rewritten
                 }
-                if let Some(r) = other.vreg_write() {
-                    st.bump_v(r);
-                }
-                out.push(ins);
+                None => Outcome::Keep,
             }
         }
+        Instr::Call { .. } => {
+            st.clear_cells();
+            Outcome::Keep
+        }
+        other => {
+            if let Some(r) = other.sreg_write() {
+                st.bump_s(r);
+            }
+            if let Some(r) = other.vreg_write() {
+                st.bump_v(r);
+            }
+            Outcome::Keep
+        }
     }
-    out
 }
 
-fn walk(stmts: Vec<CStmt>, ls: bool, sr: bool) -> Vec<CStmt> {
-    let mut out = Vec::new();
-    let mut st = State::default();
-    let mut run: Vec<Instr> = Vec::new();
-    let flush =
-        |run: &mut Vec<Instr>, st: &mut State, out: &mut Vec<CStmt>| {
-            if !run.is_empty() {
-                let processed = process_block(std::mem::take(run), st, ls, sr);
-                out.extend(processed.into_iter().map(CStmt::I));
+fn walk(stmts: &mut Vec<CStmt>, st: &mut State, ls: bool, sr: bool) -> bool {
+    let mut changed = false;
+    let mut w = 0;
+    for r in 0..stmts.len() {
+        let keep = match &mut stmts[r] {
+            CStmt::I(ins) => match process(st, ins, ls, sr) {
+                Outcome::Keep => true,
+                Outcome::Rewritten => {
+                    changed = true;
+                    true
+                }
+                Outcome::Drop => {
+                    changed = true;
+                    false
+                }
+            },
+            CStmt::For { body, .. } => {
+                st.clear_cells();
+                changed |= walk(body, st, ls, sr);
+                st.clear_cells();
+                true
+            }
+            CStmt::If { then_, else_, .. } => {
+                st.clear_cells();
+                changed |= walk(then_, st, ls, sr);
+                st.clear_cells();
+                changed |= walk(else_, st, ls, sr);
+                st.clear_cells();
+                true
             }
         };
-    for s in stmts {
-        match s {
-            CStmt::I(i) => run.push(i),
-            CStmt::For { var, lo, hi, step, body } => {
-                flush(&mut run, &mut st, &mut out);
-                st.clear();
-                out.push(CStmt::For { var, lo, hi, step, body: walk(body, ls, sr) });
-                st.clear();
+        if keep {
+            if w != r {
+                stmts.swap(w, r);
             }
-            CStmt::If { cond, then_, else_ } => {
-                flush(&mut run, &mut st, &mut out);
-                st.clear();
-                out.push(CStmt::If {
-                    cond,
-                    then_: walk(then_, ls, sr),
-                    else_: walk(else_, ls, sr),
-                });
-                st.clear();
-            }
+            w += 1;
         }
     }
-    flush(&mut run, &mut st, &mut out);
-    out
+    stmts.truncate(w);
+    changed
 }
 
 /// Run scalar replacement (`scalar_repl`) and/or the load/store analysis
-/// (`ls_analysis`) over `f`.
-pub fn forward(f: &mut Function, ls_analysis: bool, scalar_repl: bool) {
-    let body = std::mem::take(&mut f.body);
-    f.body = walk(body, ls_analysis, scalar_repl);
+/// (`ls_analysis`) over `f`; returns whether anything changed.
+pub fn forward(f: &mut Function, ls_analysis: bool, scalar_repl: bool) -> bool {
+    let mut st = State::for_function(f);
+    let mut body = std::mem::take(&mut f.body);
+    let changed = walk(&mut body, &mut st, ls_analysis, scalar_repl);
+    f.body = body;
+    changed
 }
 
 // ---------------------------------------------------------------------
 // Copy propagation
 // ---------------------------------------------------------------------
 
-#[derive(Default)]
+/// Copy facts validated by source-register version: `copies[d] = (op, v)`
+/// means `d` currently equals `op`, recorded when `op`'s register had
+/// version `v`. A mismatching current version invalidates the fact lazily,
+/// so redefinitions never require reverse scans.
+///
+/// Table slots carry a generation tag; slots from an older generation
+/// read as the default, so [`CopyState::reset`] at control-flow
+/// boundaries is O(1) regardless of register count.
 struct CopyState {
-    scopies: HashMap<SReg, SOperand>,
-    vcopies: HashMap<VReg, VReg>,
+    gen: u32,
+    svers: Vec<(u32, u32)>,
+    vvers: Vec<(u32, u32)>,
+    scopies: Vec<(u32, Option<(SOperand, u32)>)>,
+    vcopies: Vec<(u32, Option<(VReg, u32)>)>,
 }
 
-fn subst_sop(st: &CopyState, o: &SOperand) -> SOperand {
-    match o {
-        SOperand::Reg(r) => st.scopies.get(r).copied().unwrap_or(*o),
-        imm => *imm,
+impl CopyState {
+    fn for_function(f: &Function) -> Self {
+        CopyState {
+            gen: 0,
+            svers: vec![(0, 0); f.n_sregs],
+            vvers: vec![(0, 0); f.n_vregs],
+            scopies: vec![(0, None); f.n_sregs],
+            vcopies: vec![(0, None); f.n_vregs],
+        }
     }
-}
-
-fn subst_v(st: &CopyState, r: VReg) -> VReg {
-    st.vcopies.get(&r).copied().unwrap_or(r)
-}
-
-fn copyprop_block(instrs: Vec<Instr>, st: &mut CopyState) -> Vec<Instr> {
-    let mut out = Vec::new();
-    for ins in instrs {
-        let rewritten = match &ins {
-            Instr::SMov { dst, a } => Instr::SMov { dst: *dst, a: subst_sop(st, a) },
-            Instr::SBin { op, dst, a, b } => Instr::SBin {
-                op: *op,
-                dst: *dst,
-                a: subst_sop(st, a),
-                b: subst_sop(st, b),
-            },
-            Instr::SSqrt { dst, a } => Instr::SSqrt { dst: *dst, a: subst_sop(st, a) },
-            Instr::SStore { src, dst } => {
-                Instr::SStore { src: subst_sop(st, src), dst: dst.clone() }
-            }
-            Instr::VBroadcast { dst, src } => {
-                Instr::VBroadcast { dst: *dst, src: subst_sop(st, src) }
-            }
-            Instr::VMov { dst, src } => Instr::VMov { dst: *dst, src: subst_v(st, *src) },
-            Instr::VBin { op, dst, a, b } => Instr::VBin {
-                op: *op,
-                dst: *dst,
-                a: subst_v(st, *a),
-                b: subst_v(st, *b),
-            },
-            Instr::VStore { src, base, lanes } => Instr::VStore {
-                src: subst_v(st, *src),
-                base: base.clone(),
-                lanes: lanes.clone(),
-            },
-            Instr::VShuffle { dst, a, b, sel } => Instr::VShuffle {
-                dst: *dst,
-                a: subst_v(st, *a),
-                b: subst_v(st, *b),
-                sel: sel.clone(),
-            },
-            Instr::VBlend { dst, a, b, mask } => Instr::VBlend {
-                dst: *dst,
-                a: subst_v(st, *a),
-                b: subst_v(st, *b),
-                mask: mask.clone(),
-            },
-            Instr::VExtract { dst, src, lane } => {
-                Instr::VExtract { dst: *dst, src: subst_v(st, *src), lane: *lane }
-            }
-            Instr::VReduceAdd { dst, src } => {
-                Instr::VReduceAdd { dst: *dst, src: subst_v(st, *src) }
-            }
-            other => other.clone(),
-        };
-        // Invalidate copies involving a redefined register, then record new
-        // copy facts.
-        if let Some(w) = rewritten.sreg_write() {
-            st.scopies.remove(&w);
-            st.scopies.retain(|_, v| !matches!(v, SOperand::Reg(r) if *r == w));
+    fn reset(&mut self) {
+        self.gen += 1;
+    }
+    fn sver(&self, r: SReg) -> u32 {
+        match self.svers.get(r.0) {
+            Some((g, v)) if *g == self.gen => *v,
+            _ => 0,
         }
-        if let Some(w) = rewritten.vreg_write() {
-            st.vcopies.remove(&w);
-            st.vcopies.retain(|_, v| *v != w);
+    }
+    fn vver(&self, r: VReg) -> u32 {
+        match self.vvers.get(r.0) {
+            Some((g, v)) if *g == self.gen => *v,
+            _ => 0,
         }
-        if let Instr::SMov { dst, a } = &rewritten {
-            match a {
-                SOperand::Reg(r) if r == dst => {}
-                _ => {
-                    st.scopies.insert(*dst, *a);
+    }
+    fn scopy(&self, r: SReg) -> Option<(SOperand, u32)> {
+        match self.scopies.get(r.0) {
+            Some((g, c)) if *g == self.gen => *c,
+            _ => None,
+        }
+    }
+    fn vcopy(&self, r: VReg) -> Option<(VReg, u32)> {
+        match self.vcopies.get(r.0) {
+            Some((g, c)) if *g == self.gen => *c,
+            _ => None,
+        }
+    }
+    fn write_s(&mut self, r: SReg) {
+        let gen = self.gen;
+        super::grow_update(&mut self.svers, r.0, |s| {
+            *s = if s.0 == gen { (gen, s.1 + 1) } else { (gen, 1) }
+        });
+        super::grow_update(&mut self.scopies, r.0, |c| *c = (gen, None));
+    }
+    fn write_v(&mut self, r: VReg) {
+        let gen = self.gen;
+        super::grow_update(&mut self.vvers, r.0, |s| {
+            *s = if s.0 == gen { (gen, s.1 + 1) } else { (gen, 1) }
+        });
+        super::grow_update(&mut self.vcopies, r.0, |c| *c = (gen, None));
+    }
+    /// Substitute a scalar operand; returns `true` on change.
+    fn subst_sop(&self, o: &mut SOperand) -> bool {
+        if let SOperand::Reg(r) = o {
+            if let Some((src, v)) = self.scopy(*r) {
+                let live = match src {
+                    SOperand::Reg(s) => self.sver(s) == v,
+                    SOperand::Imm(_) => true,
+                };
+                if live && src != *o {
+                    *o = src;
+                    return true;
                 }
             }
         }
-        if let Instr::VMov { dst, src } = &rewritten {
-            if dst != src {
-                st.vcopies.insert(*dst, *src);
+        false
+    }
+    /// Substitute a vector register read; returns `true` on change.
+    fn subst_v(&self, r: &mut VReg) -> bool {
+        if let Some((src, v)) = self.vcopy(*r) {
+            if self.vver(src) == v && src != *r {
+                *r = src;
+                return true;
             }
         }
-        out.push(rewritten);
+        false
     }
-    out
+    fn record_s(&mut self, dst: SReg, a: SOperand) {
+        if matches!(a, SOperand::Reg(r) if r == dst) {
+            return;
+        }
+        let ver = match a {
+            SOperand::Reg(r) => self.sver(r),
+            SOperand::Imm(_) => 0,
+        };
+        let gen = self.gen;
+        super::grow_update(&mut self.scopies, dst.0, |c| *c = (gen, Some((a, ver))));
+    }
+    fn record_v(&mut self, dst: VReg, src: VReg) {
+        if dst != src {
+            let ver = self.vver(src);
+            let gen = self.gen;
+            super::grow_update(&mut self.vcopies, dst.0, |c| *c = (gen, Some((src, ver))));
+        }
+    }
 }
 
-fn copyprop_walk(stmts: Vec<CStmt>) -> Vec<CStmt> {
-    let mut out = Vec::new();
-    let mut st = CopyState::default();
-    let mut run: Vec<Instr> = Vec::new();
-    let flush = |run: &mut Vec<Instr>, st: &mut CopyState, out: &mut Vec<CStmt>| {
-        if !run.is_empty() {
-            out.extend(copyprop_block(std::mem::take(run), st).into_iter().map(CStmt::I));
+fn copyprop_instr(st: &mut CopyState, ins: &mut Instr) -> bool {
+    let mut changed = false;
+    match ins {
+        Instr::SMov { a, .. } | Instr::SSqrt { a, .. } => changed |= st.subst_sop(a),
+        Instr::SBin { a, b, .. } => {
+            changed |= st.subst_sop(a);
+            changed |= st.subst_sop(b);
         }
-    };
+        Instr::SStore { src, .. } => changed |= st.subst_sop(src),
+        Instr::VBroadcast { src, .. } => changed |= st.subst_sop(src),
+        Instr::VMov { src, .. } | Instr::VStore { src, .. } => changed |= st.subst_v(src),
+        Instr::VBin { a, b, .. } | Instr::VShuffle { a, b, .. } | Instr::VBlend { a, b, .. } => {
+            changed |= st.subst_v(a);
+            changed |= st.subst_v(b);
+        }
+        Instr::VExtract { src, .. } | Instr::VReduceAdd { src, .. } => {
+            changed |= st.subst_v(src);
+        }
+        Instr::SLoad { .. } | Instr::VLoad { .. } | Instr::Call { .. } => {}
+    }
+    // Redefinitions invalidate (lazily, via versions), then new copy facts
+    // are recorded from the rewritten instruction.
+    if let Some(w) = ins.sreg_write() {
+        st.write_s(w);
+    }
+    if let Some(w) = ins.vreg_write() {
+        st.write_v(w);
+    }
+    if let Instr::SMov { dst, a } = ins {
+        st.record_s(*dst, *a);
+    }
+    if let Instr::VMov { dst, src } = ins {
+        st.record_v(*dst, *src);
+    }
+    changed
+}
+
+fn copyprop_walk(stmts: &mut [CStmt], st: &mut CopyState) -> bool {
+    let mut changed = false;
     for s in stmts {
         match s {
-            CStmt::I(i) => run.push(i),
-            CStmt::For { var, lo, hi, step, body } => {
-                flush(&mut run, &mut st, &mut out);
-                st.scopies.clear();
-                out.push(CStmt::For { var, lo, hi, step, body: copyprop_walk(body) });
-                st.scopies.clear();
+            CStmt::I(ins) => changed |= copyprop_instr(st, ins),
+            CStmt::For { body, .. } => {
+                st.reset();
+                changed |= copyprop_walk(body, st);
+                st.reset();
             }
-            CStmt::If { cond, then_, else_ } => {
-                flush(&mut run, &mut st, &mut out);
-                st.scopies.clear();
-                out.push(CStmt::If {
-                    cond,
-                    then_: copyprop_walk(then_),
-                    else_: copyprop_walk(else_),
-                });
-                st.scopies.clear();
+            CStmt::If { then_, else_, .. } => {
+                st.reset();
+                changed |= copyprop_walk(then_, st);
+                st.reset();
+                changed |= copyprop_walk(else_, st);
+                st.reset();
             }
         }
     }
-    flush(&mut run, &mut st, &mut out);
-    out
+    changed
 }
 
-/// Propagate scalar copies within straight-line regions.
-pub fn copyprop(f: &mut Function) {
-    let body = std::mem::take(&mut f.body);
-    f.body = copyprop_walk(body);
+/// Propagate scalar and vector copies within straight-line regions;
+/// returns whether anything changed.
+pub fn copyprop(f: &mut Function) -> bool {
+    let mut st = CopyState::for_function(f);
+    copyprop_walk(&mut f.body, &mut st)
 }
 
 #[cfg(test)]
@@ -456,7 +506,7 @@ mod tests {
         let l = b.sload(MemRef::new(t, 2));
         let _ = b.sbin(BinOp::Add, l, 1.0);
         let mut f = b.finish();
-        forward(&mut f, true, true);
+        assert!(forward(&mut f, true, true));
         let mut loads = 0;
         let mut movs = 0;
         f.for_each_instr(&mut |i| match i {
@@ -573,7 +623,7 @@ mod tests {
         let d = b.sbin(BinOp::Mul, c, c);
         b.sstore(d, MemRef::new(t, 0));
         let mut f = b.finish();
-        copyprop(&mut f);
+        assert!(copyprop(&mut f));
         // the multiply now reads the immediate origin registers
         let mut found = false;
         f.for_each_instr(&mut |i| {
@@ -584,6 +634,26 @@ mod tests {
             }
         });
         assert!(found);
+    }
+
+    #[test]
+    fn copyprop_respects_source_redefinition() {
+        let mut b = FunctionBuilder::new("f", 1);
+        let t = b.buffer("t", 2, BufKind::ParamInOut);
+        let a = b.sload(MemRef::new(t, 0)); // opaque value
+        let c = b.smov(a);
+        // redefine the copy source: reads of c must NOT become reads of a
+        b.instr(Instr::SMov { dst: a, a: 9.0.into() });
+        b.sstore(c, MemRef::new(t, 1));
+        let mut f = b.finish();
+        copyprop(&mut f);
+        let mut stored = None;
+        f.for_each_instr(&mut |i| {
+            if let Instr::SStore { src, .. } = i {
+                stored = Some(*src);
+            }
+        });
+        assert_eq!(stored, Some(SOperand::Reg(c)), "stale copy fact applied");
     }
 
     #[test]

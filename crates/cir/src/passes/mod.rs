@@ -9,7 +9,8 @@
 //! 3. **scalar replacement & load/store analysis** ([`forward`]): memory
 //!    round-trips become register moves, shuffles, and blends (Fig. 12);
 //! 4. **CSE**, **copy propagation**, and **DCE** cleanups, iterated to a
-//!    fixpoint.
+//!    fixpoint: every pass reports whether it changed the function, and
+//!    the cleanup loop exits as soon as a full round changes nothing.
 //!
 //! An important C-IR invariant exploited here: *distinct [`crate::BufId`]s
 //! never alias*. Operands related by `ow(..)` are mapped to the same buffer
@@ -23,6 +24,22 @@ pub mod rename;
 pub mod unroll;
 
 use crate::func::Function;
+use std::time::{Duration, Instant};
+
+/// Dense grow-on-demand tables used by the passes (versions, epochs, read
+/// sets, rename maps). Tables are pre-sized from the function's register
+/// and buffer counts; the grow path only triggers for ids allocated after
+/// sizing.
+pub(crate) fn grow_update<T: Clone + Default>(
+    v: &mut Vec<T>,
+    i: usize,
+    update: impl FnOnce(&mut T),
+) {
+    if i >= v.len() {
+        v.resize(i + 1, T::default());
+    }
+    update(&mut v[i]);
+}
 
 /// Toggles for the optimization pipeline (ablation switches).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,7 +53,8 @@ pub struct PassConfig {
     pub scalar_replacement: bool,
     /// Enable common-subexpression elimination.
     pub cse: bool,
-    /// Number of cleanup iterations.
+    /// Maximum number of cleanup iterations; the loop exits early once a
+    /// full round reaches a fixpoint (changes nothing).
     pub iterations: usize,
 }
 
@@ -68,18 +86,48 @@ impl PassConfig {
 
 /// Run the full Stage-3 pipeline over `f`.
 pub fn optimize(f: &mut Function, config: &PassConfig) {
+    optimize_traced(f, config, &mut |_, _| {});
+}
+
+/// Like [`optimize`], additionally invoking `observe(pass_name, elapsed)`
+/// after every pass. This is the single source of truth for per-pass
+/// timing breakdowns (the `bench --passes` tracker uses it), so
+/// instrumentation cannot drift from the pipeline actually shipped.
+pub fn optimize_traced(
+    f: &mut Function,
+    config: &PassConfig,
+    observe: &mut dyn FnMut(&str, Duration),
+) {
+    let t = Instant::now();
     unroll::unroll(f, config.unroll_budget);
+    observe("unroll", t.elapsed());
+    let t = Instant::now();
     constfold::fold(f);
+    observe("constfold", t.elapsed());
+    let t = Instant::now();
     rename::rename(f);
+    observe("rename", t.elapsed());
     for _ in 0..config.iterations.max(1) {
+        let mut changed = false;
         if config.scalar_replacement || config.load_store_analysis {
-            forward::forward(f, config.load_store_analysis, config.scalar_replacement);
+            let t = Instant::now();
+            changed |= forward::forward(f, config.load_store_analysis, config.scalar_replacement);
+            observe("forward", t.elapsed());
         }
         if config.cse {
-            cse::cse(f);
+            let t = Instant::now();
+            changed |= cse::cse(f);
+            observe("cse", t.elapsed());
         }
-        forward::copyprop(f);
-        dce::dce(f);
+        let t = Instant::now();
+        changed |= forward::copyprop(f);
+        observe("copyprop", t.elapsed());
+        let t = Instant::now();
+        changed |= dce::dce(f);
+        observe("dce", t.elapsed());
+        if !changed {
+            break;
+        }
     }
 }
 
@@ -118,9 +166,17 @@ mod tests {
             crate::instr::Instr::SStore { dst, .. } if dst.buf == t => stores_t += 1,
             _ => {}
         });
-        assert_eq!(loads_t, 0, "temp loads should be forwarded:\n{}",
-            crate::pretty::function_to_string(&f));
-        assert_eq!(stores_t, 0, "dead temp stores should be eliminated:\n{}",
-            crate::pretty::function_to_string(&f));
+        assert_eq!(
+            loads_t,
+            0,
+            "temp loads should be forwarded:\n{}",
+            crate::pretty::function_to_string(&f)
+        );
+        assert_eq!(
+            stores_t,
+            0,
+            "dead temp stores should be eliminated:\n{}",
+            crate::pretty::function_to_string(&f)
+        );
     }
 }

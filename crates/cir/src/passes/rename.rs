@@ -11,10 +11,14 @@
 //! in later blocks — including the next iteration of a still-rolled loop —
 //! observes the same values as before. Copy propagation and DCE dissolve
 //! the copies that turn out to be unnecessary.
+//!
+//! Throughput/determinism notes: reads are rewritten in place (no
+//! per-instruction clones of lane maps and selectors), rename maps are
+//! dense tables indexed by register id, and copy-backs are emitted in
+//! ascending original-register order so the pass output is deterministic.
 
 use crate::func::{CStmt, Function};
 use crate::instr::{Instr, SOperand, SReg, VReg};
-use std::collections::{HashMap, HashSet};
 
 struct Renamer {
     next_s: usize,
@@ -32,63 +36,73 @@ impl Renamer {
     }
 }
 
-fn map_sop(map: &HashMap<SReg, SReg>, o: &SOperand) -> SOperand {
-    match o {
-        SOperand::Reg(r) => SOperand::Reg(map.get(r).copied().unwrap_or(*r)),
-        imm => *imm,
+/// Dense `original → current` rename table with a defined-set.
+struct RenameMap<R: Copy> {
+    current: Vec<Option<R>>,
+    defined: Vec<bool>,
+}
+
+impl<R: Copy> Default for RenameMap<R> {
+    fn default() -> Self {
+        RenameMap { current: Vec::new(), defined: Vec::new() }
     }
 }
 
-fn map_v(map: &HashMap<VReg, VReg>, r: VReg) -> VReg {
-    map.get(&r).copied().unwrap_or(r)
+impl<R: Copy> RenameMap<R> {
+    fn get(&self, i: usize) -> Option<R> {
+        self.current.get(i).copied().flatten()
+    }
+    fn set(&mut self, i: usize, r: R) {
+        super::grow_update(&mut self.current, i, |slot| *slot = Some(r));
+    }
+    fn clear_entry(&mut self, i: usize) {
+        if i < self.current.len() {
+            self.current[i] = None;
+        }
+    }
+    fn is_defined(&self, i: usize) -> bool {
+        self.defined.get(i).copied().unwrap_or(false)
+    }
+    fn mark_defined(&mut self, i: usize) {
+        super::grow_update(&mut self.defined, i, |b| *b = true);
+    }
+    /// Drain live renames in ascending original-register order.
+    fn drain_sorted(&mut self) -> impl Iterator<Item = (usize, R)> + '_ {
+        self.current.iter_mut().enumerate().filter_map(|(i, slot)| slot.take().map(|r| (i, r)))
+    }
 }
 
-/// Rewrite the reads of `ins` through the maps (writes untouched).
-fn rewrite_reads(
-    ins: &Instr,
-    smap: &HashMap<SReg, SReg>,
-    vmap: &HashMap<VReg, VReg>,
-) -> Instr {
+fn map_sop(map: &RenameMap<SReg>, o: &mut SOperand) {
+    if let SOperand::Reg(r) = o {
+        if let Some(cur) = map.get(r.0) {
+            *r = cur;
+        }
+    }
+}
+
+fn map_v(map: &RenameMap<VReg>, r: &mut VReg) {
+    if let Some(cur) = map.get(r.0) {
+        *r = cur;
+    }
+}
+
+/// Rewrite the reads of `ins` through the maps, in place (writes untouched).
+fn rewrite_reads(ins: &mut Instr, smap: &RenameMap<SReg>, vmap: &RenameMap<VReg>) {
     match ins {
-        Instr::SStore { src, dst } => {
-            Instr::SStore { src: map_sop(smap, src), dst: dst.clone() }
+        Instr::SStore { src, .. } => map_sop(smap, src),
+        Instr::SBin { a, b, .. } => {
+            map_sop(smap, a);
+            map_sop(smap, b);
         }
-        Instr::SBin { op, dst, a, b } => {
-            Instr::SBin { op: *op, dst: *dst, a: map_sop(smap, a), b: map_sop(smap, b) }
+        Instr::SSqrt { a, .. } | Instr::SMov { a, .. } => map_sop(smap, a),
+        Instr::VStore { src, .. } | Instr::VMov { src, .. } => map_v(vmap, src),
+        Instr::VBin { a, b, .. } | Instr::VShuffle { a, b, .. } | Instr::VBlend { a, b, .. } => {
+            map_v(vmap, a);
+            map_v(vmap, b);
         }
-        Instr::SSqrt { dst, a } => Instr::SSqrt { dst: *dst, a: map_sop(smap, a) },
-        Instr::SMov { dst, a } => Instr::SMov { dst: *dst, a: map_sop(smap, a) },
-        Instr::VStore { src, base, lanes } => Instr::VStore {
-            src: map_v(vmap, *src),
-            base: base.clone(),
-            lanes: lanes.clone(),
-        },
-        Instr::VMov { dst, src } => Instr::VMov { dst: *dst, src: map_v(vmap, *src) },
-        Instr::VBin { op, dst, a, b } => {
-            Instr::VBin { op: *op, dst: *dst, a: map_v(vmap, *a), b: map_v(vmap, *b) }
-        }
-        Instr::VBroadcast { dst, src } => {
-            Instr::VBroadcast { dst: *dst, src: map_sop(smap, src) }
-        }
-        Instr::VShuffle { dst, a, b, sel } => Instr::VShuffle {
-            dst: *dst,
-            a: map_v(vmap, *a),
-            b: map_v(vmap, *b),
-            sel: sel.clone(),
-        },
-        Instr::VBlend { dst, a, b, mask } => Instr::VBlend {
-            dst: *dst,
-            a: map_v(vmap, *a),
-            b: map_v(vmap, *b),
-            mask: mask.clone(),
-        },
-        Instr::VExtract { dst, src, lane } => {
-            Instr::VExtract { dst: *dst, src: map_v(vmap, *src), lane: *lane }
-        }
-        Instr::VReduceAdd { dst, src } => {
-            Instr::VReduceAdd { dst: *dst, src: map_v(vmap, *src) }
-        }
-        other => other.clone(),
+        Instr::VBroadcast { src, .. } => map_sop(smap, src),
+        Instr::VExtract { src, .. } | Instr::VReduceAdd { src, .. } => map_v(vmap, src),
+        Instr::SLoad { .. } | Instr::VLoad { .. } | Instr::Call { .. } => {}
     }
 }
 
@@ -116,52 +130,49 @@ fn set_vwrite(ins: &mut Instr, new: VReg) {
     }
 }
 
-fn process_run(run: Vec<Instr>, rn: &mut Renamer) -> Vec<Instr> {
-    let mut smap: HashMap<SReg, SReg> = HashMap::new();
-    let mut vmap: HashMap<VReg, VReg> = HashMap::new();
-    let mut sdefined: HashSet<SReg> = HashSet::new();
-    let mut vdefined: HashSet<VReg> = HashSet::new();
-    let mut out = Vec::with_capacity(run.len());
-    for ins in run {
-        let mut ins = rewrite_reads(&ins, &smap, &vmap);
+fn process_run(run: &mut Vec<Instr>, rn: &mut Renamer) {
+    let mut smap = RenameMap::<SReg>::default();
+    let mut vmap = RenameMap::<VReg>::default();
+    for ins in run.iter_mut() {
+        rewrite_reads(ins, &smap, &vmap);
         if let Some(w) = ins.sreg_write() {
-            if sdefined.contains(&w) {
+            if smap.is_defined(w.0) {
                 let fresh = rn.fresh_s();
-                smap.insert(w, fresh);
-                set_swrite(&mut ins, fresh);
+                smap.set(w.0, fresh);
+                set_swrite(ins, fresh);
             } else {
-                sdefined.insert(w);
-                smap.remove(&w);
+                smap.mark_defined(w.0);
+                smap.clear_entry(w.0);
             }
         }
         if let Some(w) = ins.vreg_write() {
-            if vdefined.contains(&w) {
+            if vmap.is_defined(w.0) {
                 let fresh = rn.fresh_v();
-                vmap.insert(w, fresh);
-                set_vwrite(&mut ins, fresh);
+                vmap.set(w.0, fresh);
+                set_vwrite(ins, fresh);
             } else {
-                vdefined.insert(w);
-                vmap.remove(&w);
+                vmap.mark_defined(w.0);
+                vmap.clear_entry(w.0);
             }
         }
-        out.push(ins);
     }
-    // copy renamed registers back to their original names for later blocks
-    for (orig, cur) in smap {
-        out.push(Instr::SMov { dst: orig, a: cur.into() });
+    // copy renamed registers back to their original names for later
+    // blocks, in deterministic (ascending register) order
+    for (orig, cur) in smap.drain_sorted() {
+        run.push(Instr::SMov { dst: SReg(orig), a: cur.into() });
     }
-    for (orig, cur) in vmap {
-        out.push(Instr::VMov { dst: orig, src: cur });
+    for (orig, cur) in vmap.drain_sorted() {
+        run.push(Instr::VMov { dst: VReg(orig), src: cur });
     }
-    out
 }
 
 fn walk(stmts: Vec<CStmt>, rn: &mut Renamer) -> Vec<CStmt> {
-    let mut out = Vec::new();
+    let mut out = Vec::with_capacity(stmts.len());
     let mut run: Vec<Instr> = Vec::new();
     let flush = |run: &mut Vec<Instr>, rn: &mut Renamer, out: &mut Vec<CStmt>| {
         if !run.is_empty() {
-            out.extend(process_run(std::mem::take(run), rn).into_iter().map(CStmt::I));
+            process_run(run, rn);
+            out.extend(run.drain(..).map(CStmt::I));
         }
     };
     for s in stmts {
@@ -231,9 +242,10 @@ mod tests {
         // before the loop there must be a copy back into r
         let n_body = f.body.len();
         assert!(n_body >= 3);
-        let has_copy_back = f.body.iter().any(|s| {
-            matches!(s, CStmt::I(Instr::SMov { dst, a: SOperand::Reg(_) }) if *dst == r)
-        });
+        let has_copy_back = f
+            .body
+            .iter()
+            .any(|s| matches!(s, CStmt::I(Instr::SMov { dst, a: SOperand::Reg(_) }) if *dst == r));
         assert!(has_copy_back, "{}", crate::pretty::function_to_string(&f));
     }
 
@@ -248,5 +260,32 @@ mod tests {
         let before = f.body.clone();
         rename(&mut f);
         assert_eq!(f.body, before, "no redefinitions, nothing to rename");
+    }
+
+    #[test]
+    fn copy_backs_are_in_ascending_register_order() {
+        let mut b = FunctionBuilder::new("f", 1);
+        let t = b.buffer("t", 8, BufKind::ParamOut);
+        // redefine several registers so multiple copy-backs are emitted
+        let regs: Vec<SReg> = (0..4).map(|i| b.smov(i as f64)).collect();
+        for (i, r) in regs.iter().enumerate() {
+            b.instr(Instr::SMov { dst: *r, a: (10.0 + i as f64).into() });
+        }
+        let i = b.begin_for(0, 2, 1);
+        for r in &regs {
+            b.sstore(*r, MemRef::new(t, crate::affine::Affine::var(i)));
+        }
+        b.end_for();
+        let mut f = b.finish();
+        rename(&mut f);
+        let mut copy_back_dsts = Vec::new();
+        for s in &f.body {
+            if let CStmt::I(Instr::SMov { dst, a: SOperand::Reg(_) }) = s {
+                copy_back_dsts.push(dst.0);
+            }
+        }
+        let mut sorted = copy_back_dsts.clone();
+        sorted.sort_unstable();
+        assert_eq!(copy_back_dsts, sorted, "copy-backs must be deterministic");
     }
 }

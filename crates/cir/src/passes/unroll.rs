@@ -60,8 +60,7 @@ fn unroll_stmts(stmts: Vec<CStmt>, budget: &mut isize) -> Vec<CStmt> {
                 if trip == 0 {
                     continue;
                 }
-                let body_count: i64 =
-                    body.iter().map(|b| b.static_instr_count() as i64).sum();
+                let body_count: i64 = body.iter().map(|b| b.static_instr_count() as i64).sum();
                 if trip > 0 && trip * body_count <= *budget as i64 {
                     *budget -= (trip * body_count) as isize;
                     let l = lo.as_constant().unwrap();

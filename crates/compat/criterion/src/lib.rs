@@ -1,0 +1,168 @@
+//! A minimal, offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this shim provides the
+//! subset of the criterion API the workspace benches use: [`Criterion`],
+//! benchmark groups, [`Bencher::iter`], and the `criterion_group!` /
+//! `criterion_main!` macros. Timing is plain wall-clock: each benchmark is
+//! calibrated with a few probe iterations, then run long enough for a
+//! stable mean, and the per-iteration time is printed as
+//! `bench: <group>/<name> ... <time>`.
+//!
+//! Environment knobs:
+//! * `BENCH_TARGET_MS` — target measurement window per benchmark
+//!   (default 300 ms);
+//! * `BENCH_JSON` — when set to a path, machine-readable results are
+//!   appended as JSON lines `{"id": .., "ns_per_iter": ..}`.
+
+use std::hint::black_box;
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+/// One measured benchmark result.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/name` identifier.
+    pub id: String,
+    /// Mean nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations in the measurement window.
+    pub iters: u64,
+}
+
+/// Top-level harness state.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+fn target_window() -> Duration {
+    let ms =
+        std::env::var("BENCH_TARGET_MS").ok().and_then(|v| v.parse::<u64>().ok()).unwrap_or(300);
+    Duration::from_millis(ms)
+}
+
+fn run_one(id: &str, f: &mut dyn FnMut(&mut Bencher)) -> BenchResult {
+    // Calibrate with one iteration.
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let window = target_window();
+    let iters = (window.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+    let mut b = Bencher { iters, elapsed: Duration::ZERO };
+    f(&mut b);
+    let ns = b.elapsed.as_nanos() as f64 / iters as f64;
+    BenchResult { id: id.to_string(), ns_per_iter: ns, iters }
+}
+
+fn report(r: &BenchResult) {
+    let (val, unit) = if r.ns_per_iter >= 1e9 {
+        (r.ns_per_iter / 1e9, "s")
+    } else if r.ns_per_iter >= 1e6 {
+        (r.ns_per_iter / 1e6, "ms")
+    } else if r.ns_per_iter >= 1e3 {
+        (r.ns_per_iter / 1e3, "us")
+    } else {
+        (r.ns_per_iter, "ns")
+    };
+    println!("bench: {:<40} {:>10.3} {}/iter  ({} iters)", r.id, val, unit, r.iters);
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        if let Ok(mut fh) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+            let _ = writeln!(
+                fh,
+                "{{\"id\": \"{}\", \"ns_per_iter\": {:.1}, \"iters\": {}}}",
+                r.id, r.ns_per_iter, r.iters
+            );
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.into() }
+    }
+
+    /// Run an ungrouped benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let r = run_one(&id.into(), &mut f);
+        report(&r);
+        self.results.push(r);
+        self
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes its own window.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        let r = run_one(&full, &mut f);
+        report(&r);
+        self.parent.results.push(r);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; `iter` times the supplied routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, preventing the result from being optimized away.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declare a function running the listed benchmarks.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

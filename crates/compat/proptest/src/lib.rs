@@ -1,0 +1,85 @@
+//! A minimal, offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this shim provides the
+//! subset of the proptest API the workspace's property tests use:
+//! [`Strategy`] with `prop_map`/`prop_recursive`/`boxed`, [`Just`],
+//! integer-range and tuple strategies, `any::<bool>()`,
+//! `prop::collection::vec`, and the `proptest!`, `prop_oneof!`,
+//! `prop_assert!`, `prop_assert_eq!` macros.
+//!
+//! Differences from the real crate: generation is a deterministic
+//! splitmix64 stream (same inputs on every run), and failing cases are
+//! reported by panic without shrinking. Both trade-offs are acceptable for
+//! CI regression testing; swap the real crate back in by deleting this
+//! shim from `[workspace.dependencies]` when registry access exists.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    /// The real proptest's prelude exposes the crate root as `prop`.
+    pub use crate as prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Run the body for each generated case, panicking on the first failure.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { @cfg $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! {
+            @cfg $crate::test_runner::ProptestConfig::default(); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (@cfg $cfg:expr;
+     $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for case in 0..config.cases {
+                    let _ = case;
+                    $(let $arg =
+                        $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// Uniformly choose among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+/// Assert within a proptest body (no shrinking: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert equality within a proptest body (plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}

@@ -1,0 +1,54 @@
+//! Deterministic RNG and configuration for the shim runner.
+
+/// Configuration accepted by `proptest! { #![proptest_config(..)] .. }`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` generated inputs.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// splitmix64: tiny, fast, and deterministic across runs and platforms.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from a test's fully qualified name so distinct tests draw
+    /// distinct (but reproducible) streams.
+    pub fn deterministic(name: &str) -> Self {
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        for b in name.bytes() {
+            seed = seed.wrapping_mul(0x100000001b3).wrapping_add(b as u64);
+        }
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}

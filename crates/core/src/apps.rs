@@ -44,10 +44,7 @@ pub fn trsyl(n: usize) -> Program {
     );
     let c = b.declare(OperandDecl::mat_in("C", n, n));
     let x = b.declare(OperandDecl::mat_out("X", n, n));
-    b.equation(
-        Expr::op(l).mul(Expr::op(x)).add(Expr::op(x).mul(Expr::op(u))),
-        Expr::op(c),
-    );
+    b.equation(Expr::op(l).mul(Expr::op(x)).add(Expr::op(x).mul(Expr::op(u))), Expr::op(c));
     b.build().expect("trsyl program")
 }
 
@@ -60,17 +57,12 @@ pub fn trlya(n: usize) -> Program {
             .with_properties(Properties::ns()),
     );
     let s = b.declare(
-        OperandDecl::mat_in("S", n, n)
-            .with_structure(Structure::Symmetric(StorageHalf::Lower)),
+        OperandDecl::mat_in("S", n, n).with_structure(Structure::Symmetric(StorageHalf::Lower)),
     );
     let x = b.declare(
-        OperandDecl::mat_out("X", n, n)
-            .with_structure(Structure::Symmetric(StorageHalf::Lower)),
+        OperandDecl::mat_out("X", n, n).with_structure(Structure::Symmetric(StorageHalf::Lower)),
     );
-    b.equation(
-        Expr::op(l).mul(Expr::op(x)).add(Expr::op(x).mul(Expr::op(l).t())),
-        Expr::op(s),
-    );
+    b.equation(Expr::op(l).mul(Expr::op(x)).add(Expr::op(x).mul(Expr::op(l).t())), Expr::op(s));
     b.build().expect("trlya program")
 }
 
@@ -140,10 +132,7 @@ pub fn kf_sized(n: usize, k: usize) -> Program {
     // y = F*x + B*u
     b.assign(y, Expr::op(f).mul(Expr::op(x)).add(Expr::op(bb).mul(Expr::op(u_in))));
     // Y = F*P*F' + Q
-    b.assign(
-        ymat,
-        Expr::op(f).mul(Expr::op(p)).mul(Expr::op(f).t()).add(Expr::op(q)),
-    );
+    b.assign(ymat, Expr::op(f).mul(Expr::op(p)).mul(Expr::op(f).t()).add(Expr::op(q)));
     // v0 = z - H*y
     b.assign(v0, Expr::op(z).sub(Expr::op(h).mul(Expr::op(y))));
     // M1 = H*Y
@@ -209,13 +198,7 @@ pub fn gpr(n: usize) -> Program {
     // L*v = k
     b.equation(Expr::op(l).mul(Expr::op(v)), Expr::op(kv));
     // psi = x'*x - v'*v
-    b.assign(
-        psi,
-        Expr::op(x)
-            .t()
-            .mul(Expr::op(x))
-            .sub(Expr::op(v).t().mul(Expr::op(v))),
-    );
+    b.assign(psi, Expr::op(x).t().mul(Expr::op(x)).sub(Expr::op(v).t().mul(Expr::op(v))));
     // lambda = y'*t1
     b.assign(lam, Expr::op(y).t().mul(Expr::op(t1)));
     b.build().expect("gpr program")
@@ -245,37 +228,19 @@ pub fn l1a(n: usize) -> Program {
     let v2o = b.declare(OperandDecl::vec_out("v2", n));
 
     // y1 = alpha*v1 + tau*z1 ; y2 = alpha*v2 + tau*z2
-    b.assign(
-        y1,
-        Expr::op(alpha).mul(Expr::op(v1)).add(Expr::op(tau).mul(Expr::op(z1))),
-    );
-    b.assign(
-        y2,
-        Expr::op(alpha).mul(Expr::op(v2)).add(Expr::op(tau).mul(Expr::op(z2))),
-    );
+    b.assign(y1, Expr::op(alpha).mul(Expr::op(v1)).add(Expr::op(tau).mul(Expr::op(z1))));
+    b.assign(y2, Expr::op(alpha).mul(Expr::op(v2)).add(Expr::op(tau).mul(Expr::op(z2))));
     // x1 = W'*y1 - A'*y2
-    b.assign(
-        x1,
-        Expr::op(w).t().mul(Expr::op(y1)).sub(Expr::op(a).t().mul(Expr::op(y2))),
-    );
+    b.assign(x1, Expr::op(w).t().mul(Expr::op(y1)).sub(Expr::op(a).t().mul(Expr::op(y2))));
     // x = x0 + beta*x1
     b.assign(x, Expr::op(x0).add(Expr::op(beta).mul(Expr::op(x1))));
     // z1 = y1 - W*x
     b.assign(z1o, Expr::op(y1).sub(Expr::op(w).mul(Expr::op(x))));
     // z2 = y2 - (y - A*x)
-    b.assign(
-        z2o,
-        Expr::op(y2).sub(Expr::op(y).sub(Expr::op(a).mul(Expr::op(x)))),
-    );
+    b.assign(z2o, Expr::op(y2).sub(Expr::op(y).sub(Expr::op(a).mul(Expr::op(x)))));
     // v1 = alpha*v1 + tau*z1 ; v2 = alpha*v2 + tau*z2
-    b.assign(
-        v1o,
-        Expr::op(alpha).mul(Expr::op(v1)).add(Expr::op(tau).mul(Expr::op(z1o))),
-    );
-    b.assign(
-        v2o,
-        Expr::op(alpha).mul(Expr::op(v2)).add(Expr::op(tau).mul(Expr::op(z2o))),
-    );
+    b.assign(v1o, Expr::op(alpha).mul(Expr::op(v1)).add(Expr::op(tau).mul(Expr::op(z1o))));
+    b.assign(v2o, Expr::op(alpha).mul(Expr::op(v2)).add(Expr::op(tau).mul(Expr::op(z2o))));
     b.build().expect("l1a program")
 }
 

@@ -7,7 +7,7 @@ use slingen_cir::Function;
 use slingen_ir::Program;
 use slingen_lgen::{lower_program, BufferMap, LowerOptions};
 use slingen_perf::{Machine, Report};
-use slingen_synth::{synthesize_program, AlgorithmDb, Policy};
+use slingen_synth::{synthesize_program, AlgorithmDb, BasicProgram, Policy};
 use slingen_vm::BufferSet;
 
 /// Generation options.
@@ -64,6 +64,40 @@ impl Generated {
     }
 }
 
+/// A measured variant before the winner's C code is emitted.
+struct Variant {
+    function: Function,
+    policy: Policy,
+    report: Report,
+}
+
+impl Variant {
+    fn into_generated(self, db_stats: (usize, usize)) -> Generated {
+        let c_code = slingen_cir::unparse::to_c(&self.function);
+        Generated {
+            function: self.function,
+            c_code,
+            policy: self.policy,
+            report: self.report,
+            db_stats,
+        }
+    }
+}
+
+/// Stages 2–3 plus measurement for one already-synthesized variant.
+fn finish_variant(
+    program: &Program,
+    policy: Policy,
+    basic: &BasicProgram,
+    options: &Options,
+) -> Result<Variant, Error> {
+    let opts = LowerOptions { nu: options.nu, loop_threshold: options.loop_threshold };
+    let mut function = lower_program(program, basic, program.name(), &opts)?;
+    optimize(&mut function, &options.passes);
+    let report = measure(program, &function, &options.machine, options.seed)?;
+    Ok(Variant { function, policy, report })
+}
+
 /// Generate code for one fixed policy (no autotuning).
 ///
 /// # Errors
@@ -76,18 +110,8 @@ pub fn generate_with_policy(
 ) -> Result<Generated, Error> {
     let mut db = AlgorithmDb::new();
     let basic = synthesize_program(program, policy, options.nu, &mut db)?;
-    let opts = LowerOptions { nu: options.nu, loop_threshold: options.loop_threshold };
-    let mut function = lower_program(program, &basic, program.name(), &opts)?;
-    optimize(&mut function, &options.passes);
-    let report = measure(program, &function, &options.machine, options.seed)?;
-    let c_code = slingen_cir::unparse::to_c(&function);
-    Ok(Generated {
-        function,
-        c_code,
-        policy,
-        report,
-        db_stats: (db.hits(), db.misses()),
-    })
+    let variant = finish_variant(program, policy, &basic, options)?;
+    Ok(variant.into_generated((db.hits(), db.misses())))
 }
 
 /// Measure a generated function on a valid random workload.
@@ -110,6 +134,16 @@ fn measure(
 /// per loop-invariant policy, measure each on the machine model, and keep
 /// the fastest (paper §3.3 "Autotuning" and the dashed lines of Fig. 14).
 ///
+/// Throughput: Stage 1 runs once per policy through a *single shared*
+/// [`AlgorithmDb`]. Policy-independent derivations (the scalar leaf
+/// cases) are cached under policy-neutral signatures, so later variants
+/// hit templates the first variant derived; block-level derivations stay
+/// policy-qualified because their loop schedules differ. The expensive
+/// per-variant work — lowering, Stage-3 optimization, and the model
+/// measurement — fans out across OS threads. Selection is deterministic:
+/// the minimum modeled cycle count wins, with ties broken by
+/// [`Policy::ALL`] order exactly as in the sequential implementation.
+///
 /// # Errors
 ///
 /// Returns [`Error`] if every variant fails; individual variant failures
@@ -118,23 +152,51 @@ pub fn generate(program: &Program, options: &Options) -> Result<Generated, Error
     if let Some(p) = options.policy {
         return generate_with_policy(program, p, options);
     }
-    let mut best: Option<Generated> = None;
+    // Stage 1: serial, through one shared algorithm database.
+    let mut db = AlgorithmDb::new();
+    let synths: Vec<(Policy, Result<BasicProgram, Error>)> = Policy::ALL
+        .into_iter()
+        .map(|policy| {
+            let basic =
+                synthesize_program(program, policy, options.nu, &mut db).map_err(Error::from);
+            (policy, basic)
+        })
+        .collect();
+    let db_stats = (db.hits(), db.misses());
+
+    // Stages 2-3 + measurement: parallel fan-out, one thread per variant.
+    let results: Vec<Result<Variant, Error>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = synths
+            .into_iter()
+            .map(|(policy, basic)| {
+                scope.spawn(move || {
+                    let basic = basic?;
+                    finish_variant(program, policy, &basic, options)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("autotune variant thread panicked")).collect()
+    });
+
+    // Deterministic min-cycles selection in Policy::ALL order (strict <).
+    let mut best: Option<Variant> = None;
     let mut last_err: Option<Error> = None;
-    for policy in Policy::ALL {
-        match generate_with_policy(program, policy, options) {
-            Ok(g) => {
+    for r in results {
+        match r {
+            Ok(v) => {
                 let better = match &best {
                     None => true,
-                    Some(b) => g.report.cycles < b.report.cycles,
+                    Some(b) => v.report.cycles < b.report.cycles,
                 };
                 if better {
-                    best = Some(g);
+                    best = Some(v);
                 }
             }
             Err(e) => last_err = Some(e),
         }
     }
-    best.ok_or_else(|| last_err.expect("at least one variant attempted"))
+    best.map(|v| v.into_generated(db_stats))
+        .ok_or_else(|| last_err.expect("at least one variant attempted"))
 }
 
 #[cfg(test)]
@@ -155,8 +217,7 @@ mod tests {
     #[test]
     fn policy_pinning_respected() {
         let p = apps::potrf(8);
-        let mut opts = Options::default();
-        opts.policy = Some(Policy::Eager);
+        let opts = Options { policy: Some(Policy::Eager), ..Options::default() };
         let g = generate(&p, &opts).unwrap();
         assert_eq!(g.policy, Policy::Eager);
     }

@@ -9,9 +9,9 @@ use crate::Error;
 use slingen_cir::Function;
 use slingen_ir::{OpId, Program};
 use slingen_lgen::BufferMap;
+use slingen_synth::program::VExpr;
 use slingen_synth::{synthesize_program, AlgorithmDb, Policy};
 use slingen_vm::{BufferSet, NullMonitor};
-use slingen_synth::program::VExpr;
 use std::collections::HashMap;
 
 fn map_expr_ops(e: &VExpr, root: &impl Fn(OpId) -> OpId) -> VExpr {

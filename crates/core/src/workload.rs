@@ -29,19 +29,13 @@ pub fn inputs(program: &Program, seed: u64) -> Vec<(OpId, Vec<f64>)> {
                     StorageHalf::Lower => Uplo::Lower,
                     StorageHalf::Upper => Uplo::Upper,
                 };
-                testgen::symmetrize(&testgen::general(r, r, s), uplo)
-                    .as_slice()
-                    .to_vec()
+                testgen::symmetrize(&testgen::general(r, r, s), uplo).as_slice().to_vec()
             }
             Structure::LowerTriangular => {
-                testgen::well_conditioned_triangular(r, Uplo::Lower, s)
-                    .as_slice()
-                    .to_vec()
+                testgen::well_conditioned_triangular(r, Uplo::Lower, s).as_slice().to_vec()
             }
             Structure::UpperTriangular => {
-                testgen::well_conditioned_triangular(r, Uplo::Upper, s)
-                    .as_slice()
-                    .to_vec()
+                testgen::well_conditioned_triangular(r, Uplo::Upper, s).as_slice().to_vec()
             }
             _ => {
                 if r == 1 && c == 1 {

@@ -5,6 +5,10 @@
 //! in HLAC statements (`X = (A)^-1`) and are eliminated by the synthesis
 //! stage.
 
+// The expression-builder methods intentionally mirror the LA surface
+// syntax (`a.add(b)`, `a.mul(b)`); they are not operator-trait impls.
+#![allow(clippy::should_implement_trait)]
+
 use crate::shape::Shape;
 use std::fmt;
 

@@ -303,11 +303,9 @@ impl<'a> ParseState<'a> {
         let off = self.offset();
         match self.bump() {
             Some(Tok::Int(v)) => Ok(v),
-            Some(Tok::Ident(name)) => self
-                .params
-                .get(&name)
-                .copied()
-                .ok_or(LaError::UnboundSize(name)),
+            Some(Tok::Ident(name)) => {
+                self.params.get(&name).copied().ok_or(LaError::UnboundSize(name))
+            }
             other => Err(LaError::Parse {
                 offset: off,
                 message: format!("expected size, found {other:?}"),
@@ -364,12 +362,8 @@ impl<'a> ParseState<'a> {
                     self.expect(Tok::LParen, "`(`")?;
                     let target = self.expect_ident("operand name")?;
                     self.expect(Tok::RParen, "`)`")?;
-                    overwrites = Some(
-                        *self
-                            .by_name
-                            .get(&target)
-                            .ok_or(LaError::UnknownOperand(target))?,
-                    );
+                    overwrites =
+                        Some(*self.by_name.get(&target).ok_or(LaError::UnknownOperand(target))?);
                 }
                 other => {
                     return Err(LaError::Parse {
@@ -550,11 +544,8 @@ impl<'a> ParseState<'a> {
                     Ok(e.inv())
                 }
                 _ => {
-                    let id = self
-                        .by_name
-                        .get(&name)
-                        .copied()
-                        .ok_or(LaError::UnknownOperand(name))?;
+                    let id =
+                        self.by_name.get(&name).copied().ok_or(LaError::UnknownOperand(name))?;
                     Ok(Expr::Operand(id))
                 }
             },
@@ -707,9 +698,7 @@ mod tests {
 
     #[test]
     fn duplicate_declaration_rejected() {
-        let err = Parser::new()
-            .parse("Mat A(4, 4) <In>; Mat A(4, 4) <Out>;")
-            .unwrap_err();
+        let err = Parser::new().parse("Mat A(4, 4) <In>; Mat A(4, 4) <Out>;").unwrap_err();
         assert_eq!(err, LaError::DuplicateOperand("A".into()));
     }
 

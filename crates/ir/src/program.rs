@@ -227,11 +227,7 @@ impl Program {
 
     /// Operands that are program outputs (`Out` or `InOut`).
     pub fn outputs(&self) -> impl Iterator<Item = (OpId, &OperandDecl)> {
-        self.operands
-            .iter()
-            .enumerate()
-            .filter(|(_, o)| o.io.writable())
-            .map(|(i, o)| (OpId(i), o))
+        self.operands.iter().enumerate().filter(|(_, o)| o.io.writable()).map(|(i, o)| (OpId(i), o))
     }
 
     /// Render `expr` with this program's operand names.
@@ -267,11 +263,7 @@ impl fmt::Display for Program {
             } else {
                 format!("Mat ..({}, {})", o.shape.rows, o.shape.cols)
             };
-            writeln!(
-                f,
-                "  {kind} {} <{}, {}, {}>;",
-                o.name, o.io, o.structure, o.properties
-            )?;
+            writeln!(f, "  {kind} {} <{}, {}, {}>;", o.name, o.io, o.structure, o.properties)?;
         }
         fn fmt_stmts(
             p: &Program,

@@ -12,6 +12,10 @@
 //! complete (the result may have more structure than reported); this mirrors
 //! the paper's structure propagation in LGen [40, 41].
 
+// The expression-builder methods intentionally mirror the LA surface
+// syntax (`a.add(b)`, `a.mul(b)`); they are not operator-trait impls.
+#![allow(clippy::should_implement_trait)]
+
 use std::fmt;
 
 /// Which half of a symmetric matrix is stored / meaningful.

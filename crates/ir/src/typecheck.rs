@@ -54,9 +54,7 @@ pub fn infer_shape(program: &Program, expr: &Expr) -> Result<Shape, LaError> {
         Expr::Inverse(e) => {
             let s = infer_shape(program, e)?;
             if !s.is_square() {
-                return Err(LaError::InvalidHlac(format!(
-                    "inverse of non-square {s} expression"
-                )));
+                return Err(LaError::InvalidHlac(format!("inverse of non-square {s} expression")));
             }
             Ok(s)
         }
@@ -104,11 +102,8 @@ pub fn check(program: &Program) -> Result<(), LaError> {
     }
     // Operands carrying a value at entry are defined; `Out` operands become
     // defined by the statement that computes them.
-    let mut defined: Vec<bool> = program
-        .operands()
-        .iter()
-        .map(|o| o.io.readable_at_entry())
-        .collect();
+    let mut defined: Vec<bool> =
+        program.operands().iter().map(|o| o.io.readable_at_entry()).collect();
     check_stmts(program, program.statements(), &mut defined)
 }
 
@@ -133,11 +128,7 @@ fn require_defined(
     }
 }
 
-fn check_stmts(
-    program: &Program,
-    stmts: &[Stmt],
-    defined: &mut Vec<bool>,
-) -> Result<(), LaError> {
+fn check_stmts(program: &Program, stmts: &[Stmt], defined: &mut Vec<bool>) -> Result<(), LaError> {
     for stmt in stmts {
         match stmt {
             Stmt::Assign { lhs, rhs } => {

@@ -10,10 +10,10 @@ use slingen_ir::{expr::display_expr, Expr, OpId, Stmt};
 /// scalar alpha. Transposes only on operands (the LA surface form).
 fn expr_4x4() -> impl Strategy<Value = Expr> {
     let leaf = prop_oneof![
-        Just(Expr::op(OpId(0))),              // A
-        Just(Expr::op(OpId(1))),              // B
-        Just(Expr::op(OpId(0)).t()),          // A'
-        Just(Expr::op(OpId(1)).t()),          // B'
+        Just(Expr::op(OpId(0))),                        // A
+        Just(Expr::op(OpId(1))),                        // B
+        Just(Expr::op(OpId(0)).t()),                    // A'
+        Just(Expr::op(OpId(1)).t()),                    // B'
         Just(Expr::op(OpId(3)).mul(Expr::op(OpId(0)))), // alpha * A
     ];
     leaf.prop_recursive(4, 24, 3, |inner| {

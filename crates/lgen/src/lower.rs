@@ -82,10 +82,7 @@ impl<'p> Ctx<'p> {
     fn elem_addr(&self, v: &View, i: &Affine, j: &Affine) -> MemRef {
         let (r, c) = if v.trans { (j, i) } else { (i, j) };
         let stride = self.bufs.stride(v.op) as i64;
-        let off = r
-            .offset(v.r0 as i64)
-            .scaled(stride)
-            .plus(&c.offset(v.c0 as i64));
+        let off = r.offset(v.r0 as i64).scaled(stride).plus(&c.offset(v.c0 as i64));
         MemRef::new(self.bufs.buf(v.op), off)
     }
 
@@ -115,9 +112,7 @@ impl<'p> Ctx<'p> {
     fn store_dead(&self, v: &View, i: usize, j: usize) -> bool {
         let (r, c) = (v.r0 + i, v.c0 + j);
         match v.structure {
-            Structure::LowerTriangular | Structure::UpperTriangular => {
-                v.structure.is_zero_at(r, c)
-            }
+            Structure::LowerTriangular | Structure::UpperTriangular => v.structure.is_zero_at(r, c),
             Structure::Symmetric(_) => v.structure.is_mirrored_at(r, c),
             _ => false,
         }
@@ -217,9 +212,7 @@ impl<'p> Ctx<'p> {
                 // dot-shaped contraction: (1×k)·(k×1)
                 if a.rows() == 1 && b.cols() == 1 && a.cols() > 1 {
                     match (a.as_ref(), b.as_ref()) {
-                        (VExpr::View(av), VExpr::View(bv)) => {
-                            return Ok(self.dot(av, bv)?.into())
-                        }
+                        (VExpr::View(av), VExpr::View(bv)) => return Ok(self.dot(av, bv)?.into()),
                         _ => {
                             return Err(LgenError::Unsupported(
                                 "dot of compound expressions".into(),
@@ -244,9 +237,9 @@ impl<'p> Ctx<'p> {
                 let x = self.eval_scalar(a)?;
                 Ok(self.fb.sbin(BinOp::Sub, 0.0, x).into())
             }
-            VExpr::View(v) => Err(LgenError::Shape(format!(
-                "non-scalar view {v} in scalar context"
-            ))),
+            VExpr::View(v) => {
+                Err(LgenError::Shape(format!("non-scalar view {v} in scalar context")))
+            }
         }
     }
 
@@ -309,7 +302,12 @@ impl<'p> Ctx<'p> {
         View { op, r0: 0, r1: rows, c0: 0, c1: cols, trans: false, structure: Structure::General }
     }
 
-    fn register_temp(&mut self, buf: slingen_cir::BufId, rows: usize, cols: usize) -> slingen_ir::OpId {
+    fn register_temp(
+        &mut self,
+        buf: slingen_cir::BufId,
+        rows: usize,
+        cols: usize,
+    ) -> slingen_ir::OpId {
         self.bufs.register_temp(buf, rows, cols)
     }
 
@@ -325,7 +323,11 @@ impl<'p> Ctx<'p> {
         match e {
             VExpr::View(v) => {
                 if v.is_scalar() {
-                    Ok(vec![ProductTerm { neg: false, scalars: vec![SFactor::View(*v)], mats: vec![] }])
+                    Ok(vec![ProductTerm {
+                        neg: false,
+                        scalars: vec![SFactor::View(*v)],
+                        mats: vec![],
+                    }])
                 } else {
                     Ok(vec![ProductTerm { neg: false, scalars: vec![], mats: vec![*v] }])
                 }
@@ -388,9 +390,7 @@ impl<'p> Ctx<'p> {
                     VExpr::View(v) if v.is_scalar() => SFactor::Recip(*v),
                     VExpr::Lit(x) => SFactor::Lit(1.0 / x),
                     other => {
-                        return Err(LgenError::Unsupported(format!(
-                            "non-scalar divisor {other:?}"
-                        )))
+                        return Err(LgenError::Unsupported(format!("non-scalar divisor {other:?}")))
                     }
                 };
                 for t in &mut ts {
@@ -398,9 +398,7 @@ impl<'p> Ctx<'p> {
                 }
                 Ok(ts)
             }
-            VExpr::Sqrt(_) => Err(LgenError::Unsupported(
-                "sqrt outside scalar statements".into(),
-            )),
+            VExpr::Sqrt(_) => Err(LgenError::Unsupported("sqrt outside scalar statements".into())),
         }
     }
 
@@ -459,10 +457,7 @@ impl<'p> Ctx<'p> {
         if hazard {
             let tmp = self.fresh_temp(lhs.rows(), lhs.cols());
             self.lower_stmt(&BasicStmt { lhs: tmp, rhs: stmt.rhs.clone() })?;
-            return self.lower_stmt(&BasicStmt {
-                lhs: *lhs,
-                rhs: VExpr::View(tmp),
-            });
+            return self.lower_stmt(&BasicStmt { lhs: *lhs, rhs: VExpr::View(tmp) });
         }
         // evaluate coefficients once per statement
         let coeffs: Vec<Option<SOperand>> =
@@ -471,10 +466,7 @@ impl<'p> Ctx<'p> {
         let dense = lhs.structure == Structure::General
             && terms.iter().all(|t| {
                 t.mats.iter().all(|v| {
-                    matches!(
-                        self.op_structure(v),
-                        Structure::General | Structure::Symmetric(_)
-                    )
+                    matches!(self.op_structure(v), Structure::General | Structure::Symmetric(_))
                 })
             });
         let nu = self.nu();
@@ -558,7 +550,11 @@ impl<'p> Ctx<'p> {
             return self.emit_tile_scalar(lhs, terms, coeffs, ti, tr, tj, tc, &store_lanes);
         }
         let mut acc: Vec<Option<VReg>> = vec![None; tr];
-        let add = |fb: &mut FunctionBuilder, acc: &mut Vec<Option<VReg>>, r: usize, v: VReg, neg: bool| {
+        let add = |fb: &mut FunctionBuilder,
+                   acc: &mut Vec<Option<VReg>>,
+                   r: usize,
+                   v: VReg,
+                   neg: bool| {
             acc[r] = Some(match acc[r] {
                 None => {
                     if neg {
@@ -674,9 +670,7 @@ impl<'p> Ctx<'p> {
                             let (a, b) = (t.mats[0], t.mats[1]);
                             let mut sum: Option<SReg> = None;
                             for k in 0..a.cols() {
-                                if self.elem_zero(&a, ti + r, k)
-                                    || self.elem_zero(&b, k, tj + c)
-                                {
+                                if self.elem_zero(&a, ti + r, k) || self.elem_zero(&b, k, tj + c) {
                                     continue;
                                 }
                                 let xa = self.fb.sload(self.elem_addr_c(&a, ti + r, k));
@@ -706,9 +700,9 @@ impl<'p> Ctx<'p> {
                                     }
                                 }
                             }
-                            Some(aa) => self
-                                .fb
-                                .sbin(if t.neg { BinOp::Sub } else { BinOp::Add }, aa, x),
+                            Some(aa) => {
+                                self.fb.sbin(if t.neg { BinOp::Sub } else { BinOp::Add }, aa, x)
+                            }
                         });
                     }
                 }
@@ -794,9 +788,7 @@ impl<'p> Ctx<'p> {
                                 v
                             }
                         }
-                        Some(a) => {
-                            self.fb.vbin(if t.neg { BinOp::Sub } else { BinOp::Add }, a, v)
-                        }
+                        Some(a) => self.fb.vbin(if t.neg { BinOp::Sub } else { BinOp::Add }, a, v),
                     });
                 }
             }
@@ -805,9 +797,8 @@ impl<'p> Ctx<'p> {
                 None => self.fb.vbroadcast(0.0),
             };
             let delta = self.col_delta(lhs);
-            let lanes: Vec<Option<i64>> = (0..nu)
-                .map(|l| if l < len { Some(l as i64 * delta) } else { None })
-                .collect();
+            let lanes: Vec<Option<i64>> =
+                (0..nu).map(|l| if l < len { Some(l as i64 * delta) } else { None }).collect();
             let base = self.elem_addr_c(lhs, i0, 0);
             self.fb.vstore(out, base, lanes);
             i0 += len;
@@ -845,9 +836,9 @@ impl<'p> Ctx<'p> {
                     1 => {
                         let v = t.mats[0];
                         let cb = coeff.map(|c| self.fb.vbroadcast(c));
+                        #[allow(clippy::needless_range_loop)]
                         for r in 0..nu {
-                            let base =
-                                self.elem_addr(&v, &iv.offset(r as i64), &jv);
+                            let base = self.elem_addr(&v, &iv.offset(r as i64), &jv);
                             let delta = self.row_delta(&v);
                             let lanes = (0..nu).map(|l| Some(l as i64 * delta)).collect();
                             let mut chunk = self.fb.vload(base, lanes);
@@ -878,9 +869,9 @@ impl<'p> Ctx<'p> {
                         if let Some(cb) = cb {
                             vb = self.fb.vbin(BinOp::Mul, vb, cb);
                         }
+                        #[allow(clippy::needless_range_loop)]
                         for r in 0..nu {
-                            let va =
-                                self.load_bcast_affine(&a, &iv.offset(r as i64), &kvv);
+                            let va = self.load_bcast_affine(&a, &iv.offset(r as i64), &kvv);
                             let p = self.fb.vbin(BinOp::Mul, va, vb);
                             let slot = acc[r].expect("accumulator initialized");
                             let op = if t.neg { BinOp::Sub } else { BinOp::Add };

@@ -67,13 +67,7 @@ fn potrf_full_pipeline_matches_lapack() {
                     let p = b.build().unwrap();
 
                     let spd = testgen::spd(n, 11 + n as u64);
-                    let outs = run_pipeline(
-                        &p,
-                        policy,
-                        nu,
-                        opt,
-                        &[(s, spd.as_slice().to_vec())],
-                    );
+                    let outs = run_pipeline(&p, policy, nu, opt, &[(s, spd.as_slice().to_vec())]);
                     let mut expect = spd.as_slice().to_vec();
                     slingen_blas::dpotrf(Uplo::Upper, n, &mut expect, n);
                     let got = get(&outs, u);
@@ -140,10 +134,7 @@ fn trsyl_full_pipeline() {
             );
             let c = b.declare(OperandDecl::mat_in("C", m, n));
             let x = b.declare(OperandDecl::mat_out("X", m, n));
-            b.equation(
-                Expr::op(l).mul(Expr::op(x)).add(Expr::op(x).mul(Expr::op(u))),
-                Expr::op(c),
-            );
+            b.equation(Expr::op(l).mul(Expr::op(x)).add(Expr::op(x).mul(Expr::op(u))), Expr::op(c));
             let p = b.build().unwrap();
 
             let lt = testgen::well_conditioned_triangular(m, Uplo::Lower, 21);
@@ -163,11 +154,7 @@ fn trsyl_full_pipeline() {
             let mut expect = rhs.as_slice().to_vec();
             slingen_blas::dtrsyl(m, n, lt.as_slice(), m, ut.as_slice(), n, &mut expect, n);
             let got = get(&outs, x);
-            let diff = got
-                .iter()
-                .zip(&expect)
-                .map(|(a, b)| (a - b).abs())
-                .fold(0.0f64, f64::max);
+            let diff = got.iter().zip(&expect).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
             assert!(diff < 1e-9, "m={m} n={n} {policy}: {diff}");
         }
     }
@@ -209,11 +196,7 @@ fn trlya_full_pipeline() {
             let mut expect = sym.as_slice().to_vec();
             slingen_blas::dtrlya(n, lt.as_slice(), n, &mut expect, n);
             let got = get(&outs, x);
-            let diff = got
-                .iter()
-                .zip(&expect)
-                .map(|(a, b)| (a - b).abs())
-                .fold(0.0f64, f64::max);
+            let diff = got.iter().zip(&expect).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
             assert!(diff < 1e-9, "n={n} {policy}: {diff}");
         }
     }
@@ -267,13 +250,7 @@ fn app_style_sblacs_with_nested_products() {
             );
             let q = b.declare(OperandDecl::mat_in("Q", n, n));
             let y = b.declare(OperandDecl::mat_out("Y", n, n));
-            b.assign(
-                y,
-                Expr::op(f)
-                    .mul(Expr::op(pm))
-                    .mul(Expr::op(f).t())
-                    .add(Expr::op(q)),
-            );
+            b.assign(y, Expr::op(f).mul(Expr::op(pm)).mul(Expr::op(f).t()).add(Expr::op(q)));
             let p = b.build().unwrap();
 
             let fm = testgen::general(n, n, 51);
@@ -367,8 +344,7 @@ fn division_rewrites_use_reciprocal() {
     let p = b.build().unwrap();
     let mut db = AlgorithmDb::new();
     let basic = synthesize_program(&p, Policy::Lazy, 4, &mut db).unwrap();
-    let f = lower_program(&p, &basic, "r0r1", &LowerOptions { nu: 4, loop_threshold: 64 })
-        .unwrap();
+    let f = lower_program(&p, &basic, "r0r1", &LowerOptions { nu: 4, loop_threshold: 64 }).unwrap();
     let mut divs = 0;
     f.for_each_instr(&mut |i| {
         if matches!(
@@ -406,13 +382,9 @@ fn looped_and_unrolled_agree() {
     for threshold in [1usize, 1_000_000] {
         let mut db = AlgorithmDb::new();
         let basic = synthesize_program(&p, Policy::Lazy, 4, &mut db).unwrap();
-        let f = lower_program(
-            &p,
-            &basic,
-            "gemm",
-            &LowerOptions { nu: 4, loop_threshold: threshold },
-        )
-        .unwrap();
+        let f =
+            lower_program(&p, &basic, "gemm", &LowerOptions { nu: 4, loop_threshold: threshold })
+                .unwrap();
         let mut fb_probe = slingen_cir::FunctionBuilder::new("probe", 4);
         let map = BufferMap::build(&p, &mut fb_probe);
         let mut bufs = BufferSet::for_function(&f);
@@ -420,11 +392,8 @@ fn looped_and_unrolled_agree() {
         bufs.set(map.buf(c), bm.as_slice());
         slingen_vm::execute(&f, &mut bufs, &mut NullMonitor).unwrap();
         let got = bufs.get(map.buf(y));
-        let diff = got
-            .iter()
-            .zip(expect.as_slice())
-            .map(|(x, y)| (x - y).abs())
-            .fold(0.0f64, f64::max);
+        let diff =
+            got.iter().zip(expect.as_slice()).map(|(x, y)| (x - y).abs()).fold(0.0f64, f64::max);
         assert!(diff < 1e-10, "threshold={threshold}: {diff}");
         // low threshold must actually produce loops
         if threshold == 1 {
@@ -448,8 +417,8 @@ fn row_division_vectorizes_as_scaling() {
     let p = b.build().unwrap();
     let mut db = AlgorithmDb::new();
     let basic = synthesize_program(&p, Policy::Lazy, 4, &mut db).unwrap();
-    let f = lower_program(&p, &basic, "rowdiv", &LowerOptions { nu: 4, loop_threshold: 1000 })
-        .unwrap();
+    let f =
+        lower_program(&p, &basic, "rowdiv", &LowerOptions { nu: 4, loop_threshold: 1000 }).unwrap();
     let mut divs = 0;
     let mut vmuls = 0;
     f.for_each_instr(&mut |i| match i {
@@ -470,9 +439,7 @@ fn structure_skipping_reduces_work() {
     let count_flops = |structured: bool| {
         let mut b = ProgramBuilder::new("tri");
         let l = if structured {
-            b.declare(
-                OperandDecl::mat_in("L", n, n).with_structure(Structure::LowerTriangular),
-            )
+            b.declare(OperandDecl::mat_in("L", n, n).with_structure(Structure::LowerTriangular))
         } else {
             b.declare(OperandDecl::mat_in("L", n, n))
         };
@@ -482,15 +449,13 @@ fn structure_skipping_reduces_work() {
         let p = b.build().unwrap();
         let mut db = AlgorithmDb::new();
         let basic = synthesize_program(&p, Policy::Lazy, 4, &mut db).unwrap();
-        let f = lower_program(&p, &basic, "tri", &LowerOptions { nu: 4, loop_threshold: 1_000_000 })
-            .unwrap();
+        let f =
+            lower_program(&p, &basic, "tri", &LowerOptions { nu: 4, loop_threshold: 1_000_000 })
+                .unwrap();
         let mut fb = slingen_cir::FunctionBuilder::new("probe", 4);
         let map = BufferMap::build(&p, &mut fb);
         let mut bufs = BufferSet::for_function(&f);
-        bufs.set(
-            map.buf(l),
-            testgen::well_conditioned_triangular(n, Uplo::Lower, 5).as_slice(),
-        );
+        bufs.set(map.buf(l), testgen::well_conditioned_triangular(n, Uplo::Lower, 5).as_slice());
         bufs.set(map.buf(c), testgen::general(n, n, 6).as_slice());
         let mut m = slingen_vm::CountingMonitor::default();
         slingen_vm::execute(&f, &mut bufs, &mut m).unwrap();

@@ -24,8 +24,8 @@ struct Recipe {
 }
 
 fn recipe() -> impl Strategy<Value = Recipe> {
-    (1usize..10, 1usize..10, 1usize..10, 0u8..4, 0u8..4, any::<bool>(), any::<bool>())
-        .prop_map(|(m, n, k, term1, term2, combine_sub, with_scale)| Recipe {
+    (1usize..10, 1usize..10, 1usize..10, 0u8..4, 0u8..4, any::<bool>(), any::<bool>()).prop_map(
+        |(m, n, k, term1, term2, combine_sub, with_scale)| Recipe {
             m,
             n,
             k,
@@ -33,7 +33,8 @@ fn recipe() -> impl Strategy<Value = Recipe> {
             term2,
             combine_sub,
             with_scale,
-        })
+        },
+    )
 }
 
 fn build_program(r: &Recipe) -> (Program, Vec<OpId>) {
@@ -53,11 +54,7 @@ fn build_program(r: &Recipe) -> (Program, Vec<OpId>) {
             _ => Expr::op(c),
         }
     };
-    let t1 = if r.with_scale {
-        Expr::op(alpha).mul(term(r.term1))
-    } else {
-        term(r.term1)
-    };
+    let t1 = if r.with_scale { Expr::op(alpha).mul(term(r.term1)) } else { term(r.term1) };
     let t2 = term(r.term2);
     let rhs = if r.combine_sub { t1.sub(t2) } else { t1.add(t2) };
     b.assign(y, rhs);
@@ -74,9 +71,7 @@ fn inputs_for(p: &Program, seed: u64) -> Vec<(OpId, Vec<f64>)> {
         .map(|(i, d)| {
             (
                 OpId(i),
-                testgen::general(d.shape.rows, d.shape.cols, seed + i as u64)
-                    .as_slice()
-                    .to_vec(),
+                testgen::general(d.shape.rows, d.shape.cols, seed + i as u64).as_slice().to_vec(),
             )
         })
         .collect()

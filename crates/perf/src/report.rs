@@ -100,9 +100,8 @@ impl Report {
     /// program asked of it.
     pub fn perf_limit(&self, r: Resource) -> f64 {
         let peak = self.machine.peak_flops_per_cycle();
-        let fp_cycles = self
-            .resource_cycles(Resource::FMul)
-            .max(self.resource_cycles(Resource::FAdd));
+        let fp_cycles =
+            self.resource_cycles(Resource::FMul).max(self.resource_cycles(Resource::FAdd));
         let r_cycles = self.resource_cycles(r);
         if r_cycles <= fp_cycles || r_cycles == 0.0 {
             // the resource never outweighs the FP ports: full peak remains
@@ -134,7 +133,13 @@ impl fmt::Display for Report {
         for r in Resource::ALL {
             let cyc = self.resource_cycles(r);
             if cyc > 0.0 {
-                writeln!(f, "  {:>14}: {:8.1} cycles ({:4.1}%)", r.label(), cyc, 100.0 * self.utilization(r))?;
+                writeln!(
+                    f,
+                    "  {:>14}: {:8.1} cycles ({:4.1}%)",
+                    r.label(),
+                    cyc,
+                    100.0 * self.utilization(r)
+                )?;
             }
         }
         Ok(())
@@ -180,11 +185,7 @@ mod tests {
     fn perf_limit_shrinks_under_shuffle_pressure() {
         // 100 fmul units and 200 shuffle units: shuffles bound at 200
         // cycles vs fp at 100 → limit = flops / 200
-        let r = report_with(
-            &[(Resource::FMul, 100.0), (Resource::Shuffle, 200.0)],
-            800,
-            250.0,
-        );
+        let r = report_with(&[(Resource::FMul, 100.0), (Resource::Shuffle, 200.0)], 800, 250.0);
         assert_eq!(r.perf_limit(Resource::Shuffle), 4.0);
         assert_eq!(r.perf_limit(Resource::Blend), 8.0);
     }
@@ -196,14 +197,7 @@ mod tests {
         counts.insert(InstrClass::FMul, 50);
         counts.insert(InstrClass::FAdd, 20);
         counts.insert(InstrClass::Load, 500);
-        let r = Report::new(
-            Machine::sandy_bridge(),
-            100.0,
-            100,
-            600,
-            BTreeMap::new(),
-            counts,
-        );
+        let r = Report::new(Machine::sandy_bridge(), 100.0, 100, 600, BTreeMap::new(), counts);
         assert!((r.issue_rate(InstrClass::Shuffle) - 0.3).abs() < 1e-12);
     }
 

@@ -21,9 +21,7 @@ use std::collections::{BTreeMap, HashMap};
 fn mem_units(width: usize, lanes: usize) -> f64 {
     // scalar (1 lane of any width-1 function) = 1 unit; width-2 vector = 1
     // unit (128-bit); width-4 = 2 units (256-bit split into two halves).
-    if lanes <= 1 {
-        1.0
-    } else if width <= 2 {
+    if lanes <= 1 || width <= 2 {
         1.0
     } else {
         2.0
@@ -78,16 +76,12 @@ impl Scheduler {
     fn demands(&self, instr: &Instr, width: usize) -> Vec<Demand> {
         let m = &self.machine;
         match instr {
-            Instr::SLoad { .. } => vec![Demand {
-                resource: Resource::Load,
-                units: 1.0,
-                latency: m.load_latency,
-            }],
-            Instr::SStore { .. } => vec![Demand {
-                resource: Resource::Store,
-                units: 1.0,
-                latency: m.store_latency,
-            }],
+            Instr::SLoad { .. } => {
+                vec![Demand { resource: Resource::Load, units: 1.0, latency: m.load_latency }]
+            }
+            Instr::SStore { .. } => {
+                vec![Demand { resource: Resource::Store, units: 1.0, latency: m.store_latency }]
+            }
             Instr::VLoad { lanes, .. } => {
                 let active = lanes.iter().flatten().count();
                 if contiguous(lanes) {
@@ -161,26 +155,18 @@ impl Scheduler {
                 let c = m.div_scalar_cycles;
                 vec![Demand { resource: Resource::Divider, units: c, latency: c }]
             }
-            Instr::SMov { .. } | Instr::VMov { .. } => vec![Demand {
-                resource: Resource::Mov,
-                units: 1.0,
-                latency: m.mov_latency,
-            }],
-            Instr::VBroadcast { .. } => vec![Demand {
-                resource: Resource::Shuffle,
-                units: 1.0,
-                latency: m.shuffle_latency,
-            }],
-            Instr::VShuffle { .. } | Instr::VExtract { .. } => vec![Demand {
-                resource: Resource::Shuffle,
-                units: 1.0,
-                latency: m.shuffle_latency,
-            }],
-            Instr::VBlend { .. } => vec![Demand {
-                resource: Resource::Blend,
-                units: 1.0,
-                latency: m.blend_latency,
-            }],
+            Instr::SMov { .. } | Instr::VMov { .. } => {
+                vec![Demand { resource: Resource::Mov, units: 1.0, latency: m.mov_latency }]
+            }
+            Instr::VBroadcast { .. } => {
+                vec![Demand { resource: Resource::Shuffle, units: 1.0, latency: m.shuffle_latency }]
+            }
+            Instr::VShuffle { .. } | Instr::VExtract { .. } => {
+                vec![Demand { resource: Resource::Shuffle, units: 1.0, latency: m.shuffle_latency }]
+            }
+            Instr::VBlend { .. } => {
+                vec![Demand { resource: Resource::Blend, units: 1.0, latency: m.blend_latency }]
+            }
             Instr::VReduceAdd { .. } => {
                 // log2(width) shuffle+add pairs
                 let steps = (width.max(2) as f64).log2().ceil();
@@ -234,10 +220,7 @@ impl Scheduler {
 
 fn contiguous(lanes: &[Option<i64>]) -> bool {
     let active = lanes.iter().take_while(|l| l.is_some()).count();
-    lanes[..active]
-        .iter()
-        .enumerate()
-        .all(|(i, l)| *l == Some(i as i64))
+    lanes[..active].iter().enumerate().all(|(i, l)| *l == Some(i as i64))
         && lanes[active..].iter().all(|l| l.is_none())
         && active > 0
 }
@@ -433,8 +416,7 @@ mod tests {
         }
         let f = b.finish();
         let mut bufs = BufferSet::for_function(&f);
-        let rep =
-            crate::measure(&f, &mut bufs, Some(&lib), &Machine::sandy_bridge()).unwrap();
+        let rep = crate::measure(&f, &mut bufs, Some(&lib), &Machine::sandy_bridge()).unwrap();
         assert!(rep.cycles >= 4.0 * 120.0, "4 calls >= 480 cycles, got {}", rep.cycles);
     }
 

@@ -54,9 +54,13 @@ fn call_overhead_scales_linearly() {
     }
     let f = b.finish();
     let mut bufs = BufferSet::for_function(&f);
-    let cheap = measure(&f, &mut bufs, Some(&lib), &Machine::sandy_bridge().with_call_overhead(100.0)).unwrap();
+    let cheap =
+        measure(&f, &mut bufs, Some(&lib), &Machine::sandy_bridge().with_call_overhead(100.0))
+            .unwrap();
     let mut bufs = BufferSet::for_function(&f);
-    let costly = measure(&f, &mut bufs, Some(&lib), &Machine::sandy_bridge().with_call_overhead(200.0)).unwrap();
+    let costly =
+        measure(&f, &mut bufs, Some(&lib), &Machine::sandy_bridge().with_call_overhead(200.0))
+            .unwrap();
     let delta = costly.cycles - cheap.cycles;
     assert!((delta - 1000.0).abs() < 50.0, "10 calls x 100 extra cycles, got {delta}");
 }
@@ -132,7 +136,7 @@ fn divider_sensitivity_separates_kernels() {
     let o = b.buffer("o", 1, BufKind::ParamOut);
     let mut acc = b.smov(256.0);
     for _ in 0..8 {
-        acc = b.sbin(BinOp::Div, acc, 1.4142);
+        acc = b.sbin(BinOp::Div, acc, 1.375);
     }
     b.sstore(acc, MemRef::new(o, 0));
     let divf = b.finish();

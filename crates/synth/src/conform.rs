@@ -117,9 +117,9 @@ impl Dims {
             }
             Term::Add(ts) => {
                 let mut it = ts.iter();
-                let first = it.next().ok_or_else(|| {
-                    SynthError::Unsupported("empty sum in equation".into())
-                })?;
+                let first = it
+                    .next()
+                    .ok_or_else(|| SynthError::Unsupported("empty sum in equation".into()))?;
                 let (mut r, mut c) = self.term_nodes(first)?;
                 for t in it {
                     let (tr, tc) = self.term_nodes(t)?;
@@ -188,19 +188,15 @@ mod tests {
     fn trsm_terms() -> (slingen_ir::Program, Term, Term) {
         // U' X = B with U 8x8 upper triangular, X/B 8x5
         let mut b = ProgramBuilder::new("t");
-        let u = b.declare(
-            OperandDecl::mat_in("U", 8, 8).with_structure(Structure::UpperTriangular),
-        );
+        let u =
+            b.declare(OperandDecl::mat_in("U", 8, 8).with_structure(Structure::UpperTriangular));
         let bb = b.declare(OperandDecl::mat_in("B", 8, 5));
         let x = b.declare(OperandDecl::mat_out("X", 8, 5));
         b.assign(x, Expr::op(bb));
         let p = b.build().unwrap();
         let uv = View::full(&p, u);
         let xv = View::full(&p, x);
-        let lhs = Term::Mul(
-            Box::new(Term::V(uv.t())),
-            Box::new(Term::V(xv)),
-        );
+        let lhs = Term::Mul(Box::new(Term::V(uv.t())), Box::new(Term::V(xv)));
         let rhs = region_term(&p, bb, 0, 8, 0, 5);
         (p, lhs, rhs)
     }
@@ -219,12 +215,12 @@ mod tests {
     fn potrf_has_one_group() {
         // U'U = S: triangular U ties everything into one group
         let mut b = ProgramBuilder::new("t");
-        let s = b.declare(OperandDecl::mat_in("S", 8, 8).with_structure(
-            Structure::Symmetric(slingen_ir::structure::StorageHalf::Upper),
-        ));
-        let u = b.declare(
-            OperandDecl::mat_out("U", 8, 8).with_structure(Structure::UpperTriangular),
+        let s = b.declare(
+            OperandDecl::mat_in("S", 8, 8)
+                .with_structure(Structure::Symmetric(slingen_ir::structure::StorageHalf::Upper)),
         );
+        let u =
+            b.declare(OperandDecl::mat_out("U", 8, 8).with_structure(Structure::UpperTriangular));
         b.equation(Expr::op(u).t().mul(Expr::op(u)), Expr::op(s));
         let p = b.build().unwrap();
         let uv = View::full(&p, u);
@@ -270,12 +266,10 @@ mod tests {
     fn sylvester_groups() {
         // L X + X U = C, L 6x6 lower, U 4x4 upper, X 6x4
         let mut b = ProgramBuilder::new("t");
-        let l = b.declare(
-            OperandDecl::mat_in("L", 6, 6).with_structure(Structure::LowerTriangular),
-        );
-        let u = b.declare(
-            OperandDecl::mat_in("U", 4, 4).with_structure(Structure::UpperTriangular),
-        );
+        let l =
+            b.declare(OperandDecl::mat_in("L", 6, 6).with_structure(Structure::LowerTriangular));
+        let u =
+            b.declare(OperandDecl::mat_in("U", 4, 4).with_structure(Structure::UpperTriangular));
         let c = b.declare(OperandDecl::mat_in("C", 6, 4));
         let x = b.declare(OperandDecl::mat_out("X", 6, 4));
         b.assign(x, Expr::op(c));

@@ -171,14 +171,7 @@ impl Roles {
         if v.r0 < r || v.c0 < c {
             return None;
         }
-        Some(View {
-            op: OpId(role),
-            r0: v.r0 - r,
-            r1: v.r1 - r,
-            c0: v.c0 - c,
-            c1: v.c1 - c,
-            ..*v
-        })
+        Some(View { op: OpId(role), r0: v.r0 - r, r1: v.r1 - r, c0: v.c0 - c, c1: v.c1 - c, ..*v })
     }
 
     /// Materialize a relative view against this role set.
@@ -192,22 +185,18 @@ fn relativize_expr(roles: &Roles, e: &VExpr) -> Option<VExpr> {
     Some(match e {
         VExpr::View(v) => VExpr::View(roles.relativize(v)?),
         VExpr::Lit(x) => VExpr::Lit(*x),
-        VExpr::Add(a, b) => VExpr::Add(
-            Box::new(relativize_expr(roles, a)?),
-            Box::new(relativize_expr(roles, b)?),
-        ),
-        VExpr::Sub(a, b) => VExpr::Sub(
-            Box::new(relativize_expr(roles, a)?),
-            Box::new(relativize_expr(roles, b)?),
-        ),
-        VExpr::Mul(a, b) => VExpr::Mul(
-            Box::new(relativize_expr(roles, a)?),
-            Box::new(relativize_expr(roles, b)?),
-        ),
-        VExpr::Div(a, b) => VExpr::Div(
-            Box::new(relativize_expr(roles, a)?),
-            Box::new(relativize_expr(roles, b)?),
-        ),
+        VExpr::Add(a, b) => {
+            VExpr::Add(Box::new(relativize_expr(roles, a)?), Box::new(relativize_expr(roles, b)?))
+        }
+        VExpr::Sub(a, b) => {
+            VExpr::Sub(Box::new(relativize_expr(roles, a)?), Box::new(relativize_expr(roles, b)?))
+        }
+        VExpr::Mul(a, b) => {
+            VExpr::Mul(Box::new(relativize_expr(roles, a)?), Box::new(relativize_expr(roles, b)?))
+        }
+        VExpr::Div(a, b) => {
+            VExpr::Div(Box::new(relativize_expr(roles, a)?), Box::new(relativize_expr(roles, b)?))
+        }
         VExpr::Neg(a) => VExpr::Neg(Box::new(relativize_expr(roles, a)?)),
         VExpr::Sqrt(a) => VExpr::Sqrt(Box::new(relativize_expr(roles, a)?)),
     })
@@ -217,22 +206,18 @@ fn instantiate_expr(roles: &Roles, e: &VExpr) -> VExpr {
     match e {
         VExpr::View(v) => VExpr::View(roles.instantiate(v)),
         VExpr::Lit(x) => VExpr::Lit(*x),
-        VExpr::Add(a, b) => VExpr::Add(
-            Box::new(instantiate_expr(roles, a)),
-            Box::new(instantiate_expr(roles, b)),
-        ),
-        VExpr::Sub(a, b) => VExpr::Sub(
-            Box::new(instantiate_expr(roles, a)),
-            Box::new(instantiate_expr(roles, b)),
-        ),
-        VExpr::Mul(a, b) => VExpr::Mul(
-            Box::new(instantiate_expr(roles, a)),
-            Box::new(instantiate_expr(roles, b)),
-        ),
-        VExpr::Div(a, b) => VExpr::Div(
-            Box::new(instantiate_expr(roles, a)),
-            Box::new(instantiate_expr(roles, b)),
-        ),
+        VExpr::Add(a, b) => {
+            VExpr::Add(Box::new(instantiate_expr(roles, a)), Box::new(instantiate_expr(roles, b)))
+        }
+        VExpr::Sub(a, b) => {
+            VExpr::Sub(Box::new(instantiate_expr(roles, a)), Box::new(instantiate_expr(roles, b)))
+        }
+        VExpr::Mul(a, b) => {
+            VExpr::Mul(Box::new(instantiate_expr(roles, a)), Box::new(instantiate_expr(roles, b)))
+        }
+        VExpr::Div(a, b) => {
+            VExpr::Div(Box::new(instantiate_expr(roles, a)), Box::new(instantiate_expr(roles, b)))
+        }
         VExpr::Neg(a) => VExpr::Neg(Box::new(instantiate_expr(roles, a))),
         VExpr::Sqrt(a) => VExpr::Sqrt(Box::new(instantiate_expr(roles, a))),
     }
@@ -249,8 +234,27 @@ fn view_signature(v: &View) -> String {
     )
 }
 
+/// Whether `derive_fresh` would emit this instance entirely through one of
+/// its scalar leaf cases. Leaf emission never consults the loop-invariant
+/// policy, so leaf templates are cached policy-neutrally and shared across
+/// variants (the autotuner threads one database through all policies).
+fn is_scalar_leaf(inst: &EqInstance) -> bool {
+    match &inst.op {
+        SolveOp::Assign => true,
+        SolveOp::Potrf { .. } | SolveOp::Trtri { .. } | SolveOp::Getrf { .. } => {
+            inst.out.is_scalar()
+        }
+        SolveOp::TrsmLeft { t } | SolveOp::TrsmRight { t } => t.is_scalar(),
+        SolveOp::Sylvester { l, u } => l.is_scalar() && u.is_scalar(),
+    }
+}
+
 fn instance_signature(inst: &EqInstance, policy: Policy, nu: usize, roles: &Roles) -> String {
-    let mut sig = format!("{policy}/nu{nu}/");
+    // Policy-independent derivations share one policy-neutral keyspace;
+    // block-level derivations stay policy-qualified because their loop
+    // schedules (and those of their descendants) differ.
+    let mut sig =
+        if is_scalar_leaf(inst) { format!("any/nu{nu}/") } else { format!("{policy}/nu{nu}/") };
     sig.push_str(&match &inst.op {
         SolveOp::Assign => "assign".to_string(),
         SolveOp::TrsmLeft { t } => format!("trsml[{}]", view_signature(t)),
@@ -297,15 +301,14 @@ impl<'p, 'd> Deriver<'p, 'd> {
                 ))),
             },
             Term::Neg(inner) => Ok(VExpr::Neg(Box::new(self.term_to_vexpr(inner)?))),
-            Term::Mul(a, b) => Ok(VExpr::Mul(
-                Box::new(self.term_to_vexpr(a)?),
-                Box::new(self.term_to_vexpr(b)?),
-            )),
+            Term::Mul(a, b) => {
+                Ok(VExpr::Mul(Box::new(self.term_to_vexpr(a)?), Box::new(self.term_to_vexpr(b)?)))
+            }
             Term::Add(ts) => {
                 let mut it = ts.iter();
-                let first = it.next().ok_or_else(|| {
-                    SynthError::Unsupported("empty sum in emission".into())
-                })?;
+                let first = it
+                    .next()
+                    .ok_or_else(|| SynthError::Unsupported("empty sum in emission".into()))?;
                 let mut acc = self.term_to_vexpr(first)?;
                 for t in it {
                     acc = VExpr::Add(Box::new(acc), Box::new(self.term_to_vexpr(t)?));
@@ -314,9 +317,7 @@ impl<'p, 'd> Deriver<'p, 'd> {
             }
             Term::Ident(1) => Ok(VExpr::Lit(1.0)),
             Term::Zero(1, 1) => Ok(VExpr::Lit(0.0)),
-            other => Err(SynthError::Unsupported(format!(
-                "literal block in emission: {other}"
-            ))),
+            other => Err(SynthError::Unsupported(format!("literal block in emission: {other}"))),
         }
     }
 
@@ -393,56 +394,60 @@ impl<'p, 'd> Deriver<'p, 'd> {
         Ok(())
     }
 
-    fn derive_fresh(
+    /// Emit a policy-independent scalar leaf. Reaching this requires
+    /// [`is_scalar_leaf`] — the same predicate that selects the
+    /// policy-neutral cache keyspace — so cache key and emission cannot
+    /// drift apart.
+    fn emit_scalar_leaf(
         &mut self,
         inst: &EqInstance,
         out: &mut BasicProgram,
     ) -> Result<(), SynthError> {
-        // scalar / leaf cases
         match &inst.op {
             SolveOp::Assign => {
                 let rhs = self.term_to_vexpr(&inst.base)?;
                 out.push(BasicStmt { lhs: inst.out, rhs });
-                return Ok(());
             }
-            SolveOp::Potrf { .. } if inst.out.is_scalar() => {
+            SolveOp::Potrf { .. } => {
                 let rhs = VExpr::Sqrt(Box::new(self.term_to_vexpr(&inst.base)?));
                 out.push(BasicStmt { lhs: inst.out, rhs });
-                return Ok(());
             }
-            SolveOp::TrsmLeft { t } | SolveOp::TrsmRight { t } if t.is_scalar() => {
+            SolveOp::TrsmLeft { t } | SolveOp::TrsmRight { t } => {
                 let rhs = VExpr::Div(
                     Box::new(self.term_to_vexpr(&inst.base)?),
                     Box::new(VExpr::View(*t)),
                 );
                 out.push(BasicStmt { lhs: inst.out, rhs });
-                return Ok(());
             }
-            SolveOp::Trtri { l } if inst.out.is_scalar() => {
+            SolveOp::Trtri { l } => {
                 let rhs = VExpr::Div(Box::new(VExpr::Lit(1.0)), Box::new(VExpr::View(*l)));
                 out.push(BasicStmt { lhs: inst.out, rhs });
-                return Ok(());
             }
-            SolveOp::Sylvester { l, u } if l.is_scalar() && u.is_scalar() => {
+            SolveOp::Sylvester { l, u } => {
                 let rhs = VExpr::Div(
                     Box::new(self.term_to_vexpr(&inst.base)?),
-                    Box::new(VExpr::Add(
-                        Box::new(VExpr::View(*l)),
-                        Box::new(VExpr::View(*u)),
-                    )),
+                    Box::new(VExpr::Add(Box::new(VExpr::View(*l)), Box::new(VExpr::View(*u)))),
                 );
                 out.push(BasicStmt { lhs: inst.out, rhs });
-                return Ok(());
             }
-            SolveOp::Getrf { l } if inst.out.is_scalar() => {
+            SolveOp::Getrf { l } => {
                 // 1×1 LU: the unit diagonal of L is stored explicitly,
                 // and U takes the pivot value
                 out.push(BasicStmt { lhs: *l, rhs: VExpr::Lit(1.0) });
                 let rhs = self.term_to_vexpr(&inst.base)?;
                 out.push(BasicStmt { lhs: inst.out, rhs });
-                return Ok(());
             }
-            _ => {}
+        }
+        Ok(())
+    }
+
+    fn derive_fresh(
+        &mut self,
+        inst: &EqInstance,
+        out: &mut BasicProgram,
+    ) -> Result<(), SynthError> {
+        if is_scalar_leaf(inst) {
+            return self.emit_scalar_leaf(inst, out);
         }
 
         // build the equation terms
@@ -463,14 +468,12 @@ impl<'p, 'd> Deriver<'p, 'd> {
                 Term::Mul(Box::new(out_term.clone()), Box::new(out_term.transposed())),
                 inst.base.clone(),
             ),
-            SolveOp::TrsmLeft { t } => (
-                Term::Mul(Box::new(view_term(t)), Box::new(out_term.clone())),
-                inst.base.clone(),
-            ),
-            SolveOp::TrsmRight { t } => (
-                Term::Mul(Box::new(out_term.clone()), Box::new(view_term(t))),
-                inst.base.clone(),
-            ),
+            SolveOp::TrsmLeft { t } => {
+                (Term::Mul(Box::new(view_term(t)), Box::new(out_term.clone())), inst.base.clone())
+            }
+            SolveOp::TrsmRight { t } => {
+                (Term::Mul(Box::new(out_term.clone()), Box::new(view_term(t))), inst.base.clone())
+            }
             SolveOp::Trtri { l } => (
                 Term::Mul(Box::new(view_term(l)), Box::new(out_term.clone())),
                 Term::Ident(inst.out.rows()),
@@ -482,25 +485,20 @@ impl<'p, 'd> Deriver<'p, 'd> {
                 ]),
                 inst.base.clone(),
             ),
-            SolveOp::Getrf { l } => (
-                Term::Mul(Box::new(view_term(l)), Box::new(out_term.clone())),
-                inst.base.clone(),
-            ),
+            SolveOp::Getrf { l } => {
+                (Term::Mul(Box::new(view_term(l)), Box::new(out_term.clone())), inst.base.clone())
+            }
             SolveOp::Assign => unreachable!("handled above"),
         };
 
         let mut dims = analyze(&lhs, &rhs)?;
         let groups = dims.groups();
-        let (group, extent) = groups
-            .iter()
-            .copied()
-            .find(|(_, e)| *e > 1)
-            .ok_or_else(|| {
-                SynthError::Unsupported(format!(
-                    "no partitionable dimension for {:?} at {}",
-                    inst.op, inst.out
-                ))
-            })?;
+        let (group, extent) = groups.iter().copied().find(|(_, e)| *e > 1).ok_or_else(|| {
+            SynthError::Unsupported(format!(
+                "no partitionable dimension for {:?} at {}",
+                inst.op, inst.out
+            ))
+        })?;
         // LU writes its intermediate values into the factors' structured
         // storage, which is only well-formed at element granularity with
         // lazy (left-looking) scheduling: force both for Getrf.
@@ -586,15 +584,7 @@ impl<'p, 'd> Deriver<'p, 'd> {
                     (SegRanges { t: (0, lo), b: (lo, hi) }, Label::Rest, Label::Current)
                 }
             };
-            let cells = pme_cells(
-                self.program,
-                &lhs,
-                &rhs,
-                &unknowns,
-                &mut dims,
-                group,
-                segs,
-            )?;
+            let cells = pme_cells(self.program, &lhs, &rhs, &unknowns, &mut dims, group, segs)?;
             for cell in &cells {
                 self.emit_cell(inst, cell, &cells, t_label, b_label, out)?;
             }
@@ -631,11 +621,9 @@ impl<'p, 'd> Deriver<'p, 'd> {
                     .iter()
                     .filter(|c| {
                         let row_cur = c.grid.0 > 1
-                            && (if c.row_seg == 0 { t_label } else { b_label })
-                                == Label::Current;
+                            && (if c.row_seg == 0 { t_label } else { b_label }) == Label::Current;
                         let col_cur = c.grid.1 > 1
-                            && (if c.col_seg == 0 { t_label } else { b_label })
-                                == Label::Current;
+                            && (if c.col_seg == 0 { t_label } else { b_label }) == Label::Current;
                         row_cur || col_cur
                     })
                     .map(|c| c.out)
@@ -665,8 +653,7 @@ impl<'p, 'd> Deriver<'p, 'd> {
             }
             return Ok(());
         }
-        let updates: Vec<Term> =
-            cell.updates.iter().filter(|u| !u.is_zero()).cloned().collect();
+        let updates: Vec<Term> = cell.updates.iter().filter(|u| !u.is_zero()).cloned().collect();
         let op = refine_trtri(cell.op.clone(), &cell.base, &cell.out);
         // Fuse updates into the scalar solves; otherwise combine first and
         // solve in place.
@@ -725,24 +712,18 @@ fn expr_to_term(program: &Program, e: &Expr) -> Result<Term, SynthError> {
             Ok(region_term(program, *id, 0, d.shape.rows, 0, d.shape.cols))
         }
         Expr::Transpose(inner) => Ok(expr_to_term(program, inner)?.transposed()),
-        Expr::Neg(inner) => {
-            Ok(Term::Neg(Box::new(expr_to_term(program, inner)?)).simplify())
+        Expr::Neg(inner) => Ok(Term::Neg(Box::new(expr_to_term(program, inner)?)).simplify()),
+        Expr::Add(a, b) => {
+            Ok(Term::Add(vec![expr_to_term(program, a)?, expr_to_term(program, b)?]))
         }
-        Expr::Add(a, b) => Ok(Term::Add(vec![
-            expr_to_term(program, a)?,
-            expr_to_term(program, b)?,
-        ])),
         Expr::Sub(a, b) => Ok(Term::Add(vec![
             expr_to_term(program, a)?,
             Term::Neg(Box::new(expr_to_term(program, b)?)),
         ])),
-        Expr::Mul(a, b) => Ok(Term::Mul(
-            Box::new(expr_to_term(program, a)?),
-            Box::new(expr_to_term(program, b)?),
-        )),
-        other => Err(SynthError::Unsupported(format!(
-            "expression form in HLAC: {other:?}"
-        ))),
+        Expr::Mul(a, b) => {
+            Ok(Term::Mul(Box::new(expr_to_term(program, a)?), Box::new(expr_to_term(program, b)?)))
+        }
+        other => Err(SynthError::Unsupported(format!("expression form in HLAC: {other:?}"))),
     }
 }
 
@@ -774,9 +755,9 @@ fn expr_to_vexpr(program: &Program, e: &Expr) -> Result<VExpr, SynthError> {
             Box::new(expr_to_vexpr(program, b)?),
         )),
         Expr::Sqrt(a) => Ok(VExpr::Sqrt(Box::new(expr_to_vexpr(program, a)?))),
-        Expr::Inverse(_) => Err(SynthError::Unsupported(
-            "inverse outside `X = inv(A)` form".into(),
-        )),
+        Expr::Inverse(_) => {
+            Err(SynthError::Unsupported("inverse outside `X = inv(A)` form".into()))
+        }
     }
 }
 
@@ -801,23 +782,18 @@ pub fn synthesize_equation(
     out: &mut BasicProgram,
 ) -> Result<(), SynthError> {
     let unknown_ids = slingen_ir::typecheck::equation_unknowns(program, defined, lhs);
-    let unknown = *unknown_ids.first().ok_or_else(|| {
-        SynthError::Unsupported("equation without an unknown".into())
-    })?;
+    let unknown = *unknown_ids
+        .first()
+        .ok_or_else(|| SynthError::Unsupported("equation without an unknown".into()))?;
     let out_view = View::full(program, unknown);
-    let unknowns: Vec<(slingen_ir::OpId, View)> = unknown_ids
-        .iter()
-        .map(|id| (*id, View::full(program, *id)))
-        .collect();
+    let unknowns: Vec<(slingen_ir::OpId, View)> =
+        unknown_ids.iter().map(|id| (*id, View::full(program, *id))).collect();
 
     // `X = inv(A)` becomes `A·X = I`
     let (lhs_term, rhs_term) = if let Expr::Inverse(a) = rhs {
         let a_term = expr_to_term(program, a)?;
         let n = a_term.rows();
-        (
-            Term::Mul(Box::new(a_term), Box::new(Term::V(out_view))),
-            Term::Ident(n),
-        )
+        (Term::Mul(Box::new(a_term), Box::new(Term::V(out_view))), Term::Ident(n))
     } else {
         (expr_to_term(program, lhs)?, expr_to_term(program, rhs)?)
     };
@@ -869,11 +845,8 @@ pub fn synthesize_program(
     db: &mut AlgorithmDb,
 ) -> Result<BasicProgram, SynthError> {
     let mut out = BasicProgram::new();
-    let mut defined: Vec<bool> = program
-        .operands()
-        .iter()
-        .map(|o| o.io.readable_at_entry())
-        .collect();
+    let mut defined: Vec<bool> =
+        program.operands().iter().map(|o| o.io.readable_at_entry()).collect();
     synth_stmts(program, program.statements(), &mut defined, policy, nu, db, &mut out)?;
     Ok(out)
 }

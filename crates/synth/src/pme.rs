@@ -68,7 +68,12 @@ pub struct SegRanges {
 }
 
 /// Coerce a grid of literals to the requested split along rows/cols.
-fn coerce(g: Grid, want_rows: usize, want_cols: usize, segs: SegRanges) -> Result<Grid, SynthError> {
+fn coerce(
+    g: Grid,
+    want_rows: usize,
+    want_cols: usize,
+    segs: SegRanges,
+) -> Result<Grid, SynthError> {
     if g.rows == want_rows && g.cols == want_cols {
         return Ok(g);
     }
@@ -92,10 +97,8 @@ fn coerce(g: Grid, want_rows: usize, want_cols: usize, segs: SegRanges) -> Resul
             ],
         )),
         Some(Term::Zero(r, c)) => {
-            let rows: Vec<usize> =
-                if want_rows == 2 { vec![t_len, b_len] } else { vec![*r] };
-            let cols: Vec<usize> =
-                if want_cols == 2 { vec![t_len, b_len] } else { vec![*c] };
+            let rows: Vec<usize> = if want_rows == 2 { vec![t_len, b_len] } else { vec![*r] };
+            let cols: Vec<usize> = if want_cols == 2 { vec![t_len, b_len] } else { vec![*c] };
             let mut cells = Vec::new();
             for rr in &rows {
                 for cc in &cols {
@@ -144,10 +147,8 @@ pub fn partition_term(
         Term::Ident(n) => Ok(Grid::single(Term::Ident(*n))),
         Term::Zero(r, c) => Ok(Grid::single(Term::Zero(*r, *c))),
         Term::T(inner) => Ok(partition_term(program, inner, dims, group, segs)?.transposed()),
-        Term::Neg(inner) => {
-            Ok(partition_term(program, inner, dims, group, segs)?
-                .map(|t| Term::Neg(Box::new(t.clone()))))
-        }
+        Term::Neg(inner) => Ok(partition_term(program, inner, dims, group, segs)?
+            .map(|t| Term::Neg(Box::new(t.clone())))),
         Term::Mul(a, b) => {
             let ga = partition_term(program, a, dims, group, segs)?;
             let gb = partition_term(program, b, dims, group, segs)?;
@@ -181,16 +182,12 @@ pub fn partition_term(
                 cols = cols.max(g.cols);
                 grids.push(g);
             }
-            let grids: Vec<Grid> = grids
-                .into_iter()
-                .map(|g| coerce(g, rows, cols, segs))
-                .collect::<Result<_, _>>()?;
+            let grids: Vec<Grid> =
+                grids.into_iter().map(|g| coerce(g, rows, cols, segs)).collect::<Result<_, _>>()?;
             let mut cells = Vec::new();
             for i in 0..rows {
                 for j in 0..cols {
-                    cells.push(Term::Add(
-                        grids.iter().map(|g| g.cell(i, j).clone()).collect(),
-                    ));
+                    cells.push(Term::Add(grids.iter().map(|g| g.cell(i, j).clone()).collect()));
                 }
             }
             Ok(Grid::new(rows, cols, cells))
@@ -400,11 +397,7 @@ fn build_cells(
                     passive.push(t);
                 }
             }
-            passive.extend(
-                rhs_terms
-                    .into_iter()
-                    .map(|t| Term::Neg(Box::new(t)).simplify()),
-            );
+            passive.extend(rhs_terms.into_iter().map(|t| Term::Neg(Box::new(t)).simplify()));
             let op = recognize(&active, &cell_outs)?;
             let out2 = match &op {
                 SolveOp::Getrf { l } => Some(*l),
@@ -412,10 +405,9 @@ fn build_cells(
             };
             // the primary output is the factor *not* reported as `l`
             let out = match &op {
-                SolveOp::Getrf { l } => *cell_outs
-                    .iter()
-                    .find(|o| !o.same_region(l))
-                    .unwrap_or(&out),
+                SolveOp::Getrf { l } => {
+                    *cell_outs.iter().find(|o| !o.same_region(l)).unwrap_or(&out)
+                }
                 _ => out,
             };
             // move passive terms to the right-hand side (flip signs); a
@@ -427,9 +419,10 @@ fn build_cells(
                 let flipped = Term::Neg(Box::new(t)).simplify();
                 let is_leaf = as_view(&flipped)
                     .map(|v| {
-                        !outputs.iter().enumerate().any(|(k, os)| {
-                            k != idx && os.iter().any(|ov| ov.same_region(&v))
-                        })
+                        !outputs
+                            .iter()
+                            .enumerate()
+                            .any(|(k, os)| k != idx && os.iter().any(|ov| ov.same_region(&v)))
                     })
                     .unwrap_or(matches!(flipped, Term::Ident(_)));
                 let (sign, _) = split_sign(&flipped);
@@ -477,19 +470,15 @@ fn build_cells(
             .filter(|(_, c)| {
                 c.deps.iter().all(|d| {
                     let produced_by = |x: &CellSolve| {
-                        x.out.same_region(d)
-                            || x.out2.map_or(false, |o2| o2.same_region(d))
+                        x.out.same_region(d) || x.out2.is_some_and(|o2| o2.same_region(d))
                     };
-                    ordered.iter().any(|o| produced_by(o))
-                        || !remaining.iter().any(|r| produced_by(r))
+                    ordered.iter().any(&produced_by) || !remaining.iter().any(produced_by)
                 })
             })
             .map(|(k, _)| k)
             .collect();
         if ready.is_empty() {
-            return Err(SynthError::Unrecognized(
-                "cyclic dependency among PME cells".into(),
-            ));
+            return Err(SynthError::Unrecognized("cyclic dependency among PME cells".into()));
         }
         // remove in reverse index order to keep indices valid
         for &k in ready.iter().rev() {
@@ -518,10 +507,8 @@ pub fn single_cell(
 ) -> Result<CellSolve, SynthError> {
     let gl = Grid::single(lhs.clone().simplify());
     let gr = Grid::single(rhs.clone().simplify());
-    let ugs: Vec<(OpId, Grid)> = unknowns
-        .iter()
-        .map(|(op, v)| (*op, Grid::single(Term::V(*v))))
-        .collect();
+    let ugs: Vec<(OpId, Grid)> =
+        unknowns.iter().map(|(op, v)| (*op, Grid::single(Term::V(*v)))).collect();
     let cells = build_cells(program, &gl, &gr, &ugs, 1, 1)?;
     cells
         .into_iter()
@@ -537,9 +524,7 @@ fn recognize(active: &[Term], outs: &[View]) -> Result<SolveOp, SynthError> {
         1 => {
             let (neg, core) = &cores[0];
             if *neg {
-                return Err(SynthError::Unrecognized(format!(
-                    "negated solve term for {out}"
-                )));
+                return Err(SynthError::Unrecognized(format!("negated solve term for {out}")));
             }
             match core {
                 Term::V(v) if is_out(v) => Ok(SolveOp::Assign),
@@ -552,10 +537,8 @@ fn recognize(active: &[Term], outs: &[View]) -> Result<SolveOp, SynthError> {
                     if outs.len() == 2 {
                         if let (Some(x), Some(y)) = (av, bv) {
                             if x.op != y.op && is_out(&x) && is_out(&y) {
-                                if x.read_structure()
-                                    == slingen_ir::Structure::LowerTriangular
-                                    && y.read_structure()
-                                        == slingen_ir::Structure::UpperTriangular
+                                if x.read_structure() == slingen_ir::Structure::LowerTriangular
+                                    && y.read_structure() == slingen_ir::Structure::UpperTriangular
                                 {
                                     return Ok(SolveOp::Getrf { l: x });
                                 }
@@ -608,9 +591,7 @@ fn recognize(active: &[Term], outs: &[View]) -> Result<SolveOp, SynthError> {
                         ))),
                     }
                 }
-                other => Err(SynthError::Unrecognized(format!(
-                    "solve pattern {other} for {out}"
-                ))),
+                other => Err(SynthError::Unrecognized(format!("solve pattern {other} for {out}"))),
             }
         }
         2 => {
@@ -653,12 +634,8 @@ fn recognize(active: &[Term], outs: &[View]) -> Result<SolveOp, SynthError> {
                 ))),
             }
         }
-        0 => Err(SynthError::Unrecognized(format!(
-            "cell for {out} has no unknown-bearing term"
-        ))),
-        n => Err(SynthError::Unrecognized(format!(
-            "{n} unknown-bearing terms for {out}"
-        ))),
+        0 => Err(SynthError::Unrecognized(format!("cell for {out} has no unknown-bearing term"))),
+        n => Err(SynthError::Unrecognized(format!("{n} unknown-bearing terms for {out}"))),
     }
 }
 
@@ -667,10 +644,7 @@ fn recognize(active: &[Term], outs: &[View]) -> Result<SolveOp, SynthError> {
 pub fn refine_trtri(op: SolveOp, base: &Term, out: &View) -> SolveOp {
     if let SolveOp::TrsmLeft { t } = &op {
         if matches!(base, Term::Ident(_))
-            && matches!(
-                out.structure,
-                Structure::LowerTriangular | Structure::UpperTriangular
-            )
+            && matches!(out.structure, Structure::LowerTriangular | Structure::UpperTriangular)
         {
             return SolveOp::Trtri { l: *t };
         }
@@ -689,12 +663,10 @@ mod tests {
     fn potrf_setup() -> (Program, Term, Term, OpId, View) {
         let mut b = ProgramBuilder::new("potrf");
         let s = b.declare(
-            OperandDecl::mat_in("S", 8, 8)
-                .with_structure(Structure::Symmetric(StorageHalf::Upper)),
+            OperandDecl::mat_in("S", 8, 8).with_structure(Structure::Symmetric(StorageHalf::Upper)),
         );
-        let u = b.declare(
-            OperandDecl::mat_out("U", 8, 8).with_structure(Structure::UpperTriangular),
-        );
+        let u =
+            b.declare(OperandDecl::mat_out("U", 8, 8).with_structure(Structure::UpperTriangular));
         b.equation(Expr::op(u).t().mul(Expr::op(u)), Expr::op(s));
         let p = b.build().unwrap();
         let uv = View::full(&p, u);
@@ -753,9 +725,8 @@ mod tests {
     fn trsm_pme_rows_partition() {
         // Uᵀ X = B: partition the solve dimension
         let mut b = ProgramBuilder::new("trsm");
-        let u = b.declare(
-            OperandDecl::mat_in("U", 8, 8).with_structure(Structure::UpperTriangular),
-        );
+        let u =
+            b.declare(OperandDecl::mat_in("U", 8, 8).with_structure(Structure::UpperTriangular));
         let bb = b.declare(OperandDecl::mat_in("B", 8, 5));
         let x = b.declare(OperandDecl::mat_out("X", 8, 5));
         b.assign(x, Expr::op(bb));
@@ -767,8 +738,7 @@ mod tests {
         let mut dims = analyze(&lhs, &rhs).unwrap();
         let solve_group = dims.view_row_group(&xv).unwrap();
         let segs = SegRanges { t: (0, 4), b: (4, 8) };
-        let cells =
-            pme_cells(&p, &lhs, &rhs, &[(x, xv)], &mut dims, solve_group, segs).unwrap();
+        let cells = pme_cells(&p, &lhs, &rhs, &[(x, xv)], &mut dims, solve_group, segs).unwrap();
         assert_eq!(cells.len(), 2);
         // Uᵀ is lower triangular: forward substitution, cell T first with
         // no updates, cell B updated by U_TBᵀ X_T.
@@ -787,9 +757,8 @@ mod tests {
                 .with_structure(Structure::LowerTriangular)
                 .with_properties(slingen_ir::Properties::ns()),
         );
-        let x = b.declare(
-            OperandDecl::mat_out("X", 8, 8).with_structure(Structure::LowerTriangular),
-        );
+        let x =
+            b.declare(OperandDecl::mat_out("X", 8, 8).with_structure(Structure::LowerTriangular));
         b.assign(x, Expr::op(l));
         let p = b.build().unwrap();
         let lv = View::full(&p, l);
@@ -819,12 +788,10 @@ mod tests {
     fn lyapunov_pme_drops_mirrored_cell() {
         // L X + X Lᵀ = S with X symmetric
         let mut b = ProgramBuilder::new("trlya");
-        let l = b.declare(
-            OperandDecl::mat_in("L", 8, 8).with_structure(Structure::LowerTriangular),
-        );
+        let l =
+            b.declare(OperandDecl::mat_in("L", 8, 8).with_structure(Structure::LowerTriangular));
         let s = b.declare(
-            OperandDecl::mat_in("S", 8, 8)
-                .with_structure(Structure::Symmetric(StorageHalf::Lower)),
+            OperandDecl::mat_in("S", 8, 8).with_structure(Structure::Symmetric(StorageHalf::Lower)),
         );
         let x = b.declare(
             OperandDecl::mat_out("X", 8, 8)

@@ -203,12 +203,7 @@ pub mod eval {
                 Val {
                     rows: x.rows,
                     cols: x.cols,
-                    data: x
-                        .data
-                        .iter()
-                        .zip(&y.data)
-                        .map(|(p, q)| p + sign * q)
-                        .collect(),
+                    data: x.data.iter().zip(&y.data).map(|(p, q)| p + sign * q).collect(),
                 }
             }
             VExpr::Mul(a, b) => {
@@ -261,12 +256,7 @@ pub mod eval {
         }
     }
 
-    fn write_view(
-        program: &Program,
-        bufs: &mut HashMap<OpId, Vec<f64>>,
-        v: &View,
-        val: &Val,
-    ) {
+    fn write_view(program: &Program, bufs: &mut HashMap<OpId, Vec<f64>>, v: &View, val: &Val) {
         assert_eq!((val.rows, val.cols), (v.rows(), v.cols()), "store shape");
         let stride = program.operand(v.op).shape.cols;
         let buf = bufs.get_mut(&v.op).expect("destination buffer");
@@ -278,22 +268,14 @@ pub mod eval {
     }
 
     /// Execute one statement.
-    pub fn run_stmt(
-        program: &Program,
-        bufs: &mut HashMap<OpId, Vec<f64>>,
-        stmt: &BasicStmt,
-    ) {
+    pub fn run_stmt(program: &Program, bufs: &mut HashMap<OpId, Vec<f64>>, stmt: &BasicStmt) {
         let val = eval_expr(program, bufs, &stmt.rhs);
         write_view(program, bufs, &stmt.lhs, &val);
     }
 
     /// Execute a whole basic program. `bufs` maps every referenced operand
     /// to its row-major storage.
-    pub fn run(
-        program: &Program,
-        basic: &BasicProgram,
-        bufs: &mut HashMap<OpId, Vec<f64>>,
-    ) {
+    pub fn run(program: &Program, basic: &BasicProgram, bufs: &mut HashMap<OpId, Vec<f64>>) {
         for s in &basic.stmts {
             run_stmt(program, bufs, s);
         }
@@ -324,9 +306,8 @@ mod tests {
     #[test]
     fn rendering_names_operands() {
         let mut b = ProgramBuilder::new("t");
-        let l = b.declare(
-            OperandDecl::mat_in("L", 4, 4).with_structure(Structure::LowerTriangular),
-        );
+        let l =
+            b.declare(OperandDecl::mat_in("L", 4, 4).with_structure(Structure::LowerTriangular));
         let x = b.declare(OperandDecl::mat_out("X", 4, 4));
         b.assign(x, Expr::op(l));
         let p = b.build().unwrap();
@@ -335,13 +316,16 @@ mod tests {
         let xv = View::full(&p, x);
         bp.push(BasicStmt {
             lhs: xv,
-            rhs: VExpr::Sub(Box::new(VExpr::View(xv)), Box::new(VExpr::Mul(
-                Box::new(VExpr::View(lv.t())),
-                Box::new(VExpr::View(lv)),
-            ))),
+            rhs: VExpr::Sub(
+                Box::new(VExpr::View(xv)),
+                Box::new(VExpr::Mul(Box::new(VExpr::View(lv.t())), Box::new(VExpr::View(lv)))),
+            ),
         });
         let text = bp.render(&p);
-        assert!(text.contains("X[0:4, 0:4] = (X[0:4, 0:4] - L[0:4, 0:4]' * L[0:4, 0:4]);"), "{text}");
+        assert!(
+            text.contains("X[0:4, 0:4] = (X[0:4, 0:4] - L[0:4, 0:4]' * L[0:4, 0:4]);"),
+            "{text}"
+        );
     }
 
     #[test]

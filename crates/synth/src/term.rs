@@ -184,7 +184,14 @@ pub fn region_structure(s: Structure, r0: usize, r1: usize, c0: usize, c1: usize
 /// For symmetric operands stored in one half, a region in the *other*
 /// half is returned as the transpose of the mirrored stored region —
 /// this is what makes transposed-duplicate PME cells recognizable.
-pub fn region_term(program: &Program, op: OpId, r0: usize, r1: usize, c0: usize, c1: usize) -> Term {
+pub fn region_term(
+    program: &Program,
+    op: OpId,
+    r0: usize,
+    r1: usize,
+    c0: usize,
+    c1: usize,
+) -> Term {
     if r0 >= r1 || c0 >= c1 {
         // empty regions behave as zero blocks so boundary iterations of
         // the derivation fold away
@@ -312,10 +319,9 @@ impl Term {
                 Term::Ident(n) => Term::Ident(n),
                 Term::Zero(r, c) => Term::Zero(c, r),
                 Term::Neg(x) => Term::Neg(Box::new(Term::T(x).simplify())),
-                Term::Mul(a, b) => Term::Mul(
-                    Box::new(Term::T(b).simplify()),
-                    Box::new(Term::T(a).simplify()),
-                ),
+                Term::Mul(a, b) => {
+                    Term::Mul(Box::new(Term::T(b).simplify()), Box::new(Term::T(a).simplify()))
+                }
                 Term::Add(ts) => {
                     Term::Add(ts.into_iter().map(|t| Term::T(Box::new(t)).simplify()).collect())
                 }
@@ -323,9 +329,9 @@ impl Term {
             Term::Neg(inner) => match inner.simplify() {
                 Term::Neg(x) => *x,
                 Term::Zero(r, c) => Term::Zero(r, c),
-                Term::Add(ts) => Term::Add(
-                    ts.into_iter().map(|t| Term::Neg(Box::new(t)).simplify()).collect(),
-                ),
+                Term::Add(ts) => {
+                    Term::Add(ts.into_iter().map(|t| Term::Neg(Box::new(t)).simplify()).collect())
+                }
                 x => Term::Neg(Box::new(x)),
             },
             Term::Mul(a, b) => {
@@ -382,8 +388,7 @@ impl Term {
             (Term::Neg(a), Term::Neg(b)) => a.equivalent(b),
             (Term::Mul(a1, b1), Term::Mul(a2, b2)) => a1.equivalent(a2) && b1.equivalent(b2),
             (Term::Add(x), Term::Add(y)) => {
-                x.len() == y.len()
-                    && x.iter().all(|t| y.iter().any(|u| t.equivalent(u)))
+                x.len() == y.len() && x.iter().all(|t| y.iter().any(|u| t.equivalent(u)))
             }
             // symmetric view read through its transpose
             (Term::V(a), Term::T(b)) | (Term::T(b), Term::V(a)) => match b.as_ref() {
@@ -425,12 +430,10 @@ mod tests {
 
     fn test_program() -> (Program, OpId, OpId, OpId) {
         let mut b = ProgramBuilder::new("t");
-        let l = b.declare(
-            OperandDecl::mat_in("L", 8, 8).with_structure(Structure::LowerTriangular),
-        );
+        let l =
+            b.declare(OperandDecl::mat_in("L", 8, 8).with_structure(Structure::LowerTriangular));
         let s = b.declare(
-            OperandDecl::mat_in("S", 8, 8)
-                .with_structure(Structure::Symmetric(StorageHalf::Upper)),
+            OperandDecl::mat_in("S", 8, 8).with_structure(Structure::Symmetric(StorageHalf::Upper)),
         );
         let x = b.declare(OperandDecl::mat_out("X", 8, 8));
         // trivial statement so the program validates
@@ -488,11 +491,8 @@ mod tests {
         let lv = region_term(&p, l, 4, 8, 0, 4);
         let z = Term::Zero(4, 4);
         // 0 * L + L = L
-        let t = Term::Add(vec![
-            Term::Mul(Box::new(z.clone()), Box::new(lv.clone())),
-            lv.clone(),
-        ])
-        .simplify();
+        let t = Term::Add(vec![Term::Mul(Box::new(z.clone()), Box::new(lv.clone())), lv.clone()])
+            .simplify();
         assert!(t.equivalent(&lv));
         // T(T(x)) = x
         let xv = region_term(&p, x, 0, 4, 0, 4);

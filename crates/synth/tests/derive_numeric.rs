@@ -154,11 +154,7 @@ fn trsm_left_transposed() {
                 &mut expect,
                 cols,
             );
-            assert!(
-                max_diff(&bufs[&x], &expect) < 1e-9,
-                "n={n} {policy}\n{}",
-                basic.render(&p)
-            );
+            assert!(max_diff(&bufs[&x], &expect) < 1e-9, "n={n} {policy}\n{}", basic.render(&p));
         }
     }
 }
@@ -310,10 +306,7 @@ fn trsyl_sylvester() {
             );
             let c = b.declare(OperandDecl::mat_in("C", m, n));
             let x = b.declare(OperandDecl::mat_out("X", m, n));
-            b.equation(
-                Expr::op(l).mul(Expr::op(x)).add(Expr::op(x).mul(Expr::op(u))),
-                Expr::op(c),
-            );
+            b.equation(Expr::op(l).mul(Expr::op(x)).add(Expr::op(x).mul(Expr::op(u))), Expr::op(c));
             let p = b.build().unwrap();
             let mut db = AlgorithmDb::new();
             let basic = synthesize_program(&p, policy, 4, &mut db)
@@ -329,16 +322,7 @@ fn trsyl_sylvester() {
             eval::run(&p, &basic, &mut bufs);
 
             let mut expect = rhs.as_slice().to_vec();
-            slingen_blas::dtrsyl(
-                m,
-                n,
-                lt.as_slice(),
-                m,
-                ut.as_slice(),
-                n,
-                &mut expect,
-                n,
-            );
+            slingen_blas::dtrsyl(m, n, lt.as_slice(), m, ut.as_slice(), n, &mut expect, n);
             assert!(
                 max_diff(&bufs[&x], &expect) < 1e-9,
                 "m={m} n={n} {policy}\n{}",
@@ -385,11 +369,7 @@ fn trlya_lyapunov() {
 
             let mut expect = sym.as_slice().to_vec();
             slingen_blas::dtrlya(n, lt.as_slice(), n, &mut expect, n);
-            assert!(
-                max_diff(&bufs[&x], &expect) < 1e-9,
-                "n={n} {policy}\n{}",
-                basic.render(&p)
-            );
+            assert!(max_diff(&bufs[&x], &expect) < 1e-9, "n={n} {policy}\n{}", basic.render(&p));
         }
     }
 }

@@ -31,12 +31,11 @@ fn quadratic_without_pd_is_still_recognized_by_shape() {
     // recognition is syntactic; PD licensing is the program author's
     // responsibility (as in the paper's LA declarations)
     let mut b = ProgramBuilder::new("shape");
-    let s = b.declare(OperandDecl::mat_in("S", 4, 4).with_structure(
-        Structure::Symmetric(slingen_ir::structure::StorageHalf::Upper),
-    ));
-    let u = b.declare(
-        OperandDecl::mat_out("U", 4, 4).with_structure(Structure::UpperTriangular),
+    let s = b.declare(
+        OperandDecl::mat_in("S", 4, 4)
+            .with_structure(Structure::Symmetric(slingen_ir::structure::StorageHalf::Upper)),
     );
+    let u = b.declare(OperandDecl::mat_out("U", 4, 4).with_structure(Structure::UpperTriangular));
     b.equation(Expr::op(u).t().mul(Expr::op(u)), Expr::op(s));
     let p = b.build().unwrap();
     let mut db = AlgorithmDb::new();
@@ -68,16 +67,13 @@ fn two_coupled_unknown_operands_are_rejected() {
     // M unknown is not solvable by the knowledge base
     let mut b = ProgramBuilder::new("two_unknown");
     let k = b.declare(OperandDecl::mat_in("K", 4, 4));
-    let l = b.declare(
-        OperandDecl::mat_out("L", 4, 4).with_structure(Structure::LowerTriangular),
-    );
+    let l = b.declare(OperandDecl::mat_out("L", 4, 4).with_structure(Structure::LowerTriangular));
     let m = b.declare(OperandDecl::mat_out("M", 4, 4));
     b.equation(Expr::op(l).mul(Expr::op(m)), Expr::op(k));
     let p = b.build().unwrap();
     let mut db = AlgorithmDb::new();
     let err = synthesize_program(&p, Policy::Lazy, 4, &mut db).unwrap_err();
-    assert!(matches!(err, SynthError::Unrecognized(_) | SynthError::Unsupported(_)),
-        "{err:?}");
+    assert!(matches!(err, SynthError::Unrecognized(_) | SynthError::Unsupported(_)), "{err:?}");
 }
 
 #[test]

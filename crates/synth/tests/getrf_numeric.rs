@@ -12,16 +12,11 @@ fn lu_factorization_matches_reference() {
     for &n in &[1usize, 2, 3, 5, 8, 12] {
         for policy in Policy::ALL {
             let mut b = ProgramBuilder::new("getrf");
-            let a = b.declare(
-                OperandDecl::mat_in("A", n, n).with_properties(Properties::ns()),
-            );
+            let a = b.declare(OperandDecl::mat_in("A", n, n).with_properties(Properties::ns()));
             let l = b.declare(
                 OperandDecl::mat_out("L", n, n)
                     .with_structure(Structure::LowerTriangular)
-                    .with_properties(Properties {
-                        unit_diagonal: true,
-                        ..Properties::ns()
-                    }),
+                    .with_properties(Properties { unit_diagonal: true, ..Properties::ns() }),
             );
             let u = b.declare(
                 OperandDecl::mat_out("U", n, n)
@@ -77,12 +72,8 @@ fn lu_through_full_pipeline() {
     let n = 8;
     let mut b = ProgramBuilder::new("getrf");
     let a = b.declare(OperandDecl::mat_in("A", n, n).with_properties(Properties::ns()));
-    let l = b.declare(
-        OperandDecl::mat_out("L", n, n).with_structure(Structure::LowerTriangular),
-    );
-    let u = b.declare(
-        OperandDecl::mat_out("U", n, n).with_structure(Structure::UpperTriangular),
-    );
+    let l = b.declare(OperandDecl::mat_out("L", n, n).with_structure(Structure::LowerTriangular));
+    let u = b.declare(OperandDecl::mat_out("U", n, n).with_structure(Structure::UpperTriangular));
     b.equation(Expr::op(l).mul(Expr::op(u)), Expr::op(a));
     let p = b.build().unwrap();
     let mut db = AlgorithmDb::new();

@@ -80,12 +80,7 @@ impl BufferSet {
     ///
     /// Panics if `values` length differs from the declared length.
     pub fn set(&mut self, id: slingen_cir::BufId, values: &[f64]) {
-        assert_eq!(
-            self.data[id.0].len(),
-            values.len(),
-            "buffer {} length mismatch",
-            id.0
-        );
+        assert_eq!(self.data[id.0].len(), values.len(), "buffer {} length mismatch", id.0);
         self.data[id.0].copy_from_slice(values);
     }
 
@@ -202,7 +197,12 @@ impl<'l, 'm> Vm<'l, 'm> {
         Ok(())
     }
 
-    fn resolve(&self, m: &MemRef, extra: i64, act: &Activation<'_>) -> Result<(usize, i64), VmError> {
+    fn resolve(
+        &self,
+        m: &MemRef,
+        extra: i64,
+        act: &Activation<'_>,
+    ) -> Result<(usize, i64), VmError> {
         let local = m.buf.0;
         if local >= act.map.len() {
             return Err(VmError::BadBuffer(local));
@@ -212,7 +212,12 @@ impl<'l, 'm> Vm<'l, 'm> {
         let len = self.mem.bufs[global].len();
         if idx < 0 || idx as usize >= len {
             return Err(VmError::OutOfBounds {
-                buffer: self.mem.names.get(global).cloned().unwrap_or_else(|| format!("buf{global}")),
+                buffer: self
+                    .mem
+                    .names
+                    .get(global)
+                    .cloned()
+                    .unwrap_or_else(|| format!("buf{global}")),
                 index: idx,
                 len,
             });
@@ -277,8 +282,8 @@ impl<'l, 'm> Vm<'l, 'm> {
             }
             Instr::VBin { op, dst, a, b } => {
                 let mut vals = vec![0.0; act.f.width];
-                for lane in 0..act.f.width {
-                    vals[lane] = op.apply(act.vregs[a.0][lane], act.vregs[b.0][lane]);
+                for (lane, v) in vals.iter_mut().enumerate() {
+                    *v = op.apply(act.vregs[a.0][lane], act.vregs[b.0][lane]);
                 }
                 act.vregs[dst.0] = vals;
             }
@@ -300,11 +305,8 @@ impl<'l, 'm> Vm<'l, 'm> {
             Instr::VBlend { dst, a, b, mask } => {
                 let mut vals = vec![0.0; act.f.width];
                 for lane in 0..act.f.width {
-                    vals[lane] = if mask[lane] {
-                        act.vregs[b.0][lane]
-                    } else {
-                        act.vregs[a.0][lane]
-                    };
+                    vals[lane] =
+                        if mask[lane] { act.vregs[b.0][lane] } else { act.vregs[a.0][lane] };
                 }
                 act.vregs[dst.0] = vals;
             }

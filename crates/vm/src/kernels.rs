@@ -32,10 +32,7 @@ impl KernelLib {
     pub fn register(&mut self, f: Function) -> String {
         let name = f.name.clone();
         if let Some(existing) = self.kernels.get(&name) {
-            assert_eq!(
-                existing, &f,
-                "kernel `{name}` re-registered with different body"
-            );
+            assert_eq!(existing, &f, "kernel `{name}` re-registered with different body");
             return name;
         }
         self.kernels.insert(name.clone(), f);

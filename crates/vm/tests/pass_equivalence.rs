@@ -42,10 +42,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 
 fn build(ops: &[Op]) -> slingen_cir::Function {
     let mut b = FunctionBuilder::new("rand", 4);
-    let bufs = [
-        b.buffer("x", 16, BufKind::ParamInOut),
-        b.buffer("y", 16, BufKind::ParamInOut),
-    ];
+    let bufs = [b.buffer("x", 16, BufKind::ParamInOut), b.buffer("y", 16, BufKind::ParamInOut)];
     // seed registers so all indices are defined
     let mut sregs = Vec::new();
     for i in 0..6 {
@@ -128,10 +125,137 @@ fn run(f: &slingen_cir::Function) -> (Vec<f64>, Vec<f64>) {
     bufs.set(slingen_cir::BufId(0), &x);
     bufs.set(slingen_cir::BufId(1), &y);
     slingen_vm::execute(f, &mut bufs, &mut NullMonitor).unwrap();
-    (
-        bufs.get(slingen_cir::BufId(0)).to_vec(),
-        bufs.get(slingen_cir::BufId(1)).to_vec(),
-    )
+    (bufs.get(slingen_cir::BufId(0)).to_vec(), bufs.get(slingen_cir::BufId(1)).to_vec())
+}
+
+// ---------------------------------------------------------------------
+// Whole-app equivalence: for every benchmark program in `slingen::apps`,
+// the optimized function must produce bit-identical outputs to the
+// unoptimized lowering on seeded workloads, at every vector width and
+// policy. This is the regression guard for the pass-pipeline refactor.
+// ---------------------------------------------------------------------
+
+mod apps_equivalence {
+    use slingen_cir::passes::{optimize, PassConfig};
+    use slingen_cir::{BufId, Function};
+    use slingen_lgen::{lower_program, BufferMap, LowerOptions};
+    use slingen_synth::{synthesize_program, AlgorithmDb, Policy};
+    use slingen_vm::{BufferSet, NullMonitor};
+
+    /// Execute `f` on the program's seeded workload; return the final
+    /// contents of every live-out parameter buffer.
+    fn run(
+        program: &slingen_ir::Program,
+        f: &Function,
+        nu: usize,
+        seed: u64,
+    ) -> Vec<(BufId, Vec<f64>)> {
+        let mut fb = slingen_cir::FunctionBuilder::new("probe", nu);
+        let map = BufferMap::build(program, &mut fb);
+        let mut bufs = BufferSet::for_function(f);
+        for (op, data) in slingen::workload::inputs(program, seed) {
+            bufs.set(map.buf(op), &data);
+        }
+        slingen_vm::execute(f, &mut bufs, &mut NullMonitor).expect("vm execution");
+        f.params()
+            .filter(|(_, d)| d.kind.live_out())
+            .map(|(id, _)| (id, bufs.get(id).to_vec()))
+            .collect()
+    }
+
+    fn assert_equivalent(program: &slingen_ir::Program, nu: usize, policy: Policy, seed: u64) {
+        let mut db = AlgorithmDb::new();
+        let basic = synthesize_program(program, policy, nu, &mut db).expect("synthesis");
+        let opts = LowerOptions { nu, loop_threshold: 64 };
+        let f0 = lower_program(program, &basic, program.name(), &opts).expect("lowering");
+        let mut fopt = f0.clone();
+        optimize(&mut fopt, &PassConfig::default());
+        let baseline = run(program, &f0, nu, seed);
+        let optimized = run(program, &fopt, nu, seed);
+        assert_eq!(baseline.len(), optimized.len());
+        for ((id, want), (id2, got)) in baseline.iter().zip(&optimized) {
+            assert_eq!(id, id2);
+            assert_eq!(want.len(), got.len());
+            for (i, (w, g)) in want.iter().zip(got).enumerate() {
+                assert!(
+                    w.to_bits() == g.to_bits(),
+                    "{} nu={nu} {policy}: buffer {id} element {i}: {w:?} vs {g:?}",
+                    program.name(),
+                );
+            }
+        }
+    }
+
+    fn check_app(program: slingen_ir::Program) {
+        for nu in [1usize, 4] {
+            for policy in Policy::ALL {
+                assert_equivalent(&program, nu, policy, 0x5EED);
+            }
+        }
+    }
+
+    #[test]
+    fn potrf_bit_identical() {
+        check_app(slingen::apps::potrf(8));
+    }
+
+    #[test]
+    fn trsyl_bit_identical() {
+        check_app(slingen::apps::trsyl(8));
+    }
+
+    #[test]
+    fn trlya_bit_identical() {
+        check_app(slingen::apps::trlya(8));
+    }
+
+    #[test]
+    fn trtri_bit_identical() {
+        check_app(slingen::apps::trtri(8));
+    }
+
+    #[test]
+    fn kf_bit_identical() {
+        check_app(slingen::apps::kf(4));
+    }
+
+    #[test]
+    fn gpr_bit_identical() {
+        check_app(slingen::apps::gpr(4));
+    }
+
+    #[test]
+    fn l1a_bit_identical() {
+        check_app(slingen::apps::l1a(4));
+    }
+
+    // -----------------------------------------------------------------
+    // Golden static-instruction counts: optimization *quality* must not
+    // silently regress. Update these deliberately (with a note in the
+    // PR) if a pass change improves or trades off code size.
+    // -----------------------------------------------------------------
+
+    fn optimized_count(program: &slingen_ir::Program) -> usize {
+        let mut db = AlgorithmDb::new();
+        let basic = synthesize_program(program, Policy::Lazy, 4, &mut db).unwrap();
+        let opts = LowerOptions { nu: 4, loop_threshold: 64 };
+        let mut f = lower_program(program, &basic, program.name(), &opts).unwrap();
+        optimize(&mut f, &PassConfig::default());
+        f.static_instr_count()
+    }
+
+    #[test]
+    fn golden_instr_count_potrf8() {
+        assert_eq!(optimized_count(&slingen::apps::potrf(8)), GOLDEN_POTRF8);
+    }
+
+    #[test]
+    fn golden_instr_count_kf8() {
+        assert_eq!(optimized_count(&slingen::apps::kf(8)), GOLDEN_KF8);
+    }
+
+    const GOLDEN_POTRF8: usize = 246;
+    const GOLDEN_KF8: usize = 3836;
 }
 
 proptest! {

@@ -13,9 +13,11 @@ use slingen_vm::BufferSet;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 12; // states = observations, as in Fig. 15a
     let program = apps::kf(n);
-    println!("Kalman filter, n = {n}: {} LA statements ({} HLACs)",
+    println!(
+        "Kalman filter, n = {n}: {} LA statements ({} HLACs)",
         program.statements().len(),
-        program.statements().iter().filter(|s| s.is_hlac()).count());
+        program.statements().iter().filter(|s| s.is_hlac()).count()
+    );
 
     let generated = slingen::generate(&program, &Options::default())?;
     let diff = slingen::verify(&program, &generated.function, generated.policy, 4, 9)?;

@@ -17,10 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             x = F * x + B * u;
         }
     ";
-    let program = Parser::new()
-        .with_name("kf_steps")
-        .with_param("n", 8)
-        .parse(source)?;
+    let program = Parser::new().with_name("kf_steps").with_param("n", 8).parse(source)?;
     println!("parsed:\n{program}");
 
     let generated = slingen::generate(&program, &slingen::Options::default())?;
@@ -34,8 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // the state-update statement appears once per iteration in the
     // synthesized basic program
     let mut db = slingen_synth::AlgorithmDb::new();
-    let basic =
-        slingen_synth::synthesize_program(&program, generated.policy, 4, &mut db)?;
+    let basic = slingen_synth::synthesize_program(&program, generated.policy, 4, &mut db)?;
     assert_eq!(basic.stmts.len(), 4, "one statement per unrolled iteration");
     Ok(())
 }

@@ -14,12 +14,9 @@ fn slingen_beats_libraries_and_compilers_on_potrf() {
     let p = apps::potrf(n);
     let fl = nominal_flops("potrf", n, 0);
     let ours = measure_slingen(&p, n, fl).flops_per_cycle;
-    for (flavor, min_speedup) in [
-        (Flavor::Mkl, 1.5),
-        (Flavor::Eigen, 1.2),
-        (Flavor::Icc, 2.0),
-        (Flavor::ClangPolly, 2.0),
-    ] {
+    for (flavor, min_speedup) in
+        [(Flavor::Mkl, 1.5), (Flavor::Eigen, 1.2), (Flavor::Icc, 2.0), (Flavor::ClangPolly, 2.0)]
+    {
         let theirs = measure_baseline(&p, flavor, n, fl).flops_per_cycle;
         assert!(
             ours > theirs * min_speedup,

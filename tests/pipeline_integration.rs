@@ -24,9 +24,7 @@ fn execute(
         bufs.set(map.buf(*op), data);
     }
     slingen_vm::execute(&g.function, &mut bufs, &mut NullMonitor).expect("vm");
-    (0..program.operands().len())
-        .map(|i| bufs.get(map.buf(OpId(i))).to_vec())
-        .collect()
+    (0..program.operands().len()).map(|i| bufs.get(map.buf(OpId(i))).to_vec()).collect()
 }
 
 #[test]
@@ -79,11 +77,7 @@ fn trsyl_matches_reference() {
         );
         let mut expect = rhs.as_slice().to_vec();
         slingen_blas::dtrsyl(n, n, lt.as_slice(), n, ut.as_slice(), n, &mut expect, n);
-        let diff = outs[x.0]
-            .iter()
-            .zip(&expect)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f64, f64::max);
+        let diff = outs[x.0].iter().zip(&expect).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
         assert!(diff < 1e-9, "trsyl n={n}: {diff}");
     }
 }
@@ -103,13 +97,26 @@ fn kalman_filter_matches_blas_reference() {
             .map(|(_, d)| d.clone())
             .unwrap_or_else(|| outs[op.0].clone())
     };
-    let (f, bb, q, h, r, pm) =
-        (get("F"), get("B"), get("Q"), get("H"), get("R"), get("P"));
+    let (f, bb, q, h, r, pm) = (get("F"), get("B"), get("Q"), get("H"), get("R"), get("P"));
     let (u_in, x, z) = (get("u"), get("x"), get("z"));
     use slingen_blas::{dgemm, Trans};
     let mm = |a: &[f64], bt: Trans, b: &[f64], m: usize, nn: usize, k: usize| -> Vec<f64> {
         let mut c = vec![0.0; m * nn];
-        dgemm(Trans::No, bt, m, nn, k, 1.0, a, k, b, if bt == Trans::No { nn } else { k }, 0.0, &mut c, nn);
+        dgemm(
+            Trans::No,
+            bt,
+            m,
+            nn,
+            k,
+            1.0,
+            a,
+            k,
+            b,
+            if bt == Trans::No { nn } else { k },
+            0.0,
+            &mut c,
+            nn,
+        );
         c
     };
     // y = F x + B u
@@ -149,13 +156,31 @@ fn kalman_filter_matches_blas_reference() {
     slingen_blas::dtrsv(Uplo::Upper, Trans::No, slingen_blas::Diag::NonUnit, n, &uu, n, &mut v2);
     let mut m4 = m1.clone();
     slingen_blas::dtrsm(
-        slingen_blas::Side::Left, Uplo::Upper, Trans::Yes,
-        slingen_blas::Diag::NonUnit, n, n, 1.0, &uu, n, &mut m4, n,
+        slingen_blas::Side::Left,
+        Uplo::Upper,
+        Trans::Yes,
+        slingen_blas::Diag::NonUnit,
+        n,
+        n,
+        1.0,
+        &uu,
+        n,
+        &mut m4,
+        n,
     );
     let mut m5 = m4.clone();
     slingen_blas::dtrsm(
-        slingen_blas::Side::Left, Uplo::Upper, Trans::No,
-        slingen_blas::Diag::NonUnit, n, n, 1.0, &uu, n, &mut m5, n,
+        slingen_blas::Side::Left,
+        Uplo::Upper,
+        Trans::No,
+        slingen_blas::Diag::NonUnit,
+        n,
+        n,
+        1.0,
+        &uu,
+        n,
+        &mut m5,
+        n,
     );
     // x_out = y + M2 v2 ; P_out = Y - M2 M5
     let mut x_out = y.clone();
