@@ -62,9 +62,11 @@ fn bench_stages(c: &mut Criterion) {
     g.finish();
 }
 
-/// The autotuning fan-out: all policies synthesized through one shared
-/// algorithm database, lowered/optimized/measured on parallel threads.
+/// The autotuning search: Stage 1 through one shared algorithm database,
+/// Stages 2-3 + measurement fanned out on parallel threads, over the
+/// policy × ν × loop-threshold variant space.
 fn bench_autotune(c: &mut Criterion) {
+    use slingen::{SearchSpace, Strategy};
     let mut g = c.benchmark_group("autotune");
     g.sample_size(10);
     let potrf = apps::potrf(24);
@@ -74,6 +76,38 @@ fn bench_autotune(c: &mut Criterion) {
     let kf = apps::kf(8);
     g.bench_function("autotune_fanout_kf8", |b| {
         b.iter(|| slingen::generate(&kf, &Options::default()).unwrap())
+    });
+    // the variant-space strategies head-to-head on one workload: greedy
+    // coordinate descent (the default), the exhaustive sweep, and the
+    // historical 2-policy row of the space
+    let potrf16 = apps::potrf(16);
+    g.bench_function("space_greedy_potrf16", |b| {
+        b.iter(|| slingen::generate(&potrf16, &Options::default()).unwrap())
+    });
+    g.bench_function("space_exhaustive_potrf16", |b| {
+        b.iter(|| {
+            let opts = Options {
+                search: SearchSpace::default().with_strategy(Strategy::Exhaustive),
+                ..Options::default()
+            };
+            slingen::generate(&potrf16, &opts).unwrap()
+        })
+    });
+    g.bench_function("space_policy_row_potrf16", |b| {
+        b.iter(|| {
+            let opts = Options {
+                search: SearchSpace::default().with_nus([4]).with_loop_thresholds([64]),
+                ..Options::default()
+            };
+            slingen::generate(&potrf16, &opts).unwrap()
+        })
+    });
+    // repeated generation of the same program through one shared cache:
+    // the high-traffic-service path (O(1) per request after the first)
+    let cached_opts = Options::default();
+    slingen::generate(&potrf16, &cached_opts).unwrap();
+    g.bench_function("space_cached_potrf16", |b| {
+        b.iter(|| slingen::generate(&potrf16, &cached_opts).unwrap())
     });
     g.finish();
 }

@@ -3,11 +3,13 @@
 //! workloads, and emits machine-readable `BENCH_generator.json`.
 //!
 //! Usage: `cargo run --release -p slingen-bench --bin bench [--passes]
-//! [--out PATH]`
+//! [--tune] [--out PATH]`
 //!
 //! The JSON is a list of per-workload records:
 //! `{"app", "stage1_ms", "stage2_ms", "stage3_ms", "autotune_ms", ...}`,
-//! preceded by a small metadata header. Each PR that touches the
+//! preceded by a small metadata header. `--tune` adds a per-workload
+//! autotuner report — variants explored/pruned, cache hit rate, and the
+//! cold-vs-cached `generate()` speedup. Each PR that touches the
 //! generation hot path should re-run this and compare against the
 //! committed numbers (see ROADMAP.md).
 
@@ -73,7 +75,9 @@ fn measure(name: &str, program: &Program, passes_breakdown: bool) -> Record {
         });
     }
     let autotune_ms = time_ms(|| {
-        slingen::generate(program, &opts).unwrap();
+        // fresh options per repetition: this tracks the cold search, not
+        // the TuneCache hit path (that's `--tune`'s cached_ms)
+        slingen::generate(program, &Options::default()).unwrap();
     });
     Record {
         app: name.to_string(),
@@ -85,28 +89,72 @@ fn measure(name: &str, program: &Program, passes_breakdown: bool) -> Record {
     }
 }
 
-/// Extract `"key": <value>` (string or object value) from the top level of
-/// a previously written JSON document, returning the raw text.
+struct TuneRecord {
+    app: String,
+    spec: String,
+    explored: usize,
+    pruned: usize,
+    cold_ms: f64,
+    cached_ms: f64,
+    hit_rate: f64,
+}
+
+/// The autotuner report: variant-space exploration plus the cache's
+/// repeat-generation speedup (cold search vs cache hit).
+fn measure_tune(name: &str, program: &Program) -> TuneRecord {
+    // cold: every repetition searches through a fresh cache
+    let cold_ms = time_ms(|| {
+        slingen::generate(program, &Options::default()).unwrap();
+    });
+    // warm: one shared Options -> first call populates, the rest hit
+    let opts = Options::default();
+    let g = slingen::generate(program, &opts).unwrap();
+    let cached_ms = time_ms(|| {
+        slingen::generate(program, &opts).unwrap();
+    });
+    // hit rate over a fixed request mix (1 cold + 10 repeats), so the
+    // committed number does not depend on the timing loop's repetitions
+    let rate_opts = Options::default();
+    for _ in 0..11 {
+        slingen::generate(program, &rate_opts).unwrap();
+    }
+    let (hits, misses) = rate_opts.cache.stats();
+    TuneRecord {
+        app: name.to_string(),
+        spec: g.spec.to_string(),
+        explored: g.tuning.explored,
+        pruned: g.tuning.pruned,
+        cold_ms,
+        cached_ms,
+        hit_rate: hits as f64 / (hits + misses).max(1) as f64,
+    }
+}
+
+/// Extract `"key": <value>` (string, object, or array value) from the top
+/// level of a previously written JSON document, returning the raw text.
 fn extract_top_level(src: &str, key: &str) -> Option<String> {
     let kq = format!("\"{key}\":");
     let start = src.find(&kq)?;
     let vstart = start + kq.len();
     let rest = src[vstart..].trim_start();
     let voff = src.len() - src[vstart..].len() + (src[vstart..].len() - rest.len());
-    if rest.starts_with('{') {
+    let delims = match rest.chars().next()? {
+        '{' => Some(('{', '}')),
+        '[' => Some(('[', ']')),
+        _ => None,
+    };
+    if let Some((open, close)) = delims {
         // bracket-count to the matching close (no nested strings with
-        // braces are emitted by this tool)
+        // brackets are emitted by this tool)
         let mut depth = 0usize;
         for (i, c) in rest.char_indices() {
-            match c {
-                '{' => depth += 1,
-                '}' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        return Some(src[start..=voff + i].to_string());
-                    }
+            if c == open {
+                depth += 1;
+            } else if c == close {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(src[start..=voff + i].to_string());
                 }
-                _ => {}
             }
         }
         None
@@ -121,6 +169,7 @@ fn extract_top_level(src: &str, key: &str) -> Option<String> {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let passes_breakdown = args.iter().any(|a| a == "--passes");
+    let tune = args.iter().any(|a| a == "--tune");
     let out_path = match args.iter().position(|a| a == "--out") {
         Some(i) => match args.get(i + 1) {
             Some(p) if !p.starts_with("--") => p.clone(),
@@ -149,6 +198,26 @@ fn main() {
             r.stage1_ms, r.stage2_ms, r.stage3_ms, r.autotune_ms, r.static_instrs
         );
         records.push(r);
+    }
+
+    let mut tune_records = Vec::new();
+    if tune {
+        for (name, program) in &workloads {
+            eprintln!("tuning {name} ...");
+            let t = measure_tune(name, program);
+            eprintln!(
+                "  winner {:16} explored {:2} (pruned {:2})  cold {:8.3} ms  cached {:8.4} ms  \
+                 ({:.0}x)  cache hit rate {:.2}",
+                t.spec,
+                t.explored,
+                t.pruned,
+                t.cold_ms,
+                t.cached_ms,
+                t.cold_ms / t.cached_ms.max(1e-9),
+                t.hit_rate
+            );
+            tune_records.push(t);
+        }
     }
 
     let mut json = String::from("{\n  \"benchmark\": \"slingen-generator-throughput\",\n");
@@ -180,7 +249,40 @@ fn main() {
             if i + 1 < records.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ]");
+    if tune_records.is_empty() {
+        // a refresh without --tune keeps the previously committed
+        // autotuner report instead of silently dropping it
+        if let Some(section) = std::fs::read_to_string(&out_path)
+            .ok()
+            .as_deref()
+            .and_then(|prev| extract_top_level(prev, "tune"))
+        {
+            json.push_str(",\n  ");
+            json.push_str(&section);
+        }
+    }
+    if !tune_records.is_empty() {
+        json.push_str(",\n  \"tune\": [\n");
+        for (i, t) in tune_records.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"app\": \"{}\", \"winner\": \"{}\", \"variants_explored\": {}, \
+                 \"variants_pruned\": {}, \"cold_ms\": {:.3}, \"cached_ms\": {:.4}, \
+                 \"cache_speedup\": {:.1}, \"cache_hit_rate\": {:.3}}}{}\n",
+                t.app,
+                t.spec,
+                t.explored,
+                t.pruned,
+                t.cold_ms,
+                t.cached_ms,
+                t.cold_ms / t.cached_ms.max(1e-9),
+                t.hit_rate,
+                if i + 1 < tune_records.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ]");
+    }
+    json.push_str("\n}\n");
     std::fs::write(&out_path, &json).expect("write benchmark json");
     eprintln!("wrote {out_path}");
 }

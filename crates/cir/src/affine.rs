@@ -102,6 +102,14 @@ impl Affine {
         }
     }
 
+    /// Replace `var` with the constant `value` without reallocating: the
+    /// term map is edited in place (the unroller's per-copy rewrite).
+    pub fn substitute_in_place(&mut self, var: LoopVar, value: i64) {
+        if let Some(c) = self.terms.remove(&var) {
+            self.constant += c * value;
+        }
+    }
+
     /// Evaluate with an environment mapping variables to values.
     pub fn eval(&self, env: &impl Fn(LoopVar) -> i64) -> i64 {
         self.constant + self.terms.iter().map(|(v, c)| c * env(*v)).sum::<i64>()
@@ -249,6 +257,17 @@ impl Cond {
             op: self.op,
             rhs: self.rhs.substitute(var, value),
         }
+    }
+
+    /// Substitute a variable in both sides, in place.
+    pub fn substitute_in_place(&mut self, var: LoopVar, value: i64) {
+        self.lhs.substitute_in_place(var, value);
+        self.rhs.substitute_in_place(var, value);
+    }
+
+    /// Whether either side mentions `var`.
+    pub fn uses(&self, var: LoopVar) -> bool {
+        self.lhs.uses(var) || self.rhs.uses(var)
     }
 
     /// Constant truth value, if both sides are constant.

@@ -9,40 +9,60 @@ use crate::affine::LoopVar;
 use crate::func::{CStmt, Function};
 use crate::instr::Instr;
 
-/// Substitute a loop variable with a constant everywhere in a statement.
-fn subst_stmt(s: &CStmt, var: LoopVar, value: i64) -> CStmt {
+/// Whether a statement mentions `var` anywhere an unrolled copy would have
+/// to rewrite it (memory offsets, nested bounds, conditions).
+fn stmt_uses_var(s: &CStmt, var: LoopVar) -> bool {
     match s {
-        CStmt::I(i) => CStmt::I(subst_instr(i, var, value)),
-        CStmt::For { var: v, lo, hi, step, body } => CStmt::For {
-            var: *v,
-            lo: lo.substitute(var, value),
-            hi: hi.substitute(var, value),
-            step: *step,
-            body: body.iter().map(|s| subst_stmt(s, var, value)).collect(),
+        CStmt::I(i) => match i {
+            Instr::SLoad { src: m, .. }
+            | Instr::SStore { dst: m, .. }
+            | Instr::VLoad { base: m, .. }
+            | Instr::VStore { base: m, .. } => m.offset.uses(var),
+            _ => false,
         },
-        CStmt::If { cond, then_, else_ } => CStmt::If {
-            cond: cond.substitute(var, value),
-            then_: then_.iter().map(|s| subst_stmt(s, var, value)).collect(),
-            else_: else_.iter().map(|s| subst_stmt(s, var, value)).collect(),
-        },
+        CStmt::For { lo, hi, body, .. } => {
+            lo.uses(var) || hi.uses(var) || body.iter().any(|s| stmt_uses_var(s, var))
+        }
+        CStmt::If { cond, then_, else_ } => {
+            cond.uses(var)
+                || then_.iter().any(|s| stmt_uses_var(s, var))
+                || else_.iter().any(|s| stmt_uses_var(s, var))
+        }
     }
 }
 
-fn subst_instr(i: &Instr, var: LoopVar, value: i64) -> Instr {
-    let sub = |m: &crate::instr::MemRef| crate::instr::MemRef {
-        buf: m.buf,
-        offset: m.offset.substitute(var, value),
-    };
+/// Rewrite every use of `var` to the constant `value`, in place. Copies of
+/// the loop-body template are plain clones; this walk then patches only
+/// the induction-variable uses instead of rebuilding each statement tree.
+fn subst_stmt_in_place(s: &mut CStmt, var: LoopVar, value: i64) {
+    match s {
+        CStmt::I(i) => subst_instr_in_place(i, var, value),
+        CStmt::For { lo, hi, body, .. } => {
+            lo.substitute_in_place(var, value);
+            hi.substitute_in_place(var, value);
+            for s in body {
+                subst_stmt_in_place(s, var, value);
+            }
+        }
+        CStmt::If { cond, then_, else_ } => {
+            cond.substitute_in_place(var, value);
+            for s in then_ {
+                subst_stmt_in_place(s, var, value);
+            }
+            for s in else_ {
+                subst_stmt_in_place(s, var, value);
+            }
+        }
+    }
+}
+
+fn subst_instr_in_place(i: &mut Instr, var: LoopVar, value: i64) {
     match i {
-        Instr::SLoad { dst, src } => Instr::SLoad { dst: *dst, src: sub(src) },
-        Instr::SStore { src, dst } => Instr::SStore { src: *src, dst: sub(dst) },
-        Instr::VLoad { dst, base, lanes } => {
-            Instr::VLoad { dst: *dst, base: sub(base), lanes: lanes.clone() }
-        }
-        Instr::VStore { src, base, lanes } => {
-            Instr::VStore { src: *src, base: sub(base), lanes: lanes.clone() }
-        }
-        other => other.clone(),
+        Instr::SLoad { src: m, .. }
+        | Instr::SStore { dst: m, .. }
+        | Instr::VLoad { base: m, .. }
+        | Instr::VStore { base: m, .. } => m.offset.substitute_in_place(var, value),
+        _ => {}
     }
 }
 
@@ -65,12 +85,29 @@ fn unroll_stmts(stmts: Vec<CStmt>, budget: &mut isize) -> Vec<CStmt> {
                     *budget -= (trip * body_count) as isize;
                     let l = lo.as_constant().unwrap();
                     let h = hi.as_constant().unwrap();
+                    // The unrolled body is a *template*: copies are plain
+                    // clones, induction-variable uses are rewritten in
+                    // place, and statements that never mention the
+                    // variable skip the rewrite walk entirely. The final
+                    // iteration consumes the template without cloning.
+                    let uses: Vec<bool> = body.iter().map(|b| stmt_uses_var(b, var)).collect();
+                    let last = l + ((h - 1 - l) / step) * step;
                     let mut iv = l;
-                    while iv < h {
-                        for b in &body {
-                            out.push(subst_stmt(b, var, iv));
+                    while iv < last {
+                        for (b, used) in body.iter().zip(&uses) {
+                            let mut copy = b.clone();
+                            if *used {
+                                subst_stmt_in_place(&mut copy, var, iv);
+                            }
+                            out.push(copy);
                         }
                         iv += step;
+                    }
+                    for (mut b, used) in body.into_iter().zip(uses) {
+                        if used {
+                            subst_stmt_in_place(&mut b, var, last);
+                        }
+                        out.push(b);
                     }
                 } else {
                     out.push(CStmt::For { var, lo, hi, step, body });
@@ -165,6 +202,37 @@ mod tests {
         let mut f = b.finish();
         unroll(&mut f, 1000);
         assert!(f.body.is_empty());
+    }
+
+    /// An outer loop whose body keeps an inner *rolled* loop with
+    /// outer-var-dependent bounds: the template rewrite must patch the
+    /// inner bounds in every copy.
+    #[test]
+    fn outer_var_in_rolled_inner_bounds() {
+        let mut b = FunctionBuilder::new("tri", 1);
+        let x = b.buffer("x", 64, BufKind::ParamInOut);
+        let i = b.begin_for(0, 3, 1);
+        let j = b.begin_for(0, 100, 1); // too big to unroll within budget
+        let addr = MemRef::new(x, Affine::var(j));
+        let r = b.sload(addr.clone());
+        b.sstore(r, addr);
+        b.end_for();
+        b.end_for();
+        let mut f = b.finish();
+        // rewrite inner hi to depend on the outer var
+        if let CStmt::For { body, .. } = &mut f.body[0] {
+            if let CStmt::For { hi, .. } = &mut body[0] {
+                *hi = Affine::var(i).scaled(10).offset(20);
+            }
+        }
+        unroll(&mut f, 100);
+        assert_eq!(f.body.len(), 3, "outer unrolled, inner rolled");
+        for (copy, expect_hi) in f.body.iter().zip([20, 30, 40]) {
+            match copy {
+                CStmt::For { hi, .. } => assert_eq!(hi.as_constant(), Some(expect_hi)),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -31,16 +31,18 @@
 
 pub mod apps;
 pub mod pipeline;
+pub mod tuner;
 pub mod verify;
 pub mod workload;
 
-pub use pipeline::{generate, generate_with_policy, Generated, Options};
+pub use pipeline::{generate, generate_with_policy, generate_with_spec, Generated, Options};
+pub use tuner::{SearchSpace, Strategy, TuneCache, TuneStats, VariantSpec};
 pub use verify::verify;
 
 use std::fmt;
 
 /// Top-level driver errors.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum Error {
     /// Synthesis failed (Stage 1).
     Synth(slingen_synth::SynthError),

@@ -1,30 +1,44 @@
 //! The SLinGen driver: Stages 1–3 plus autotuning (paper Fig. 6).
+//!
+//! `generate()` drives the variant-space autotuner in [`crate::tuner`]:
+//! the search space (policy × ν × loop-threshold), strategy, and cache
+//! live in [`Options`]; this module owns the option/result types and the
+//! single-variant path used when the policy is pinned.
 
+use crate::tuner::{self, SearchSpace, TuneCache, TuneStats, Variant, VariantSpec};
 use crate::workload;
 use crate::Error;
-use slingen_cir::passes::{optimize, PassConfig};
+use slingen_cir::passes::PassConfig;
 use slingen_cir::Function;
 use slingen_ir::Program;
-use slingen_lgen::{lower_program, BufferMap, LowerOptions};
+use slingen_lgen::BufferMap;
 use slingen_perf::{Machine, Report};
-use slingen_synth::{synthesize_program, AlgorithmDb, BasicProgram, Policy};
+use slingen_synth::Policy;
 use slingen_vm::BufferSet;
 
 /// Generation options.
 #[derive(Debug, Clone)]
 pub struct Options {
-    /// Vector width ν (4 = AVX double, 2 = SSE2, 1 = scalar).
+    /// Vector width ν of the target machine (4 = AVX double, 2 = SSE2,
+    /// 1 = scalar). Acts as an upper bound on the ν axis of the search
+    /// space, and as the pinned width when `policy` is fixed.
     pub nu: usize,
-    /// Fix the algorithmic variant instead of autotuning over all.
+    /// Fix the algorithmic variant instead of autotuning over the space.
     pub policy: Option<Policy>,
     /// Stage-3 pass configuration.
     pub passes: PassConfig,
-    /// Stage-2 loop threshold (see [`LowerOptions`]).
+    /// Stage-2 loop threshold (see [`slingen_lgen::LowerOptions`]) used
+    /// when `policy` is pinned; the autotuner's search seeds from it.
     pub loop_threshold: usize,
     /// Machine model used for autotuning.
     pub machine: Machine,
     /// Workload seed for the autotuning measurement.
     pub seed: u64,
+    /// The autotuner's search space and strategy.
+    pub search: SearchSpace,
+    /// Tuning cache consulted by `generate()`. Fresh per `Options` by
+    /// default; clone one `Options` (or the cache handle) to share it.
+    pub cache: TuneCache,
 }
 
 impl Default for Options {
@@ -36,6 +50,8 @@ impl Default for Options {
             loop_threshold: 64,
             machine: Machine::sandy_bridge(),
             seed: 0x51,
+            search: SearchSpace::default(),
+            cache: TuneCache::new(),
         }
     }
 }
@@ -47,13 +63,18 @@ pub struct Generated {
     pub function: Function,
     /// The emitted single-source C code.
     pub c_code: String,
-    /// The algorithmic variant that won the autotuning.
+    /// The algorithmic variant that won the autotuning (the policy axis
+    /// of [`Generated::spec`], kept for convenience).
     pub policy: Policy,
+    /// The full variant that won: policy, ν, loop threshold.
+    pub spec: VariantSpec,
     /// The performance report of the winning variant (on the autotuning
     /// workload).
     pub report: Report,
     /// Stage-1a algorithm database statistics: (hits, misses).
     pub db_stats: (usize, usize),
+    /// How the winner was found: variants explored/pruned, cache hit.
+    pub tuning: TuneStats,
 }
 
 impl Generated {
@@ -64,41 +85,39 @@ impl Generated {
     }
 }
 
-/// A measured variant before the winner's C code is emitted.
-struct Variant {
-    function: Function,
-    policy: Policy,
-    report: Report,
-}
-
-impl Variant {
-    fn into_generated(self, db_stats: (usize, usize)) -> Generated {
-        let c_code = slingen_cir::unparse::to_c(&self.function);
-        Generated {
-            function: self.function,
-            c_code,
-            policy: self.policy,
-            report: self.report,
-            db_stats,
-        }
+/// Emit the winner: unparse to C and assemble the public result.
+pub(crate) fn emit(variant: Variant, db_stats: (usize, usize), tuning: TuneStats) -> Generated {
+    let c_code = slingen_cir::unparse::to_c(&variant.function);
+    Generated {
+        function: variant.function,
+        c_code,
+        policy: variant.spec.policy,
+        spec: variant.spec,
+        report: variant.report,
+        db_stats,
+        tuning,
     }
 }
 
-/// Stages 2–3 plus measurement for one already-synthesized variant.
-fn finish_variant(
+/// Generate code for one fixed variant (no search).
+///
+/// # Errors
+///
+/// Returns [`Error`] if any stage rejects the program.
+pub fn generate_with_spec(
     program: &Program,
-    policy: Policy,
-    basic: &BasicProgram,
+    spec: VariantSpec,
     options: &Options,
-) -> Result<Variant, Error> {
-    let opts = LowerOptions { nu: options.nu, loop_threshold: options.loop_threshold };
-    let mut function = lower_program(program, basic, program.name(), &opts)?;
-    optimize(&mut function, &options.passes);
-    let report = measure(program, &function, &options.machine, options.seed)?;
-    Ok(Variant { function, policy, report })
+) -> Result<Generated, Error> {
+    let mut db = slingen_synth::AlgorithmDb::new();
+    let basic = slingen_synth::synthesize_program(program, spec.policy, spec.nu, &mut db)?;
+    let variant =
+        tuner::finish_variant(program, spec, &basic, options, None)?.expect("no budget, no cutoff");
+    Ok(emit(variant, (db.hits(), db.misses()), TuneStats { explored: 1, ..TuneStats::default() }))
 }
 
-/// Generate code for one fixed policy (no autotuning).
+/// Generate code for one fixed policy (no autotuning), at the options'
+/// ν and loop threshold.
 ///
 /// # Errors
 ///
@@ -108,41 +127,46 @@ pub fn generate_with_policy(
     policy: Policy,
     options: &Options,
 ) -> Result<Generated, Error> {
-    let mut db = AlgorithmDb::new();
-    let basic = synthesize_program(program, policy, options.nu, &mut db)?;
-    let variant = finish_variant(program, policy, &basic, options)?;
-    Ok(variant.into_generated((db.hits(), db.misses())))
+    let spec = VariantSpec { policy, nu: options.nu, loop_threshold: options.loop_threshold };
+    generate_with_spec(program, spec, options)
 }
 
-/// Measure a generated function on a valid random workload.
-fn measure(
+/// Measure a generated function on a valid random workload, under an
+/// optional cycle budget (`None` if the budget was exceeded).
+pub(crate) fn measure(
     program: &Program,
     function: &Function,
-    machine: &Machine,
-    seed: u64,
-) -> Result<Report, Error> {
+    options: &Options,
+    budget: Option<f64>,
+) -> Result<Option<Report>, Error> {
     let mut fb = slingen_cir::FunctionBuilder::new("probe", function.width);
     let map = BufferMap::build(program, &mut fb);
     let mut bufs = BufferSet::for_function(function);
-    for (op, data) in workload::inputs(program, seed) {
+    for (op, data) in workload::inputs(program, options.seed) {
         bufs.set(map.buf(op), &data);
     }
-    Ok(slingen_perf::measure(function, &mut bufs, None, machine)?)
+    Ok(slingen_perf::measure_budgeted(function, &mut bufs, None, &options.machine, budget)?)
 }
 
-/// Full generation with algorithmic autotuning: derive one implementation
-/// per loop-invariant policy, measure each on the machine model, and keep
-/// the fastest (paper §3.3 "Autotuning" and the dashed lines of Fig. 14).
+/// Full generation with variant-space autotuning: search the configured
+/// [`SearchSpace`] (policy × ν × loop-threshold) with the configured
+/// strategy, measure candidates on the machine model, and keep the
+/// fastest (paper §3.3 "Autotuning" and the dashed lines of Fig. 14).
 ///
-/// Throughput: Stage 1 runs once per policy through a *single shared*
-/// [`AlgorithmDb`]. Policy-independent derivations (the scalar leaf
-/// cases) are cached under policy-neutral signatures, so later variants
-/// hit templates the first variant derived; block-level derivations stay
-/// policy-qualified because their loop schedules differ. The expensive
-/// per-variant work — lowering, Stage-3 optimization, and the model
-/// measurement — fans out across OS threads. Selection is deterministic:
-/// the minimum modeled cycle count wins, with ties broken by
-/// [`Policy::ALL`] order exactly as in the sequential implementation.
+/// Throughput: Stage 1 runs once per distinct (policy, ν) through a
+/// *single shared* [`slingen_synth::AlgorithmDb`] — policy- and
+/// ν-independent derivations (the scalar leaf cases) are cached under
+/// fully neutral signatures and shared across the entire space. The
+/// expensive per-variant work — lowering, Stage-3 optimization, and the
+/// model measurement — fans out across OS threads; the greedy strategy
+/// additionally abandons variants the model proves dominated
+/// (cycle-budget early-cutoff). Selection is deterministic: strict
+/// minimum modeled cycles, ties broken in canonical space-enumeration
+/// order, so the winning C is bit-identical across runs.
+///
+/// Results are cached in `options.cache` keyed by (program, machine,
+/// space, options): repeating a generation through the same cache (or a
+/// clone of it) is a lookup, not a search.
 ///
 /// # Errors
 ///
@@ -152,57 +176,14 @@ pub fn generate(program: &Program, options: &Options) -> Result<Generated, Error
     if let Some(p) = options.policy {
         return generate_with_policy(program, p, options);
     }
-    // Stage 1: serial, through one shared algorithm database.
-    let mut db = AlgorithmDb::new();
-    let synths: Vec<(Policy, Result<BasicProgram, Error>)> = Policy::ALL
-        .into_iter()
-        .map(|policy| {
-            let basic =
-                synthesize_program(program, policy, options.nu, &mut db).map_err(Error::from);
-            (policy, basic)
-        })
-        .collect();
-    let db_stats = (db.hits(), db.misses());
-
-    // Stages 2-3 + measurement: parallel fan-out, one thread per variant.
-    let results: Vec<Result<Variant, Error>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = synths
-            .into_iter()
-            .map(|(policy, basic)| {
-                scope.spawn(move || {
-                    let basic = basic?;
-                    finish_variant(program, policy, &basic, options)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("autotune variant thread panicked")).collect()
-    });
-
-    // Deterministic min-cycles selection in Policy::ALL order (strict <).
-    let mut best: Option<Variant> = None;
-    let mut last_err: Option<Error> = None;
-    for r in results {
-        match r {
-            Ok(v) => {
-                let better = match &best {
-                    None => true,
-                    Some(b) => v.report.cycles < b.report.cycles,
-                };
-                if better {
-                    best = Some(v);
-                }
-            }
-            Err(e) => last_err = Some(e),
-        }
-    }
-    best.map(|v| v.into_generated(db_stats))
-        .ok_or_else(|| last_err.expect("at least one variant attempted"))
+    tuner::tune(program, options)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::apps;
+    use crate::tuner::Strategy;
 
     #[test]
     fn generates_potrf_with_autotuning() {
@@ -210,8 +191,22 @@ mod tests {
         let g = generate(&p, &Options::default()).unwrap();
         assert!(g.report.cycles > 0.0);
         assert!(g.c_code.contains("void potrf"));
-        assert!(g.c_code.contains("_mm256"), "vectorized output expected");
         assert!(g.flops_per_cycle() > 0.0);
+        // the default search explores all three dimensions
+        assert!(g.tuning.explored >= 3, "explored {}", g.tuning.explored);
+        assert_eq!(g.policy, g.spec.policy);
+        // the winner's width is reflected in the emitted C
+        if g.spec.nu == 4 {
+            assert!(g.c_code.contains("_mm256"), "nu=4 winner must emit AVX");
+        }
+    }
+
+    #[test]
+    fn pinned_width_emits_avx() {
+        let p = apps::potrf(8);
+        let opts = Options { policy: Some(Policy::Lazy), ..Options::default() };
+        let g = generate(&p, &opts).unwrap();
+        assert!(g.c_code.contains("_mm256"), "vectorized output expected");
     }
 
     #[test]
@@ -220,6 +215,7 @@ mod tests {
         let opts = Options { policy: Some(Policy::Eager), ..Options::default() };
         let g = generate(&p, &opts).unwrap();
         assert_eq!(g.policy, Policy::Eager);
+        assert_eq!(g.spec.nu, 4);
     }
 
     #[test]
@@ -229,6 +225,7 @@ mod tests {
         let g = generate(&p, &opts).unwrap();
         assert!(!g.c_code.contains("_mm256"));
         assert!(g.c_code.contains("sqrt("));
+        assert_eq!(g.spec.nu, 1, "machine width bounds the search");
     }
 
     #[test]
@@ -245,5 +242,38 @@ mod tests {
                 fixed.report.cycles
             );
         }
+    }
+
+    #[test]
+    fn greedy_never_loses_to_exhaustive_seed_row() {
+        // the greedy seed sweep is the historical 2-policy fan-out; the
+        // final winner must be at least as good as the best seed
+        let p = apps::kf(4);
+        let greedy = generate(&p, &Options::default()).unwrap();
+        let exhaustive_opts = Options {
+            search: SearchSpace::default().with_strategy(Strategy::Exhaustive),
+            ..Options::default()
+        };
+        let exhaustive = generate(&p, &exhaustive_opts).unwrap();
+        assert!(
+            greedy.report.cycles <= exhaustive.report.cycles * 1.5,
+            "greedy {} wildly worse than exhaustive {}",
+            greedy.report.cycles,
+            exhaustive.report.cycles
+        );
+    }
+
+    #[test]
+    fn repeated_generation_hits_the_cache() {
+        let p = apps::potrf(8);
+        let opts = Options::default();
+        let first = generate(&p, &opts).unwrap();
+        assert!(!first.tuning.cache_hit);
+        let second = generate(&p, &opts).unwrap();
+        assert!(second.tuning.cache_hit);
+        assert_eq!(first.c_code, second.c_code);
+        assert_eq!(first.spec, second.spec);
+        assert_eq!(opts.cache.stats(), (1, 1));
+        assert_eq!(opts.cache.len(), 1);
     }
 }

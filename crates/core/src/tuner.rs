@@ -1,0 +1,580 @@
+//! The variant-space autotuner (paper §3.3 "Autotuning", Fig. 14).
+//!
+//! The paper's autotuner searches over algorithmic variants *and*
+//! code-level parameters. This module makes that search a first-class
+//! subsystem instead of a hard-coded two-policy fan-out:
+//!
+//! * [`VariantSpec`] — one point of the space: loop-invariant policy
+//!   (Stage 1), vector width ν (Stage 2), and the loop-vs-straight-line
+//!   threshold (Stage 2/3);
+//! * [`SearchSpace`] — a builder over the three axes with a pluggable
+//!   [`Strategy`]: [`Strategy::Exhaustive`] measures every point,
+//!   [`Strategy::Greedy`] runs a deterministic coordinate descent that
+//!   prunes dominated variants with the machine model's cycle-budget
+//!   early-cutoff ([`slingen_perf::measure_budgeted`]);
+//! * [`TuneCache`] — a shareable cache keyed by (program, machine,
+//!   space, options) so repeated generation of the same kernel is a
+//!   lookup, not a search — the first step toward serving generation as
+//!   a high-traffic service.
+//!
+//! Search is parallel but deterministic: Stage 1 runs serially through
+//! one shared [`AlgorithmDb`] (leaf derivations are cached neutrally and
+//! shared across the whole policy × ν space), Stages 2–3 plus
+//! measurement fan out across OS threads batch by batch, and the winner
+//! is selected by strict minimum modeled cycles with ties broken in
+//! canonical space-enumeration order — so the winning C code is
+//! bit-identical across runs and thread interleavings.
+
+use crate::pipeline::{measure, Generated, Options};
+use crate::Error;
+use slingen_cir::passes::optimize;
+use slingen_cir::Function;
+use slingen_ir::Program;
+use slingen_lgen::{lower_program, LowerOptions};
+use slingen_perf::Report;
+use slingen_synth::{synthesize_program, AlgorithmDb, BasicProgram, Policy};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// One point of the autotuning search space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VariantSpec {
+    /// Loop-invariant family of the Stage-1 derivation.
+    pub policy: Policy,
+    /// Vector width ν (4 = AVX double, 2 = SSE2, 1 = scalar).
+    pub nu: usize,
+    /// Stage-2 loop threshold (see [`LowerOptions`]).
+    pub loop_threshold: usize,
+}
+
+impl VariantSpec {
+    /// The Stage-2 lowering options for this variant.
+    pub fn lower_options(&self) -> LowerOptions {
+        LowerOptions::new(self.nu, self.loop_threshold)
+    }
+}
+
+impl fmt::Display for VariantSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/nu{}/t{}", self.policy, self.nu, self.loop_threshold)
+    }
+}
+
+/// How a [`SearchSpace`] is explored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Measure every point of the space (one parallel batch).
+    Exhaustive,
+    /// Deterministic coordinate descent: seed with a full policy sweep at
+    /// the default (ν, threshold), then improve one coordinate at a time,
+    /// pruning candidates that the machine model proves slower than the
+    /// incumbent (cycle-budget early-cutoff). Explores all three
+    /// dimensions at a fraction of the exhaustive cost, and can never do
+    /// worse than the seed sweep — i.e. never worse than the historical
+    /// two-policy autotuner.
+    Greedy,
+}
+
+/// The autotuner's search space: three axes plus a strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchSpace {
+    policies: Vec<Policy>,
+    nus: Vec<usize>,
+    loop_thresholds: Vec<usize>,
+    strategy: Strategy,
+}
+
+impl Default for SearchSpace {
+    /// `Policy::ALL` × ν ∈ {1, 2, 4} × loop-threshold ∈ {16, 64, 256},
+    /// explored greedily.
+    fn default() -> Self {
+        SearchSpace {
+            policies: Policy::ALL.to_vec(),
+            nus: vec![1, 2, 4],
+            loop_thresholds: vec![16, 64, 256],
+            strategy: Strategy::Greedy,
+        }
+    }
+}
+
+impl SearchSpace {
+    /// The default space (see [`SearchSpace::default`]).
+    pub fn new() -> Self {
+        SearchSpace::default()
+    }
+
+    /// Restrict the policy axis.
+    pub fn with_policies(mut self, policies: impl Into<Vec<Policy>>) -> Self {
+        self.policies = policies.into();
+        self
+    }
+
+    /// Restrict the ν axis.
+    pub fn with_nus(mut self, nus: impl Into<Vec<usize>>) -> Self {
+        self.nus = nus.into();
+        self
+    }
+
+    /// Restrict the loop-threshold axis.
+    pub fn with_loop_thresholds(mut self, thresholds: impl Into<Vec<usize>>) -> Self {
+        self.loop_thresholds = thresholds.into();
+        self
+    }
+
+    /// Set the exploration strategy.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The exploration strategy.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The ν axis clamped to the caller's machine width: code wider than
+    /// the target vector unit is never a candidate. Falls back to
+    /// `[max_nu]` if the clamp empties the axis.
+    fn nus_for(&self, max_nu: usize) -> Vec<usize> {
+        let nus: Vec<usize> = self.nus.iter().copied().filter(|&n| n <= max_nu).collect();
+        if nus.is_empty() {
+            vec![max_nu]
+        } else {
+            nus
+        }
+    }
+
+    /// All points, in canonical enumeration order (policy-major, then ν,
+    /// then threshold). Tie-breaks during selection follow this order.
+    pub fn enumerate(&self, max_nu: usize) -> Vec<VariantSpec> {
+        let mut out = Vec::new();
+        for &policy in &self.policies {
+            for &nu in &self.nus_for(max_nu) {
+                for &loop_threshold in &self.loop_thresholds {
+                    out.push(VariantSpec { policy, nu, loop_threshold });
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of points for a given machine width.
+    pub fn len(&self, max_nu: usize) -> usize {
+        self.policies.len() * self.nus_for(max_nu).len() * self.loop_thresholds.len()
+    }
+
+    /// Whether the space has no points.
+    pub fn is_empty(&self) -> bool {
+        self.policies.is_empty() || self.loop_thresholds.is_empty()
+    }
+
+    /// A stable fingerprint for cache keys.
+    fn fingerprint(&self, out: &mut String) {
+        use std::fmt::Write;
+        let _ = write!(out, "|space:{:?};", self.strategy);
+        for p in &self.policies {
+            let _ = write!(out, "{p},");
+        }
+        out.push(';');
+        for n in &self.nus {
+            let _ = write!(out, "{n},");
+        }
+        out.push(';');
+        for t in &self.loop_thresholds {
+            let _ = write!(out, "{t},");
+        }
+    }
+}
+
+/// How the winner of one `generate()` call was found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TuneStats {
+    /// Variants actually lowered, optimized, and measured (cut-off
+    /// variants count: their pruning consumed model time).
+    pub explored: usize,
+    /// Variants abandoned by the cycle-budget early-cutoff.
+    pub pruned: usize,
+    /// Whether the result came from the [`TuneCache`].
+    pub cache_hit: bool,
+}
+
+/// The cached outcome of one tuned generation.
+#[derive(Debug, Clone)]
+struct CachedWin {
+    spec: VariantSpec,
+    function: Function,
+    c_code: String,
+    report: Report,
+    db_stats: (usize, usize),
+    stats: TuneStats,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<String, CachedWin>,
+    hits: usize,
+    misses: usize,
+}
+
+/// A shareable autotuning cache keyed by (program, machine, search space,
+/// options). Cloning the handle shares the underlying store, so one cache
+/// can serve many threads; `Options::default()` creates a fresh one.
+#[derive(Clone, Default)]
+pub struct TuneCache(Arc<Mutex<CacheInner>>);
+
+impl TuneCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        TuneCache::default()
+    }
+
+    /// (hits, misses) so far.
+    pub fn stats(&self) -> (usize, usize) {
+        let inner = self.0.lock().unwrap();
+        (inner.hits, inner.misses)
+    }
+
+    /// Number of cached programs.
+    pub fn len(&self) -> usize {
+        self.0.lock().unwrap().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all entries (stats are kept).
+    pub fn clear(&self) {
+        self.0.lock().unwrap().map.clear();
+    }
+
+    fn lookup(&self, key: &str) -> Option<Generated> {
+        let mut inner = self.0.lock().unwrap();
+        match inner.map.get(key).cloned() {
+            Some(win) => {
+                inner.hits += 1;
+                Some(Generated {
+                    function: win.function,
+                    c_code: win.c_code,
+                    policy: win.spec.policy,
+                    spec: win.spec,
+                    report: win.report,
+                    db_stats: win.db_stats,
+                    tuning: TuneStats { cache_hit: true, ..win.stats },
+                })
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&self, key: String, g: &Generated) {
+        let win = CachedWin {
+            spec: g.spec,
+            function: g.function.clone(),
+            c_code: g.c_code.clone(),
+            report: g.report.clone(),
+            db_stats: g.db_stats,
+            stats: g.tuning,
+        };
+        self.0.lock().unwrap().map.insert(key, win);
+    }
+}
+
+impl fmt::Debug for TuneCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.0.lock().unwrap();
+        f.debug_struct("TuneCache")
+            .field("entries", &inner.map.len())
+            .field("hits", &inner.hits)
+            .field("misses", &inner.misses)
+            .finish()
+    }
+}
+
+/// Everything that determines the tuned output, flattened into a string.
+fn cache_key(program: &Program, options: &Options) -> String {
+    use std::fmt::Write;
+    let mut key = String::with_capacity(256);
+    let _ = write!(key, "{program}");
+    // `ow(..)` storage sharing is not part of the surface rendering but
+    // changes the generated code.
+    for (i, o) in program.operands().iter().enumerate() {
+        if let Some(t) = o.overwrites {
+            let _ = write!(key, "|ow{i}:{}", t.0);
+        }
+    }
+    let _ = write!(
+        key,
+        "|machine:{:?}|passes:{:?}|nu:{}|thr:{}|seed:{}",
+        options.machine, options.passes, options.nu, options.loop_threshold, options.seed
+    );
+    options.search.fingerprint(&mut key);
+    key
+}
+
+/// A measured variant before the winner's C code is emitted.
+pub(crate) struct Variant {
+    pub(crate) function: Function,
+    pub(crate) spec: VariantSpec,
+    pub(crate) report: Report,
+}
+
+/// Stage 1 for one (policy, ν), memoized across the space through one
+/// shared [`AlgorithmDb`] — variants re-derive only what their schedule
+/// actually changes (leaf derivations are policy- and ν-neutral).
+struct Synthesizer<'p> {
+    program: &'p Program,
+    db: AlgorithmDb,
+    basics: HashMap<(Policy, usize), Result<Arc<BasicProgram>, Error>>,
+}
+
+impl<'p> Synthesizer<'p> {
+    fn new(program: &'p Program) -> Self {
+        Synthesizer { program, db: AlgorithmDb::new(), basics: HashMap::new() }
+    }
+
+    fn basic(&mut self, policy: Policy, nu: usize) -> Result<Arc<BasicProgram>, Error> {
+        self.basics
+            .entry((policy, nu))
+            .or_insert_with(|| {
+                synthesize_program(self.program, policy, nu, &mut self.db)
+                    .map(Arc::new)
+                    .map_err(Error::from)
+            })
+            .clone()
+    }
+
+    fn stats(&self) -> (usize, usize) {
+        (self.db.hits(), self.db.misses())
+    }
+}
+
+/// Stages 2–3 plus measurement for one already-synthesized variant.
+/// Returns `Ok(None)` when the cycle budget proves the variant dominated.
+pub(crate) fn finish_variant(
+    program: &Program,
+    spec: VariantSpec,
+    basic: &BasicProgram,
+    options: &Options,
+    budget: Option<f64>,
+) -> Result<Option<Variant>, Error> {
+    let mut function = lower_program(program, basic, program.name(), &spec.lower_options())?;
+    optimize(&mut function, &options.passes);
+    let report = measure(program, &function, options, budget)?;
+    Ok(report.map(|report| Variant { function, spec, report }))
+}
+
+/// The search state: the visited set, the incumbent, and exploration
+/// statistics.
+struct Search<'p> {
+    program: &'p Program,
+    options: &'p Options,
+    synth: Synthesizer<'p>,
+    /// Canonical enumeration index per spec (ties break on it).
+    order: HashMap<VariantSpec, usize>,
+    /// Specs already attempted (measured, cut off, or failed); a spec is
+    /// never evaluated twice within one search.
+    visited: HashSet<VariantSpec>,
+    best: Option<(Variant, usize)>,
+    stats: TuneStats,
+    last_err: Option<Error>,
+}
+
+impl<'p> Search<'p> {
+    fn new(program: &'p Program, options: &'p Options) -> Self {
+        let order = options
+            .search
+            .enumerate(options.nu)
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| (s, i))
+            .collect();
+        Search {
+            program,
+            options,
+            synth: Synthesizer::new(program),
+            order,
+            visited: HashSet::new(),
+            best: None,
+            stats: TuneStats::default(),
+            last_err: None,
+        }
+    }
+
+    /// Measure a batch of specs: Stage 1 serially through the shared
+    /// database, Stages 2–3 + measurement fanned out across OS threads.
+    /// Updates the incumbent deterministically (strict min cycles, ties
+    /// broken by canonical enumeration order).
+    fn evaluate(&mut self, specs: &[VariantSpec], budget: Option<f64>) {
+        let fresh: Vec<VariantSpec> =
+            specs.iter().copied().filter(|s| self.visited.insert(*s)).collect();
+        let todo: Vec<(VariantSpec, Result<Arc<BasicProgram>, Error>)> =
+            fresh.into_iter().map(|s| (s, self.synth.basic(s.policy, s.nu))).collect();
+        if todo.is_empty() {
+            return;
+        }
+        let program = self.program;
+        let options = self.options;
+        let results: Vec<(VariantSpec, Result<Option<Variant>, Error>)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = todo
+                    .into_iter()
+                    .map(|(spec, basic)| {
+                        scope.spawn(move || {
+                            let r = basic
+                                .and_then(|b| finish_variant(program, spec, &b, options, budget));
+                            (spec, r)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("autotune variant thread panicked"))
+                    .collect()
+            });
+        for (spec, result) in results {
+            match result {
+                Ok(Some(variant)) => {
+                    self.stats.explored += 1;
+                    let ord = self.order.get(&spec).copied().unwrap_or(usize::MAX);
+                    let better = match &self.best {
+                        None => true,
+                        Some((b, bord)) => {
+                            variant.report.cycles < b.report.cycles
+                                || (variant.report.cycles == b.report.cycles && ord < *bord)
+                        }
+                    };
+                    if better {
+                        self.best = Some((variant, ord));
+                    }
+                }
+                Ok(None) => {
+                    // cut off: provably slower than the incumbent
+                    self.stats.explored += 1;
+                    self.stats.pruned += 1;
+                }
+                Err(e) => {
+                    self.last_err = Some(e);
+                }
+            }
+        }
+    }
+
+    fn incumbent_cycles(&self) -> Option<f64> {
+        self.best.as_ref().map(|(v, _)| v.report.cycles)
+    }
+
+    fn into_generated(self) -> Result<Generated, Error> {
+        let db_stats = self.synth.stats();
+        let stats = self.stats;
+        match self.best {
+            Some((variant, _)) => Ok(crate::pipeline::emit(variant, db_stats, stats)),
+            None => Err(self.last_err.unwrap_or_else(|| {
+                Error::Synth(slingen_synth::SynthError::Unsupported("empty search space".into()))
+            })),
+        }
+    }
+}
+
+/// Exhaustive exploration: every point measured in one parallel batch.
+fn run_exhaustive(search: &mut Search<'_>) {
+    let specs = search.options.search.enumerate(search.options.nu);
+    search.evaluate(&specs, None);
+}
+
+/// Greedy coordinate descent (see [`Strategy::Greedy`]).
+fn run_greedy(search: &mut Search<'_>) {
+    let space = &search.options.search;
+    let policies = space.policies.clone();
+    let nus = space.nus_for(search.options.nu);
+    let thresholds = space.loop_thresholds.clone();
+
+    // Seed coordinates: the caller's defaults, clamped into the space
+    // (nearest member, ties toward the smaller value).
+    let nearest = |values: &[usize], target: usize| -> usize {
+        values.iter().copied().min_by_key(|v| (v.abs_diff(target), *v)).expect("non-empty axis")
+    };
+    let seed_nu = nearest(&nus, search.options.nu);
+    let seed_thr = nearest(&thresholds, search.options.loop_threshold);
+
+    // Round 0: full policy sweep at the seed point — exactly the
+    // historical two-policy fan-out, so the greedy winner can never lose
+    // to it.
+    let seed_batch: Vec<VariantSpec> = policies
+        .iter()
+        .map(|&policy| VariantSpec { policy, nu: seed_nu, loop_threshold: seed_thr })
+        .collect();
+    search.evaluate(&seed_batch, None);
+
+    // Coordinate descent: sweep ν, threshold, then policy around the
+    // incumbent; repeat until a full sweep improves nothing. Candidates
+    // run under the incumbent's cycle budget, so dominated variants are
+    // abandoned mid-measurement.
+    const MAX_SWEEPS: usize = 3;
+    for _ in 0..MAX_SWEEPS {
+        let Some((best_spec, before)) =
+            search.best.as_ref().map(|(v, _)| (v.spec, v.report.cycles))
+        else {
+            return; // every seed failed; nothing to descend from
+        };
+        for coord in 0..3 {
+            let Some((cur, _)) = search.best.as_ref().map(|(v, _)| (v.spec, ())) else {
+                return;
+            };
+            let batch: Vec<VariantSpec> = match coord {
+                0 => nus
+                    .iter()
+                    .filter(|&&nu| nu != cur.nu)
+                    .map(|&nu| VariantSpec { nu, ..cur })
+                    .collect(),
+                1 => thresholds
+                    .iter()
+                    .filter(|&&t| t != cur.loop_threshold)
+                    .map(|&t| VariantSpec { loop_threshold: t, ..cur })
+                    .collect(),
+                _ => policies
+                    .iter()
+                    .filter(|&&p| p != cur.policy)
+                    .map(|&p| VariantSpec { policy: p, ..cur })
+                    .collect(),
+            };
+            let budget = search.incumbent_cycles();
+            search.evaluate(&batch, budget);
+        }
+        let unchanged = search
+            .best
+            .as_ref()
+            .map(|(v, _)| v.spec == best_spec && v.report.cycles == before)
+            .unwrap_or(true);
+        if unchanged {
+            break;
+        }
+    }
+}
+
+/// Run the autotuning search for `program` under `options`, consulting
+/// and populating the cache.
+pub(crate) fn tune(program: &Program, options: &Options) -> Result<Generated, Error> {
+    if options.search.is_empty() {
+        return Err(Error::Synth(slingen_synth::SynthError::Unsupported(
+            "empty autotuning search space".into(),
+        )));
+    }
+    let key = cache_key(program, options);
+    if let Some(hit) = options.cache.lookup(&key) {
+        return Ok(hit);
+    }
+    let mut search = Search::new(program, options);
+    match options.search.strategy() {
+        Strategy::Exhaustive => run_exhaustive(&mut search),
+        Strategy::Greedy => run_greedy(&mut search),
+    }
+    let generated = search.into_generated()?;
+    options.cache.insert(key, &generated);
+    Ok(generated)
+}

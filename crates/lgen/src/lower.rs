@@ -20,9 +20,18 @@ pub struct LowerOptions {
     pub loop_threshold: usize,
 }
 
+impl LowerOptions {
+    /// Options for one point of the autotuner's variant space: vector
+    /// width ν and the loop-vs-straight-line threshold are exactly the
+    /// code-level coordinates of a `VariantSpec`.
+    pub fn new(nu: usize, loop_threshold: usize) -> Self {
+        LowerOptions { nu, loop_threshold }
+    }
+}
+
 impl Default for LowerOptions {
     fn default() -> Self {
-        LowerOptions { nu: 4, loop_threshold: 64 }
+        LowerOptions::new(4, 64)
     }
 }
 

@@ -53,7 +53,32 @@ pub fn measure(
     lib: Option<&KernelLib>,
     machine: &Machine,
 ) -> Result<Report, VmError> {
-    let mut sched = Scheduler::new(machine.clone());
+    Ok(measure_budgeted(f, buffers, lib, machine, None)?.expect("no budget, no cutoff"))
+}
+
+/// Execute `f` under the performance model with a cycle budget: as soon as
+/// the modeled makespan exceeds `budget` the run is abandoned and `None`
+/// is returned (the variant is provably slower than the budget). With
+/// `budget: None` this is [`measure`].
+///
+/// The autotuner uses this to discard dominated variants without paying
+/// for their full simulation.
+///
+/// # Errors
+///
+/// Propagates any [`VmError`] from execution.
+pub fn measure_budgeted(
+    f: &Function,
+    buffers: &mut BufferSet,
+    lib: Option<&KernelLib>,
+    machine: &Machine,
+    budget: Option<f64>,
+) -> Result<Option<Report>, VmError> {
+    let mut sched = Scheduler::with_budget(machine.clone(), budget);
     slingen_vm::execute_with_lib(f, buffers, lib, &mut sched)?;
-    Ok(sched.finish())
+    if sched.budget_exceeded() {
+        Ok(None)
+    } else {
+        Ok(Some(sched.finish()))
+    }
 }

@@ -51,11 +51,23 @@ pub struct Scheduler {
     makespan: f64,
     flops: u64,
     instructions: u64,
+    /// Cycle budget: once the makespan exceeds it the run is abandoned
+    /// (the autotuner's early cutoff for dominated variants).
+    budget: Option<f64>,
+    exceeded: bool,
 }
 
 impl Scheduler {
     /// A scheduler for the given machine.
     pub fn new(machine: Machine) -> Self {
+        Scheduler::with_budget(machine, None)
+    }
+
+    /// A scheduler that requests an early stop once the modeled makespan
+    /// exceeds `budget` cycles. The makespan is monotone, so exceeding the
+    /// budget mid-run proves the final estimate would too — abandoning the
+    /// variant is sound pruning, not approximation.
+    pub fn with_budget(machine: Machine, budget: Option<f64>) -> Self {
         Scheduler {
             machine,
             res_free: BTreeMap::new(),
@@ -67,7 +79,15 @@ impl Scheduler {
             makespan: 0.0,
             flops: 0,
             instructions: 0,
+            budget,
+            exceeded: false,
         }
+    }
+
+    /// Whether the cycle budget was exceeded (the run was cut short and
+    /// the report would be a lower bound, not an estimate).
+    pub fn budget_exceeded(&self) -> bool {
+        self.exceeded
     }
 
     /// Decompose one instruction into its resource demands. The first
@@ -263,6 +283,15 @@ impl Monitor for Scheduler {
             self.cellready.insert(*cell, done);
         }
         self.makespan = self.makespan.max(done);
+        if let Some(b) = self.budget {
+            if self.makespan > b {
+                self.exceeded = true;
+            }
+        }
+    }
+
+    fn should_stop(&self) -> bool {
+        self.exceeded
     }
 }
 
@@ -398,6 +427,42 @@ mod tests {
             "memory chain must serialize, got {}",
             rep.cycles
         );
+    }
+
+    /// A cycle budget abandons the run as soon as the makespan exceeds it;
+    /// an unexceeded budget returns the same report as no budget.
+    #[test]
+    fn budget_cutoff_abandons_dominated_runs() {
+        let mut b = FunctionBuilder::new("div", 1);
+        let o = b.buffer("o", 1, BufKind::ParamOut);
+        let mut acc = b.smov(1.0e9);
+        for _ in 0..8 {
+            acc = b.sbin(slingen_cir::BinOp::Div, acc, 1.5);
+        }
+        b.sstore(acc, MemRef::new(o, 0));
+        let f = b.finish();
+
+        let mut bufs = BufferSet::for_function(&f);
+        let full = crate::measure(&f, &mut bufs, None, &Machine::sandy_bridge()).unwrap();
+
+        let mut bufs = BufferSet::for_function(&f);
+        let cut =
+            crate::measure_budgeted(&f, &mut bufs, None, &Machine::sandy_bridge(), Some(50.0))
+                .unwrap();
+        assert!(cut.is_none(), "8 chained divs must blow a 50-cycle budget");
+
+        let mut bufs = BufferSet::for_function(&f);
+        let kept = crate::measure_budgeted(
+            &f,
+            &mut bufs,
+            None,
+            &Machine::sandy_bridge(),
+            Some(full.cycles + 1.0),
+        )
+        .unwrap()
+        .expect("budget above the true cost must not trigger");
+        assert_eq!(kept.cycles, full.cycles);
+        assert_eq!(kept.instructions, full.instructions);
     }
 
     /// Calls pay the configured interface overhead.

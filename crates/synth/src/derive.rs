@@ -84,15 +84,25 @@ impl EqInstance {
     }
 }
 
+/// An interned signature symbol: index into [`AlgorithmDb`]'s tables.
+type Sym = u32;
+
 /// Memoization of derived algorithms (paper Stage 1a).
 ///
-/// Keys are translation-invariant signatures; values are basic-program
-/// templates over *roles* that are relocated on reuse. Disable with
-/// [`AlgorithmDb::set_enabled`] to force fresh derivations (used by tests
-/// to validate the cache).
+/// Keys are translation-invariant signatures, *interned*: every distinct
+/// signature string is stored once and mapped to a dense symbol, and the
+/// hot path (a cache hit) builds its key in a reusable scratch buffer and
+/// looks it up by `&str` — no per-derivation allocation. Values are
+/// basic-program templates over *roles* that are relocated on reuse.
+/// Disable with [`AlgorithmDb::set_enabled`] to force fresh derivations
+/// (used by tests to validate the cache).
 #[derive(Debug, Default)]
 pub struct AlgorithmDb {
-    templates: HashMap<String, Vec<BasicStmt>>,
+    /// Signature string -> symbol (allocates only on first sight).
+    symbols: HashMap<Box<str>, Sym>,
+    /// Symbol -> cached template (`None`: derived but not relocatable).
+    templates: Vec<Option<Vec<BasicStmt>>>,
+    stored: usize,
     hits: usize,
     misses: usize,
     enabled: bool,
@@ -101,7 +111,7 @@ pub struct AlgorithmDb {
 impl AlgorithmDb {
     /// An empty, enabled database.
     pub fn new() -> Self {
-        AlgorithmDb { templates: HashMap::new(), hits: 0, misses: 0, enabled: true }
+        AlgorithmDb { enabled: true, ..AlgorithmDb::default() }
     }
 
     /// Enable or disable memoization.
@@ -121,12 +131,30 @@ impl AlgorithmDb {
 
     /// Number of distinct algorithms stored.
     pub fn len(&self) -> usize {
-        self.templates.len()
+        self.stored
     }
 
     /// Whether the database is empty.
     pub fn is_empty(&self) -> bool {
-        self.templates.is_empty()
+        self.stored == 0
+    }
+
+    /// Number of interned signature symbols (≥ [`AlgorithmDb::len`]:
+    /// non-relocatable derivations intern their signature without storing
+    /// a template).
+    pub fn interned(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// The symbol for `sig`, interning it on first sight.
+    fn intern(&mut self, sig: &str) -> Sym {
+        if let Some(&s) = self.symbols.get(sig) {
+            return s;
+        }
+        let s = self.templates.len() as Sym;
+        self.symbols.insert(Box::from(sig), s);
+        self.templates.push(None);
+        s
     }
 }
 
@@ -223,15 +251,17 @@ fn instantiate_expr(roles: &Roles, e: &VExpr) -> VExpr {
     }
 }
 
-fn view_signature(v: &View) -> String {
-    format!(
+fn write_view_signature(sig: &mut String, v: &View) {
+    use std::fmt::Write;
+    let _ = write!(
+        sig,
         "{}x{}{}{:?}d{}",
         v.r1 - v.r0,
         v.c1 - v.c0,
         if v.trans { "t" } else { "" },
         v.structure,
         v.r0 as i64 - v.c0 as i64
-    )
+    );
 }
 
 /// Whether `derive_fresh` would emit this instance entirely through one of
@@ -249,37 +279,85 @@ fn is_scalar_leaf(inst: &EqInstance) -> bool {
     }
 }
 
-fn instance_signature(inst: &EqInstance, policy: Policy, nu: usize, roles: &Roles) -> String {
-    // Policy-independent derivations share one policy-neutral keyspace;
-    // block-level derivations stay policy-qualified because their loop
-    // schedules (and those of their descendants) differ.
-    let mut sig =
-        if is_scalar_leaf(inst) { format!("any/nu{nu}/") } else { format!("{policy}/nu{nu}/") };
-    sig.push_str(&match &inst.op {
-        SolveOp::Assign => "assign".to_string(),
-        SolveOp::TrsmLeft { t } => format!("trsml[{}]", view_signature(t)),
-        SolveOp::TrsmRight { t } => format!("trsmr[{}]", view_signature(t)),
-        SolveOp::Potrf { lower } => format!("potrf{}", if *lower { "l" } else { "u" }),
-        SolveOp::Trtri { l } => format!("trtri[{}]", view_signature(l)),
-        SolveOp::Sylvester { l, u } => {
-            format!("sylv[{};{}]", view_signature(l), view_signature(u))
+/// Build the instance's signature into `sig` (a reusable scratch buffer;
+/// the caller clears and recycles it so cache hits never allocate).
+fn instance_signature(
+    sig: &mut String,
+    inst: &EqInstance,
+    policy: Policy,
+    nu: usize,
+    roles: &Roles,
+) {
+    use std::fmt::Write;
+    // Scalar-leaf emission consults neither the loop-invariant policy nor
+    // the block size ν, so leaf templates live in one fully neutral
+    // keyspace shared across the whole (policy × ν) variant space the
+    // autotuner explores. Block-level derivations stay qualified by both
+    // because their loop schedules (and those of their descendants)
+    // differ.
+    if is_scalar_leaf(inst) {
+        sig.push_str("any/");
+    } else {
+        let _ = write!(sig, "{policy}/nu{nu}/");
+    }
+    match &inst.op {
+        SolveOp::Assign => sig.push_str("assign"),
+        SolveOp::TrsmLeft { t } => {
+            sig.push_str("trsml[");
+            write_view_signature(sig, t);
+            sig.push(']');
         }
-        SolveOp::Getrf { l } => format!("getrf[{}]", view_signature(l)),
-    });
-    sig.push_str(&format!("/out[{}]", view_signature(&inst.out)));
-    sig.push_str(&match &inst.base {
-        Term::V(v) => format!("/base[{}]", view_signature(v)),
-        Term::Ident(n) => format!("/baseI{n}"),
-        Term::Zero(r, c) => format!("/base0_{r}x{c}"),
-        other => format!("/base?{other}"),
-    });
+        SolveOp::TrsmRight { t } => {
+            sig.push_str("trsmr[");
+            write_view_signature(sig, t);
+            sig.push(']');
+        }
+        SolveOp::Potrf { lower } => {
+            sig.push_str(if *lower { "potrfl" } else { "potrfu" });
+        }
+        SolveOp::Trtri { l } => {
+            sig.push_str("trtri[");
+            write_view_signature(sig, l);
+            sig.push(']');
+        }
+        SolveOp::Sylvester { l, u } => {
+            sig.push_str("sylv[");
+            write_view_signature(sig, l);
+            sig.push(';');
+            write_view_signature(sig, u);
+            sig.push(']');
+        }
+        SolveOp::Getrf { l } => {
+            sig.push_str("getrf[");
+            write_view_signature(sig, l);
+            sig.push(']');
+        }
+    }
+    sig.push_str("/out[");
+    write_view_signature(sig, &inst.out);
+    sig.push(']');
+    match &inst.base {
+        Term::V(v) => {
+            sig.push_str("/base[");
+            write_view_signature(sig, v);
+            sig.push(']');
+        }
+        Term::Ident(n) => {
+            let _ = write!(sig, "/baseI{n}");
+        }
+        Term::Zero(r, c) => {
+            let _ = write!(sig, "/base0_{r}x{c}");
+        }
+        other => {
+            let _ = write!(sig, "/base?{other}");
+        }
+    }
     // operand aliasing pattern across roles
     sig.push_str("/alias");
     for (i, (op, _, _)) in roles.slots.iter().enumerate() {
         let first = roles.slots.iter().position(|(o, _, _)| o == op).unwrap();
-        sig.push_str(&format!("_{i}:{first}"));
+        let _ = write!(sig, "_{i}:{first}");
     }
-    sig
 }
 
 /// The derivation context.
@@ -288,6 +366,10 @@ struct Deriver<'p, 'd> {
     policy: Policy,
     nu: usize,
     db: &'d mut AlgorithmDb,
+    /// Scratch-buffer pool for signature building (one per active
+    /// recursion level; buffers are recycled, so steady-state derivation
+    /// allocates no signature strings).
+    scratch: Vec<String>,
 }
 
 impl<'p, 'd> Deriver<'p, 'd> {
@@ -358,25 +440,39 @@ impl<'p, 'd> Deriver<'p, 'd> {
         if inst.out.is_empty() {
             return Ok(());
         }
-        // Stage 1a: algorithm reuse through the database.
+        // Stage 1a: algorithm reuse through the database. The signature is
+        // built in a recycled scratch buffer and matched against interned
+        // symbols; the hit path performs no allocation beyond the emitted
+        // statements themselves.
         let roles = Roles::of_instance(inst);
-        let sig = instance_signature(inst, self.policy, self.nu, &roles);
+        let mut sig = self.scratch.pop().unwrap_or_default();
+        sig.clear();
+        instance_signature(&mut sig, inst, self.policy, self.nu, &roles);
         if self.db.enabled {
-            if let Some(template) = self.db.templates.get(&sig) {
-                self.db.hits += 1;
-                for stmt in template.clone() {
-                    out.push(BasicStmt {
-                        lhs: roles.instantiate(&stmt.lhs),
-                        rhs: instantiate_expr(&roles, &stmt.rhs),
-                    });
+            let known = self.db.symbols.get(sig.as_str()).copied();
+            if let Some(s) = known {
+                if self.db.templates[s as usize].is_some() {
+                    self.db.hits += 1;
+                    let template = self.db.templates[s as usize].as_ref().unwrap();
+                    for stmt in template {
+                        out.push(BasicStmt {
+                            lhs: roles.instantiate(&stmt.lhs),
+                            rhs: instantiate_expr(&roles, &stmt.rhs),
+                        });
+                    }
+                    self.scratch.push(sig);
+                    return Ok(());
                 }
-                return Ok(());
             }
             self.db.misses += 1;
         }
         let start = out.stmts.len();
+        // Intern before recursing so the scratch buffer can be recycled
+        // by nested derivations.
+        let sym = if self.db.enabled { Some(self.db.intern(&sig)) } else { None };
+        self.scratch.push(sig);
         self.derive_fresh(inst, out)?;
-        if self.db.enabled {
+        if let Some(sym) = sym {
             // relativize; skip caching if any view escapes the roles
             let relative: Option<Vec<BasicStmt>> = out.stmts[start..]
                 .iter()
@@ -388,7 +484,11 @@ impl<'p, 'd> Deriver<'p, 'd> {
                 })
                 .collect();
             if let Some(t) = relative {
-                self.db.templates.insert(sig, t);
+                let slot = &mut self.db.templates[sym as usize];
+                if slot.is_none() {
+                    self.db.stored += 1;
+                }
+                *slot = Some(t);
             }
         }
         Ok(())
@@ -817,7 +917,7 @@ pub fn synthesize_equation(
     }
     // updates at the top level (e.g. `Uᵀ·U = S - x·xᵀ`) fold into the copy
     let updates: Vec<Term> = cell.updates.iter().filter(|u| !u.is_zero()).cloned().collect();
-    let mut deriver = Deriver { program, policy, nu, db };
+    let mut deriver = Deriver { program, policy, nu, db, scratch: Vec::new() };
     if !updates.is_empty() {
         let rhs = deriver.combine_rhs(&base, &updates)?;
         out.push(BasicStmt { lhs: out_view, rhs });

@@ -137,6 +137,10 @@ pub fn execute(
 
 /// Execute `f` against `buffers`, resolving [`Instr::Call`]s in `lib`.
 ///
+/// If the monitor's [`Monitor::should_stop`] turns true mid-run, execution
+/// stops early and returns `Ok(())` with partial output buffers; the
+/// monitor itself knows it requested the stop.
+///
 /// # Errors
 ///
 /// Returns [`VmError`] on out-of-bounds accesses, unknown kernels, or call
@@ -153,14 +157,15 @@ pub fn execute_with_lib(
     };
     let mut vm = Vm { mem, lib, monitor };
     let map: Vec<usize> = (0..f.buffers.len()).collect();
-    let result = vm.run(f, map);
+    let result = vm.run(f, map).map(|_continue| ());
     buffers.data = vm.mem.bufs;
     buffers.data.truncate(f.buffers.len());
     result
 }
 
 impl<'l, 'm> Vm<'l, 'm> {
-    fn run(&mut self, f: &Function, map: Vec<usize>) -> Result<(), VmError> {
+    /// Returns `Ok(false)` when the monitor requested an early stop.
+    fn run(&mut self, f: &Function, map: Vec<usize>) -> Result<bool, VmError> {
         let mut act = Activation {
             f,
             map,
@@ -171,30 +176,35 @@ impl<'l, 'm> Vm<'l, 'm> {
         self.exec_stmts(&f.body, &mut act)
     }
 
-    fn exec_stmts(&mut self, stmts: &[CStmt], act: &mut Activation<'_>) -> Result<(), VmError> {
+    fn exec_stmts(&mut self, stmts: &[CStmt], act: &mut Activation<'_>) -> Result<bool, VmError> {
         for s in stmts {
             match s {
-                CStmt::I(i) => self.exec_instr(i, act)?,
+                CStmt::I(i) => {
+                    if !self.exec_instr(i, act)? {
+                        return Ok(false);
+                    }
+                }
                 CStmt::For { var, lo, hi, step, body } => {
                     let lo = lo.eval(&|v| act.loopvars[v.0]);
                     let hi = hi.eval(&|v| act.loopvars[v.0]);
                     let mut iv = lo;
                     while iv < hi {
                         act.loopvars[var.0] = iv;
-                        self.exec_stmts(body, act)?;
+                        if !self.exec_stmts(body, act)? {
+                            return Ok(false);
+                        }
                         iv += step;
                     }
                 }
                 CStmt::If { cond, then_, else_ } => {
-                    if cond.eval(&|v| act.loopvars[v.0]) {
-                        self.exec_stmts(then_, act)?;
-                    } else {
-                        self.exec_stmts(else_, act)?;
+                    let taken = if cond.eval(&|v| act.loopvars[v.0]) { then_ } else { else_ };
+                    if !self.exec_stmts(taken, act)? {
+                        return Ok(false);
                     }
                 }
             }
         }
-        Ok(())
+        Ok(true)
     }
 
     fn resolve(
@@ -232,7 +242,8 @@ impl<'l, 'm> Vm<'l, 'm> {
         }
     }
 
-    fn exec_instr(&mut self, i: &Instr, act: &mut Activation<'_>) -> Result<(), VmError> {
+    /// Returns `Ok(false)` when the monitor requested an early stop.
+    fn exec_instr(&mut self, i: &Instr, act: &mut Activation<'_>) -> Result<bool, VmError> {
         let mut reads: Vec<(usize, i64)> = Vec::new();
         let mut writes: Vec<(usize, i64)> = Vec::new();
         match i {
@@ -353,15 +364,15 @@ impl<'l, 'm> Vm<'l, 'm> {
                         arg += 1;
                     }
                 }
-                self.run(callee, map)?;
+                let keep_going = self.run(callee, map)?;
                 // free callee locals
                 self.mem.bufs.truncate(base_len);
                 self.mem.names.truncate(base_len);
-                return Ok(());
+                return Ok(keep_going);
             }
         }
         self.monitor.event(&Event { instr: i, width: act.f.width, reads, writes });
-        Ok(())
+        Ok(!self.monitor.should_stop())
     }
 }
 

@@ -24,6 +24,15 @@ pub struct Event<'a> {
 pub trait Monitor {
     /// Called once per dynamically executed instruction.
     fn event(&mut self, event: &Event<'_>);
+
+    /// Polled by the interpreter after each statement; returning `true`
+    /// abandons the run early (the remaining statements never execute and
+    /// output buffers are left partial). Used by budgeted measurement:
+    /// the autotuner's cycle-budget cutoff stops modeling a variant as
+    /// soon as its estimate exceeds the incumbent's.
+    fn should_stop(&self) -> bool {
+        false
+    }
 }
 
 /// A monitor that ignores everything (pure execution).

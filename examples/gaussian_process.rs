@@ -10,7 +10,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 16;
     let program = apps::gpr(n);
     let generated = slingen::generate(&program, &Options::default())?;
-    let diff = slingen::verify(&program, &generated.function, generated.policy, 4, 5)?;
+    let diff =
+        slingen::verify(&program, &generated.function, generated.policy, generated.spec.nu, 5)?;
     println!("gpr n={n}: verified (max diff {diff:.2e})");
     assert!(diff < 1e-8);
     println!(

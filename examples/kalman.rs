@@ -20,7 +20,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let generated = slingen::generate(&program, &Options::default())?;
-    let diff = slingen::verify(&program, &generated.function, generated.policy, 4, 9)?;
+    let diff =
+        slingen::verify(&program, &generated.function, generated.policy, generated.spec.nu, 9)?;
     println!("verification vs reference semantics: max diff {diff:.2e}");
     assert!(diff < 1e-8);
 

@@ -27,12 +27,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("parsed LA program:\n{program}");
 
     let generated = slingen::generate(&program, &slingen::Options::default())?;
-    println!("selected algorithmic variant: {}", generated.policy);
+    println!(
+        "selected variant: {} ({} variants explored)",
+        generated.spec, generated.tuning.explored
+    );
     println!("modeled performance: {:.2} flops/cycle", generated.flops_per_cycle());
     println!("\ngenerated C:\n{}", generated.c_code);
 
     // verify the generated code against the reference semantics
-    let diff = slingen::verify(&program, &generated.function, generated.policy, 4, 42)?;
+    let diff =
+        slingen::verify(&program, &generated.function, generated.policy, generated.spec.nu, 42)?;
     println!("max |generated - reference| = {diff:.2e}");
     assert!(diff < 1e-9);
     Ok(())
