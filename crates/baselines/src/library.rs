@@ -50,6 +50,7 @@ fn kernel_passes() -> PassConfig {
         load_store_analysis: true,
         scalar_replacement: true,
         cse: true,
+        fma_contraction: false,
         iterations: 2,
     }
 }

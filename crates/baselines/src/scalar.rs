@@ -31,6 +31,7 @@ pub fn scalar_codegen(
             load_store_analysis: false,
             scalar_replacement: true,
             cse: true,
+            fma_contraction: false,
             iterations: 3,
         }
     } else {
@@ -39,6 +40,7 @@ pub fn scalar_codegen(
             load_store_analysis: false,
             scalar_replacement: false,
             cse: true,
+            fma_contraction: false,
             iterations: 1,
         }
     };

@@ -29,6 +29,7 @@ pub fn template_codegen(program: &Program) -> Result<BaselineCode, Box<dyn std::
         load_store_analysis: false,
         scalar_replacement: false,
         cse: true,
+        fma_contraction: false,
         iterations: 2,
     };
     optimize(&mut f, &passes);

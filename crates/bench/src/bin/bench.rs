@@ -94,6 +94,7 @@ struct TuneRecord {
     spec: String,
     explored: usize,
     pruned: usize,
+    deduped: usize,
     cold_ms: f64,
     cached_ms: f64,
     hit_rate: f64,
@@ -124,6 +125,7 @@ fn measure_tune(name: &str, program: &Program) -> TuneRecord {
         spec: g.spec.to_string(),
         explored: g.tuning.explored,
         pruned: g.tuning.pruned,
+        deduped: g.tuning.deduped,
         cold_ms,
         cached_ms,
         hit_rate: hits as f64 / (hits + misses).max(1) as f64,
@@ -206,11 +208,12 @@ fn main() {
             eprintln!("tuning {name} ...");
             let t = measure_tune(name, program);
             eprintln!(
-                "  winner {:16} explored {:2} (pruned {:2})  cold {:8.3} ms  cached {:8.4} ms  \
-                 ({:.0}x)  cache hit rate {:.2}",
+                "  winner {:16} explored {:2} (pruned {:2}, deduped {:2})  cold {:8.3} ms  \
+                 cached {:8.4} ms  ({:.0}x)  cache hit rate {:.2}",
                 t.spec,
                 t.explored,
                 t.pruned,
+                t.deduped,
                 t.cold_ms,
                 t.cached_ms,
                 t.cold_ms / t.cached_ms.max(1e-9),
@@ -267,12 +270,14 @@ fn main() {
         for (i, t) in tune_records.iter().enumerate() {
             json.push_str(&format!(
                 "    {{\"app\": \"{}\", \"winner\": \"{}\", \"variants_explored\": {}, \
-                 \"variants_pruned\": {}, \"cold_ms\": {:.3}, \"cached_ms\": {:.4}, \
-                 \"cache_speedup\": {:.1}, \"cache_hit_rate\": {:.3}}}{}\n",
+                 \"variants_pruned\": {}, \"variants_deduped\": {}, \"cold_ms\": {:.3}, \
+                 \"cached_ms\": {:.4}, \"cache_speedup\": {:.1}, \
+                 \"cache_hit_rate\": {:.3}}}{}\n",
                 t.app,
                 t.spec,
                 t.explored,
                 t.pruned,
+                t.deduped,
                 t.cold_ms,
                 t.cached_ms,
                 t.cold_ms / t.cached_ms.max(1e-9),

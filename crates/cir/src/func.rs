@@ -186,7 +186,7 @@ pub struct FunctionBuilder {
     pending_ifs: Vec<(Cond, Option<Vec<CStmt>>)>,
 }
 
-use crate::instr::{BinOp, LaneSel, MemRef, SOperand, SReg, VReg};
+use crate::instr::{BinOp, FmaKind, LaneSel, MemRef, SOperand, SReg, VReg};
 
 impl FunctionBuilder {
     /// Start a function with the given vector width ν.
@@ -266,6 +266,19 @@ impl FunctionBuilder {
         dst
     }
 
+    /// `fresh = ±(a * b) ± c` per `kind`, fused.
+    pub fn sfma(
+        &mut self,
+        kind: FmaKind,
+        a: impl Into<SOperand>,
+        b: impl Into<SOperand>,
+        c: impl Into<SOperand>,
+    ) -> SReg {
+        let dst = self.fresh_sreg();
+        self.instr(Instr::SFma { kind, dst, a: a.into(), b: b.into(), c: c.into() });
+        dst
+    }
+
     /// `fresh = a`.
     pub fn smov(&mut self, a: impl Into<SOperand>) -> SReg {
         let dst = self.fresh_sreg();
@@ -305,6 +318,13 @@ impl FunctionBuilder {
     pub fn vbin(&mut self, op: BinOp, a: VReg, b: VReg) -> VReg {
         let dst = self.fresh_vreg();
         self.instr(Instr::VBin { op, dst, a, b });
+        dst
+    }
+
+    /// `fresh = ±(a * b) ± c` per `kind`, element-wise and fused.
+    pub fn vfma(&mut self, kind: FmaKind, a: VReg, b: VReg, c: VReg) -> VReg {
+        let dst = self.fresh_vreg();
+        self.instr(Instr::VFma { kind, dst, a, b, c });
         dst
     }
 

@@ -134,6 +134,54 @@ impl fmt::Display for BinOp {
     }
 }
 
+/// The sign pattern of a fused multiply-add (the x86 FMA3 forms the
+/// contraction pass needs: Cholesky-style updates are `c - a*b`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FmaKind {
+    /// `a * b + c` (`fmadd`).
+    MulAdd,
+    /// `a * b - c` (`fmsub`).
+    MulSub,
+    /// `c - a * b` (`fnmadd`).
+    NegMulAdd,
+}
+
+impl FmaKind {
+    /// Apply to concrete values, fused (single rounding): every form is
+    /// an exact `mul_add` with sign-flipped operands.
+    pub fn apply(self, a: f64, b: f64, c: f64) -> f64 {
+        match self {
+            FmaKind::MulAdd => a.mul_add(b, c),
+            FmaKind::MulSub => a.mul_add(b, -c),
+            FmaKind::NegMulAdd => (-a).mul_add(b, c),
+        }
+    }
+
+    /// The equivalent two-op result (rounded product, then add/sub).
+    pub fn apply_unfused(self, a: f64, b: f64, c: f64) -> f64 {
+        match self {
+            FmaKind::MulAdd => a * b + c,
+            FmaKind::MulSub => a * b - c,
+            FmaKind::NegMulAdd => c - a * b,
+        }
+    }
+
+    /// The intrinsic name stem (`fmadd`, `fmsub`, `fnmadd`).
+    pub fn intrinsic_stem(self) -> &'static str {
+        match self {
+            FmaKind::MulAdd => "fmadd",
+            FmaKind::MulSub => "fmsub",
+            FmaKind::NegMulAdd => "fnmadd",
+        }
+    }
+}
+
+impl fmt::Display for FmaKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.intrinsic_stem())
+    }
+}
+
 /// One lane of a two-source shuffle: pick lane `lane` from source `a`/`b`,
 /// or produce zero.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -192,6 +240,25 @@ pub enum Instr {
         /// Operand.
         a: SOperand,
     },
+    /// Fused multiply-add, `dst = ±(a * b) ± c` per [`FmaKind`] (single
+    /// rounding).
+    ///
+    /// Produced by the [`crate::passes::contract`] pass on FMA-capable
+    /// targets. The VM executes it with `f64::mul_add`, so the result can
+    /// differ from the separate mul+add/sub sequence by up to 1 ULP per
+    /// contraction (the intermediate product is not rounded).
+    SFma {
+        /// Sign pattern.
+        kind: FmaKind,
+        /// Destination.
+        dst: SReg,
+        /// Multiplicand.
+        a: SOperand,
+        /// Multiplier.
+        b: SOperand,
+        /// Addend.
+        c: SOperand,
+    },
     /// `dst = a` (register copy / immediate materialization)
     SMov {
         /// Destination.
@@ -237,6 +304,19 @@ pub enum Instr {
         a: VReg,
         /// Second operand.
         b: VReg,
+    },
+    /// Fused multiply-add, element-wise (see [`Instr::SFma`]).
+    VFma {
+        /// Sign pattern.
+        kind: FmaKind,
+        /// Destination.
+        dst: VReg,
+        /// Multiplicand.
+        a: VReg,
+        /// Multiplier.
+        b: VReg,
+        /// Addend.
+        c: VReg,
     },
     /// Broadcast a scalar register/immediate into all lanes.
     VBroadcast {
@@ -311,6 +391,8 @@ pub enum InstrClass {
     FAdd,
     /// FP multiply.
     FMul,
+    /// Fused multiply-add (issues on the multiply port).
+    Fma,
     /// FP divide or square root (the unpipelined divider).
     FDivSqrt,
     /// Lane permute (shuffle port).
@@ -330,6 +412,7 @@ impl fmt::Display for InstrClass {
             InstrClass::Store => "store",
             InstrClass::FAdd => "fadd",
             InstrClass::FMul => "fmul",
+            InstrClass::Fma => "fma",
             InstrClass::FDivSqrt => "fdiv",
             InstrClass::Shuffle => "shuffle",
             InstrClass::Blend => "blend",
@@ -351,6 +434,7 @@ impl Instr {
                 BinOp::Mul => InstrClass::FMul,
                 BinOp::Div => InstrClass::FDivSqrt,
             },
+            Instr::SFma { .. } | Instr::VFma { .. } => InstrClass::Fma,
             Instr::SSqrt { .. } => InstrClass::FDivSqrt,
             Instr::SMov { .. } | Instr::VMov { .. } => InstrClass::Mov,
             Instr::VBroadcast { .. } => InstrClass::Mov,
@@ -376,6 +460,11 @@ impl Instr {
                 push(a);
                 push(b);
             }
+            Instr::SFma { a, b, c, .. } => {
+                push(a);
+                push(b);
+                push(c);
+            }
             Instr::SSqrt { a, .. } | Instr::SMov { a, .. } => push(a),
             Instr::VBroadcast { src, .. } => push(src),
             _ => {}
@@ -388,6 +477,7 @@ impl Instr {
         match self {
             Instr::VStore { src, .. } | Instr::VMov { src, .. } => vec![*src],
             Instr::VBin { a, b, .. } => vec![*a, *b],
+            Instr::VFma { a, b, c, .. } => vec![*a, *b, *c],
             Instr::VShuffle { a, b, .. } => vec![*a, *b],
             Instr::VBlend { a, b, .. } => vec![*a, *b],
             Instr::VExtract { src, .. } | Instr::VReduceAdd { src, .. } => vec![*src],
@@ -400,6 +490,7 @@ impl Instr {
         match self {
             Instr::SLoad { dst, .. }
             | Instr::SBin { dst, .. }
+            | Instr::SFma { dst, .. }
             | Instr::SSqrt { dst, .. }
             | Instr::SMov { dst, .. }
             | Instr::VExtract { dst, .. }
@@ -414,6 +505,7 @@ impl Instr {
             Instr::VLoad { dst, .. }
             | Instr::VMov { dst, .. }
             | Instr::VBin { dst, .. }
+            | Instr::VFma { dst, .. }
             | Instr::VBroadcast { dst, .. }
             | Instr::VShuffle { dst, .. }
             | Instr::VBlend { dst, .. } => Some(*dst),
@@ -438,7 +530,9 @@ impl Instr {
     pub fn flops(&self, width: usize) -> u64 {
         match self {
             Instr::SBin { .. } | Instr::SSqrt { .. } => 1,
+            Instr::SFma { .. } => 2,
             Instr::VBin { .. } => width as u64,
+            Instr::VFma { .. } => 2 * width as u64,
             Instr::VReduceAdd { .. } => width.saturating_sub(1) as u64,
             _ => 0,
         }
@@ -484,6 +578,43 @@ mod tests {
         };
         assert_eq!(v.vreg_reads(), vec![VReg(1), VReg(2)]);
         assert_eq!(v.vreg_write(), Some(VReg(0)));
+    }
+
+    #[test]
+    fn fma_reads_writes_and_class() {
+        let s = Instr::SFma {
+            kind: FmaKind::MulAdd,
+            dst: SReg(3),
+            a: SReg(0).into(),
+            b: 2.0.into(),
+            c: SReg(1).into(),
+        };
+        assert_eq!(s.class(), InstrClass::Fma);
+        assert_eq!(s.sreg_reads(), vec![SReg(0), SReg(1)]);
+        assert_eq!(s.sreg_write(), Some(SReg(3)));
+        assert_eq!(s.flops(1), 2);
+        let v = Instr::VFma {
+            kind: FmaKind::NegMulAdd,
+            dst: VReg(3),
+            a: VReg(0),
+            b: VReg(1),
+            c: VReg(2),
+        };
+        assert_eq!(v.class(), InstrClass::Fma);
+        assert_eq!(v.vreg_reads(), vec![VReg(0), VReg(1), VReg(2)]);
+        assert_eq!(v.vreg_write(), Some(VReg(3)));
+        assert_eq!(v.flops(4), 8);
+        assert!(!v.touches_memory());
+    }
+
+    #[test]
+    fn fma_kinds_apply_their_sign_patterns() {
+        assert_eq!(FmaKind::MulAdd.apply(2.0, 3.0, 4.0), 10.0);
+        assert_eq!(FmaKind::MulSub.apply(2.0, 3.0, 4.0), 2.0);
+        assert_eq!(FmaKind::NegMulAdd.apply(2.0, 3.0, 4.0), -2.0);
+        for k in [FmaKind::MulAdd, FmaKind::MulSub, FmaKind::NegMulAdd] {
+            assert_eq!(k.apply(2.0, 3.0, 4.0), k.apply_unfused(2.0, 3.0, 4.0));
+        }
     }
 
     #[test]

@@ -18,8 +18,11 @@
 //! round-trips into register shuffles and blends (paper Fig. 12), plus the
 //! supporting CSE/DCE/copy-propagation cleanups.
 //!
-//! [`unparse`] renders a C-IR function as single-source C99 with AVX
-//! intrinsics — the system's final output format.
+//! [`target`] describes the instruction-set targets the generator can
+//! retarget to (widths, capabilities, cost tables); [`unparse`] renders a
+//! C-IR function as single-source C99 with the target's intrinsic family
+//! (scalar / `_mm_*` / `_mm256_*`, FMA forms when available) — the
+//! system's final output format.
 
 pub mod affine;
 pub mod func;
@@ -27,8 +30,10 @@ pub mod fxhash;
 pub mod instr;
 pub mod passes;
 pub mod pretty;
+pub mod target;
 pub mod unparse;
 
 pub use affine::{Affine, CmpOp, Cond, LoopVar};
 pub use func::{BufId, BufKind, BufferDecl, CStmt, Function, FunctionBuilder};
-pub use instr::{BinOp, Instr, InstrClass, LaneSel, MemRef, SOperand, SReg, VReg};
+pub use instr::{BinOp, FmaKind, Instr, InstrClass, LaneSel, MemRef, SOperand, SReg, VReg};
+pub use target::{CostTable, Target, TargetDesc};

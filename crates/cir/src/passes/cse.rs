@@ -15,14 +15,16 @@
 
 use crate::func::{CStmt, Function};
 use crate::fxhash::FxHashMap;
-use crate::instr::{BinOp, Instr, LaneSel, SOperand, SReg, VReg};
+use crate::instr::{BinOp, FmaKind, Instr, LaneSel, SOperand, SReg, VReg};
 
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 enum Key {
     SBin(BinOp, SKey, SKey),
+    SFma(FmaKind, SKey, SKey, SKey),
     SSqrt(SKey),
     SLoad(usize, i64, u64),
     VBin(BinOp, VKey, VKey),
+    VFma(FmaKind, VKey, VKey, VKey),
     VBroadcast(SKey),
     VShuffle(VKey, VKey, Vec<LaneSel>),
     VBlend(VKey, VKey, Vec<bool>),
@@ -128,6 +130,12 @@ fn instr_key(st: &Cse, ins: &Instr) -> Option<Key> {
             };
             Some(Key::SBin(*op, ka, kb))
         }
+        Instr::SFma { kind, a, b, c, .. } => {
+            // the product commutes; the addend does not
+            let (ka, kb) = (st.skey(a), st.skey(b));
+            let (ka, kb) = if kb < ka { (kb, ka) } else { (ka, kb) };
+            Some(Key::SFma(*kind, ka, kb, st.skey(c)))
+        }
         Instr::SSqrt { a, .. } => Some(Key::SSqrt(st.skey(a))),
         Instr::SLoad { src, .. } => {
             src.offset.as_constant().map(|off| Key::SLoad(src.buf.0, off, st.epoch(src.buf.0)))
@@ -139,6 +147,11 @@ fn instr_key(st: &Cse, ins: &Instr) -> Option<Key> {
                 _ => (ka, kb),
             };
             Some(Key::VBin(*op, ka, kb))
+        }
+        Instr::VFma { kind, a, b, c, .. } => {
+            let (ka, kb) = (st.vkey(*a), st.vkey(*b));
+            let (ka, kb) = if kb < ka { (kb, ka) } else { (ka, kb) };
+            Some(Key::VFma(*kind, ka, kb, st.vkey(*c)))
         }
         Instr::VBroadcast { src, .. } => Some(Key::VBroadcast(st.skey(src))),
         Instr::VShuffle { a, b, sel, .. } => {

@@ -433,12 +433,22 @@ fn copyprop_instr(st: &mut CopyState, ins: &mut Instr) -> bool {
             changed |= st.subst_sop(a);
             changed |= st.subst_sop(b);
         }
+        Instr::SFma { a, b, c, .. } => {
+            changed |= st.subst_sop(a);
+            changed |= st.subst_sop(b);
+            changed |= st.subst_sop(c);
+        }
         Instr::SStore { src, .. } => changed |= st.subst_sop(src),
         Instr::VBroadcast { src, .. } => changed |= st.subst_sop(src),
         Instr::VMov { src, .. } | Instr::VStore { src, .. } => changed |= st.subst_v(src),
         Instr::VBin { a, b, .. } | Instr::VShuffle { a, b, .. } | Instr::VBlend { a, b, .. } => {
             changed |= st.subst_v(a);
             changed |= st.subst_v(b);
+        }
+        Instr::VFma { a, b, c, .. } => {
+            changed |= st.subst_v(a);
+            changed |= st.subst_v(b);
+            changed |= st.subst_v(c);
         }
         Instr::VExtract { src, .. } | Instr::VReduceAdd { src, .. } => {
             changed |= st.subst_v(src);

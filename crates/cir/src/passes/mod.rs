@@ -10,13 +10,17 @@
 //!    round-trips become register moves, shuffles, and blends (Fig. 12);
 //! 4. **CSE**, **copy propagation**, and **DCE** cleanups, iterated to a
 //!    fixpoint: every pass reports whether it changed the function, and
-//!    the cleanup loop exits as soon as a full round changes nothing.
+//!    the cleanup loop exits as soon as a full round changes nothing. On
+//!    FMA-capable targets the fixpoint loop additionally runs
+//!    [`contract`], fusing multiply–add chains into FMA instructions
+//!    (the dead multiplies are collected by DCE).
 //!
 //! An important C-IR invariant exploited here: *distinct [`crate::BufId`]s
 //! never alias*. Operands related by `ow(..)` are mapped to the same buffer
 //! by the driver.
 
 pub mod constfold;
+pub mod contract;
 pub mod cse;
 pub mod dce;
 pub mod forward;
@@ -53,6 +57,10 @@ pub struct PassConfig {
     pub scalar_replacement: bool,
     /// Enable common-subexpression elimination.
     pub cse: bool,
+    /// Fuse multiply–add chains into FMA instructions (see
+    /// [`contract`]). Off by default; the driver enables it when the
+    /// generation target has FMA ([`crate::Target::has_fma`]).
+    pub fma_contraction: bool,
     /// Maximum number of cleanup iterations; the loop exits early once a
     /// full round reaches a fixpoint (changes nothing).
     pub iterations: usize,
@@ -65,6 +73,7 @@ impl Default for PassConfig {
             load_store_analysis: true,
             scalar_replacement: true,
             cse: true,
+            fma_contraction: false,
             iterations: 3,
         }
     }
@@ -79,8 +88,17 @@ impl PassConfig {
             load_store_analysis: false,
             scalar_replacement: false,
             cse: false,
+            fma_contraction: false,
             iterations: 1,
         }
+    }
+
+    /// This configuration specialized for a generation target: FMA
+    /// contraction turns on exactly when the target can execute fused
+    /// multiply-adds.
+    pub fn for_target(mut self, target: crate::Target) -> Self {
+        self.fma_contraction = self.fma_contraction || target.has_fma();
+        self
     }
 }
 
@@ -118,6 +136,11 @@ pub fn optimize_traced(
             let t = Instant::now();
             changed |= cse::cse(f);
             observe("cse", t.elapsed());
+        }
+        if config.fma_contraction {
+            let t = Instant::now();
+            changed |= contract::contract(f);
+            observe("contract", t.elapsed());
         }
         let t = Instant::now();
         changed |= forward::copyprop(f);

@@ -94,11 +94,21 @@ fn rewrite_reads(ins: &mut Instr, smap: &RenameMap<SReg>, vmap: &RenameMap<VReg>
             map_sop(smap, a);
             map_sop(smap, b);
         }
+        Instr::SFma { a, b, c, .. } => {
+            map_sop(smap, a);
+            map_sop(smap, b);
+            map_sop(smap, c);
+        }
         Instr::SSqrt { a, .. } | Instr::SMov { a, .. } => map_sop(smap, a),
         Instr::VStore { src, .. } | Instr::VMov { src, .. } => map_v(vmap, src),
         Instr::VBin { a, b, .. } | Instr::VShuffle { a, b, .. } | Instr::VBlend { a, b, .. } => {
             map_v(vmap, a);
             map_v(vmap, b);
+        }
+        Instr::VFma { a, b, c, .. } => {
+            map_v(vmap, a);
+            map_v(vmap, b);
+            map_v(vmap, c);
         }
         Instr::VBroadcast { src, .. } => map_sop(smap, src),
         Instr::VExtract { src, .. } | Instr::VReduceAdd { src, .. } => map_v(vmap, src),
@@ -110,6 +120,7 @@ fn set_swrite(ins: &mut Instr, new: SReg) {
     match ins {
         Instr::SLoad { dst, .. }
         | Instr::SBin { dst, .. }
+        | Instr::SFma { dst, .. }
         | Instr::SSqrt { dst, .. }
         | Instr::SMov { dst, .. }
         | Instr::VExtract { dst, .. }
@@ -123,6 +134,7 @@ fn set_vwrite(ins: &mut Instr, new: VReg) {
         Instr::VLoad { dst, .. }
         | Instr::VMov { dst, .. }
         | Instr::VBin { dst, .. }
+        | Instr::VFma { dst, .. }
         | Instr::VBroadcast { dst, .. }
         | Instr::VShuffle { dst, .. }
         | Instr::VBlend { dst, .. } => *dst = new,

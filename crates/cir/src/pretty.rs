@@ -21,6 +21,7 @@ pub fn instr_to_string(i: &Instr) -> String {
         Instr::SStore { src, dst } => format!("store {src} -> {dst}"),
         Instr::SBin { op, dst, a, b } => format!("{dst} = {op} {a}, {b}"),
         Instr::SSqrt { dst, a } => format!("{dst} = sqrt {a}"),
+        Instr::SFma { kind, dst, a, b, c } => format!("{dst} = {kind} {a}, {b}, {c}"),
         Instr::SMov { dst, a } => format!("{dst} = {a}"),
         Instr::VLoad { dst, base, lanes } => {
             format!("{dst} = vload {base} {}", lanes_str(lanes))
@@ -30,6 +31,7 @@ pub fn instr_to_string(i: &Instr) -> String {
         }
         Instr::VMov { dst, src } => format!("{dst} = {src}"),
         Instr::VBin { op, dst, a, b } => format!("{dst} = v{op} {a}, {b}"),
+        Instr::VFma { kind, dst, a, b, c } => format!("{dst} = v{kind} {a}, {b}, {c}"),
         Instr::VBroadcast { dst, src } => format!("{dst} = vbroadcast {src}"),
         Instr::VShuffle { dst, a, b, sel } => {
             let s: Vec<String> = sel.iter().map(|l| l.to_string()).collect();

@@ -36,6 +36,7 @@ pub mod verify;
 pub mod workload;
 
 pub use pipeline::{generate, generate_with_policy, generate_with_spec, Generated, Options};
+pub use slingen_cir::Target;
 pub use tuner::{SearchSpace, Strategy, TuneCache, TuneStats, VariantSpec};
 pub use verify::verify;
 

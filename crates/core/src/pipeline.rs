@@ -9,7 +9,7 @@ use crate::tuner::{self, SearchSpace, TuneCache, TuneStats, Variant, VariantSpec
 use crate::workload;
 use crate::Error;
 use slingen_cir::passes::PassConfig;
-use slingen_cir::Function;
+use slingen_cir::{Function, Target};
 use slingen_ir::Program;
 use slingen_lgen::BufferMap;
 use slingen_perf::{Machine, Report};
@@ -19,13 +19,21 @@ use slingen_vm::BufferSet;
 /// Generation options.
 #[derive(Debug, Clone)]
 pub struct Options {
+    /// The instruction-set target: supported ν widths, capabilities
+    /// (FMA, masked memory, blends), and the cost tables behind
+    /// [`Options::machine`]. The ν axis of the search space is derived
+    /// from [`Target::widths`], the Stage-3 pipeline contracts
+    /// multiply–add chains exactly when the target has FMA, and the
+    /// unparser emits the target's intrinsic families.
+    pub target: Target,
     /// Vector width ν of the target machine (4 = AVX double, 2 = SSE2,
     /// 1 = scalar). Acts as an upper bound on the ν axis of the search
     /// space, and as the pinned width when `policy` is fixed.
     pub nu: usize,
     /// Fix the algorithmic variant instead of autotuning over the space.
     pub policy: Option<Policy>,
-    /// Stage-3 pass configuration.
+    /// Stage-3 pass configuration (specialized per target at use: FMA
+    /// contraction turns on when [`Options::target`] has FMA).
     pub passes: PassConfig,
     /// Stage-2 loop threshold (see [`slingen_lgen::LowerOptions`]) used
     /// when `policy` is pinned; the autotuner's search seeds from it.
@@ -42,17 +50,33 @@ pub struct Options {
 }
 
 impl Default for Options {
+    /// The historical default: the AVX2 (Sandy Bridge model) target at
+    /// ν = 4.
     fn default() -> Self {
+        Options::for_target(Target::Avx2)
+    }
+}
+
+impl Options {
+    /// Options specialized for a target: ν bounded by the target's widest
+    /// vector unit, machine model built from the target's cost tables.
+    pub fn for_target(target: Target) -> Options {
         Options {
-            nu: 4,
+            target,
+            nu: target.max_width(),
             policy: None,
             passes: PassConfig::default(),
             loop_threshold: 64,
-            machine: Machine::sandy_bridge(),
+            machine: Machine::from_target(target),
             seed: 0x51,
             search: SearchSpace::default(),
             cache: TuneCache::new(),
         }
+    }
+
+    /// The Stage-3 pass configuration specialized for this target.
+    pub(crate) fn passes_for_target(&self) -> PassConfig {
+        self.passes.for_target(self.target)
     }
 }
 
@@ -85,9 +109,15 @@ impl Generated {
     }
 }
 
-/// Emit the winner: unparse to C and assemble the public result.
-pub(crate) fn emit(variant: Variant, db_stats: (usize, usize), tuning: TuneStats) -> Generated {
-    let c_code = slingen_cir::unparse::to_c(&variant.function);
+/// Emit the winner: unparse to C for the target and assemble the public
+/// result.
+pub(crate) fn emit(
+    variant: Variant,
+    target: Target,
+    db_stats: (usize, usize),
+    tuning: TuneStats,
+) -> Generated {
+    let c_code = slingen_cir::unparse::to_c_for(&variant.function, target);
     Generated {
         function: variant.function,
         c_code,
@@ -111,9 +141,15 @@ pub fn generate_with_spec(
 ) -> Result<Generated, Error> {
     let mut db = slingen_synth::AlgorithmDb::new();
     let basic = slingen_synth::synthesize_program(program, spec.policy, spec.nu, &mut db)?;
-    let variant =
-        tuner::finish_variant(program, spec, &basic, options, None)?.expect("no budget, no cutoff");
-    Ok(emit(variant, (db.hits(), db.misses()), TuneStats { explored: 1, ..TuneStats::default() }))
+    let function = tuner::lower_variant(program, spec, &basic, options)?;
+    let report = measure(program, &function, options, None)?.expect("no budget, no cutoff");
+    let variant = Variant { function, spec, report };
+    Ok(emit(
+        variant,
+        options.target,
+        (db.hits(), db.misses()),
+        TuneStats { explored: 1, ..TuneStats::default() },
+    ))
 }
 
 /// Generate code for one fixed policy (no autotuning), at the options'
@@ -226,6 +262,35 @@ mod tests {
         assert!(!g.c_code.contains("_mm256"));
         assert!(g.c_code.contains("sqrt("));
         assert_eq!(g.spec.nu, 1, "machine width bounds the search");
+    }
+
+    #[test]
+    fn scalar_target_never_emits_intrinsics() {
+        let p = apps::potrf(8);
+        let g = generate(&p, &Options::for_target(slingen_cir::Target::Scalar)).unwrap();
+        assert_eq!(g.spec.nu, 1, "scalar target has no vector widths");
+        assert!(!g.c_code.contains("_mm"), "{}", g.c_code);
+    }
+
+    #[test]
+    fn fma_target_contracts_through_the_pinned_path() {
+        // generate_with_spec must apply the target-specialized pass
+        // pipeline too, not only the tuned path
+        let p = apps::kf(4);
+        let opts = Options::for_target(slingen_cir::Target::Avx2Fma);
+        let spec = crate::tuner::VariantSpec { policy: Policy::Lazy, nu: 4, loop_threshold: 64 };
+        let g = generate_with_spec(&p, spec, &opts).unwrap();
+        let mut fmas = 0;
+        g.function.for_each_instr(&mut |i| {
+            if matches!(i, slingen_cir::Instr::SFma { .. } | slingen_cir::Instr::VFma { .. }) {
+                fmas += 1;
+            }
+        });
+        assert!(fmas > 0, "pinned FMA-target generation must contract");
+        assert!(
+            g.c_code.contains("fmadd") || g.c_code.contains("fnmadd") || g.c_code.contains("fma("),
+            "emitted C must use fused forms"
+        );
     }
 
     #[test]

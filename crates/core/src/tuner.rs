@@ -24,11 +24,19 @@
 //! is selected by strict minimum modeled cycles with ties broken in
 //! canonical space-enumeration order — so the winning C code is
 //! bit-identical across runs and thread interleavings.
+//!
+//! The search is target-aware: the ν axis is derived from
+//! [`Target::widths`] (a Scalar target never explores vector variants),
+//! the Stage-3 pipeline contracts multiply–add chains on FMA targets,
+//! and the target participates in the [`TuneCache`] key. Variants whose
+//! lowered Stage-3 output is byte-identical (equal-threshold variants
+//! often collapse at small sizes) are measured once and share the
+//! outcome — [`TuneStats::deduped`] reports how often that fired.
 
 use crate::pipeline::{measure, Generated, Options};
 use crate::Error;
 use slingen_cir::passes::optimize;
-use slingen_cir::Function;
+use slingen_cir::{Function, Target};
 use slingen_ir::Program;
 use slingen_lgen::{lower_program, LowerOptions};
 use slingen_perf::Report;
@@ -133,24 +141,29 @@ impl SearchSpace {
         self.strategy
     }
 
-    /// The ν axis clamped to the caller's machine width: code wider than
-    /// the target vector unit is never a candidate. Falls back to
-    /// `[max_nu]` if the clamp empties the axis.
-    fn nus_for(&self, max_nu: usize) -> Vec<usize> {
-        let nus: Vec<usize> = self.nus.iter().copied().filter(|&n| n <= max_nu).collect();
+    /// The ν axis intersected with the target's supported widths and
+    /// clamped to the caller's machine width: code wider than the target
+    /// vector unit is never a candidate. Falls back to the widest
+    /// supported width if the clamp empties the axis.
+    fn nus_for(&self, target: Target, max_nu: usize) -> Vec<usize> {
+        let nus: Vec<usize> =
+            self.nus.iter().copied().filter(|&n| n <= max_nu && target.supports_width(n)).collect();
         if nus.is_empty() {
-            vec![max_nu]
+            let w = target.widths().iter().copied().filter(|&w| w <= max_nu).max().unwrap_or(1);
+            vec![w]
         } else {
             nus
         }
     }
 
     /// All points, in canonical enumeration order (policy-major, then ν,
-    /// then threshold). Tie-breaks during selection follow this order.
-    pub fn enumerate(&self, max_nu: usize) -> Vec<VariantSpec> {
+    /// then threshold). The ν axis is derived from [`Target::widths`]
+    /// bounded by `max_nu`. Tie-breaks during selection follow this
+    /// order.
+    pub fn enumerate(&self, target: Target, max_nu: usize) -> Vec<VariantSpec> {
         let mut out = Vec::new();
         for &policy in &self.policies {
-            for &nu in &self.nus_for(max_nu) {
+            for &nu in &self.nus_for(target, max_nu) {
                 for &loop_threshold in &self.loop_thresholds {
                     out.push(VariantSpec { policy, nu, loop_threshold });
                 }
@@ -159,9 +172,9 @@ impl SearchSpace {
         out
     }
 
-    /// Number of points for a given machine width.
-    pub fn len(&self, max_nu: usize) -> usize {
-        self.policies.len() * self.nus_for(max_nu).len() * self.loop_thresholds.len()
+    /// Number of points for a given target and machine width.
+    pub fn len(&self, target: Target, max_nu: usize) -> usize {
+        self.policies.len() * self.nus_for(target, max_nu).len() * self.loop_thresholds.len()
     }
 
     /// Whether the space has no points.
@@ -190,11 +203,15 @@ impl SearchSpace {
 /// How the winner of one `generate()` call was found.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TuneStats {
-    /// Variants actually lowered, optimized, and measured (cut-off
-    /// variants count: their pruning consumed model time).
+    /// Variants actually lowered, optimized, and evaluated (cut-off and
+    /// deduplicated variants count: their Stage-2/3 work was done).
     pub explored: usize,
     /// Variants abandoned by the cycle-budget early-cutoff.
     pub pruned: usize,
+    /// Variants whose lowered Stage-3 output was byte-identical to an
+    /// already-measured variant (equal-threshold variants often collapse
+    /// at small sizes); their measurement was reused, not repeated.
+    pub deduped: usize,
     /// Whether the result came from the [`TuneCache`].
     pub cache_hit: bool,
 }
@@ -310,8 +327,13 @@ fn cache_key(program: &Program, options: &Options) -> String {
     }
     let _ = write!(
         key,
-        "|machine:{:?}|passes:{:?}|nu:{}|thr:{}|seed:{}",
-        options.machine, options.passes, options.nu, options.loop_threshold, options.seed
+        "|target:{}|machine:{:?}|passes:{:?}|nu:{}|thr:{}|seed:{}",
+        options.target,
+        options.machine,
+        options.passes,
+        options.nu,
+        options.loop_threshold,
+        options.seed
     );
     options.search.fingerprint(&mut key);
     key
@@ -354,19 +376,49 @@ impl<'p> Synthesizer<'p> {
     }
 }
 
-/// Stages 2–3 plus measurement for one already-synthesized variant.
-/// Returns `Ok(None)` when the cycle budget proves the variant dominated.
-pub(crate) fn finish_variant(
+/// Stages 2–3 for one already-synthesized variant: lowering plus the
+/// optimization pipeline specialized for the options' target (FMA
+/// contraction on FMA targets).
+pub(crate) fn lower_variant(
     program: &Program,
     spec: VariantSpec,
     basic: &BasicProgram,
     options: &Options,
-    budget: Option<f64>,
-) -> Result<Option<Variant>, Error> {
+) -> Result<Function, Error> {
     let mut function = lower_program(program, basic, program.name(), &spec.lower_options())?;
-    optimize(&mut function, &options.passes);
-    let report = measure(program, &function, options, budget)?;
-    Ok(report.map(|report| Variant { function, spec, report }))
+    optimize(&mut function, &options.passes_for_target());
+    Ok(function)
+}
+
+/// The dedupe key of one lowered body: a 64-bit FxHash digest of the
+/// emitted C plus its length (collision guard). The C string itself is
+/// hashed and dropped inside the lowering thread — nothing variant-sized
+/// is retained across the search.
+type BodyKey = (u64, usize);
+
+/// One lowered variant plus its dedupe key.
+type LoweredVariant = (VariantSpec, Result<(Function, BodyKey), Error>);
+
+/// Digest the lowered Stage-3 output of `function` for `target`.
+fn body_key(function: &Function, target: Target) -> BodyKey {
+    use std::hash::Hasher as _;
+    let c = slingen_cir::unparse::to_c_for(function, target);
+    let mut h = slingen_cir::fxhash::FxHasher::default();
+    h.write(c.as_bytes());
+    (h.finish(), c.len())
+}
+
+/// The remembered measurement of one distinct lowered body.
+#[derive(Debug, Clone)]
+enum MeasureOutcome {
+    /// Full report (boxed: the other variants are unit-sized).
+    Measured(Box<Report>),
+    /// Abandoned by the cycle-budget cutoff: provably dominated. Budgets
+    /// only shrink as the incumbent improves, so a cut-off body stays
+    /// dominated for the rest of the search.
+    CutOff,
+    /// Measurement failed; the error is recorded separately.
+    Failed,
 }
 
 /// The search state: the visited set, the incumbent, and exploration
@@ -380,6 +432,11 @@ struct Search<'p> {
     /// Specs already attempted (measured, cut off, or failed); a spec is
     /// never evaluated twice within one search.
     visited: HashSet<VariantSpec>,
+    /// Measurements by lowered-body digest ([`body_key`]): variants whose
+    /// Stage-3 output is byte-identical are measured once and share the
+    /// outcome (ROADMAP PR-2 lead — equal-threshold variants often
+    /// collapse at small sizes).
+    measured: HashMap<BodyKey, MeasureOutcome>,
     best: Option<(Variant, usize)>,
     stats: TuneStats,
     last_err: Option<Error>,
@@ -389,7 +446,7 @@ impl<'p> Search<'p> {
     fn new(program: &'p Program, options: &'p Options) -> Self {
         let order = options
             .search
-            .enumerate(options.nu)
+            .enumerate(options.target, options.nu)
             .into_iter()
             .enumerate()
             .map(|(i, s)| (s, i))
@@ -400,16 +457,19 @@ impl<'p> Search<'p> {
             synth: Synthesizer::new(program),
             order,
             visited: HashSet::new(),
+            measured: HashMap::new(),
             best: None,
             stats: TuneStats::default(),
             last_err: None,
         }
     }
 
-    /// Measure a batch of specs: Stage 1 serially through the shared
-    /// database, Stages 2–3 + measurement fanned out across OS threads.
-    /// Updates the incumbent deterministically (strict min cycles, ties
-    /// broken by canonical enumeration order).
+    /// Evaluate a batch of specs: Stage 1 serially through the shared
+    /// database, Stages 2–3 fanned out across OS threads, then one
+    /// measurement per *distinct* lowered body (byte-identical variants
+    /// share it; see [`Search::measured`]), also fanned out. Updates the
+    /// incumbent deterministically (strict min cycles, ties broken by
+    /// canonical enumeration order).
     fn evaluate(&mut self, specs: &[VariantSpec], budget: Option<f64>) {
         let fresh: Vec<VariantSpec> =
             specs.iter().copied().filter(|s| self.visited.insert(*s)).collect();
@@ -420,46 +480,100 @@ impl<'p> Search<'p> {
         }
         let program = self.program;
         let options = self.options;
-        let results: Vec<(VariantSpec, Result<Option<Variant>, Error>)> =
+        // Phase 1: lowering + Stage-3 optimization, in parallel; each
+        // variant's emitted C is digested into its dedupe key.
+        let lowered: Vec<LoweredVariant> = std::thread::scope(|scope| {
+            let handles: Vec<_> = todo
+                .into_iter()
+                .map(|(spec, basic)| {
+                    scope.spawn(move || {
+                        let r = basic.and_then(|b| {
+                            lower_variant(program, spec, &b, options).map(|f| {
+                                let key = body_key(&f, options.target);
+                                (f, key)
+                            })
+                        });
+                        (spec, r)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("autotune lowering thread panicked"))
+                .collect()
+        });
+        // Phase 2: pick one representative per distinct unmeasured body.
+        let mut reps: Vec<(BodyKey, usize)> = Vec::new();
+        let mut rep_keys: HashSet<BodyKey> = HashSet::new();
+        for (i, (_, res)) in lowered.iter().enumerate() {
+            if let Ok((_, key)) = res {
+                if !self.measured.contains_key(key) && rep_keys.insert(*key) {
+                    reps.push((*key, i));
+                }
+            }
+        }
+        let rep_idx: HashSet<usize> = reps.iter().map(|(_, i)| *i).collect();
+        let measured_now: Vec<(BodyKey, Result<Option<Report>, Error>)> =
             std::thread::scope(|scope| {
-                let handles: Vec<_> = todo
+                let handles: Vec<_> = reps
                     .into_iter()
-                    .map(|(spec, basic)| {
-                        scope.spawn(move || {
-                            let r = basic
-                                .and_then(|b| finish_variant(program, spec, &b, options, budget));
-                            (spec, r)
-                        })
+                    .map(|(key, i)| {
+                        let function = &lowered[i].1.as_ref().expect("representatives are Ok").0;
+                        scope.spawn(move || (key, measure(program, function, options, budget)))
                     })
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("autotune variant thread panicked"))
+                    .map(|h| h.join().expect("autotune measure thread panicked"))
                     .collect()
             });
-        for (spec, result) in results {
-            match result {
-                Ok(Some(variant)) => {
-                    self.stats.explored += 1;
-                    let ord = self.order.get(&spec).copied().unwrap_or(usize::MAX);
-                    let better = match &self.best {
-                        None => true,
-                        Some((b, bord)) => {
-                            variant.report.cycles < b.report.cycles
-                                || (variant.report.cycles == b.report.cycles && ord < *bord)
-                        }
-                    };
-                    if better {
-                        self.best = Some((variant, ord));
-                    }
-                }
-                Ok(None) => {
-                    // cut off: provably slower than the incumbent
-                    self.stats.explored += 1;
-                    self.stats.pruned += 1;
-                }
+        for (key, res) in measured_now {
+            let outcome = match res {
+                Ok(Some(report)) => MeasureOutcome::Measured(Box::new(report)),
+                Ok(None) => MeasureOutcome::CutOff,
                 Err(e) => {
                     self.last_err = Some(e);
+                    MeasureOutcome::Failed
+                }
+            };
+            self.measured.insert(key, outcome);
+        }
+        // Phase 3: account every variant of the batch, in canonical batch
+        // order, against the shared measurements.
+        for (i, (spec, res)) in lowered.into_iter().enumerate() {
+            match res {
+                Err(e) => self.last_err = Some(e),
+                Ok((function, key)) => {
+                    let shared = !rep_idx.contains(&i);
+                    match self.measured.get(&key) {
+                        Some(MeasureOutcome::Measured(report)) => {
+                            self.stats.explored += 1;
+                            if shared {
+                                self.stats.deduped += 1;
+                            }
+                            let variant = Variant { function, spec, report: (**report).clone() };
+                            let ord = self.order.get(&spec).copied().unwrap_or(usize::MAX);
+                            let better = match &self.best {
+                                None => true,
+                                Some((b, bord)) => {
+                                    variant.report.cycles < b.report.cycles
+                                        || (variant.report.cycles == b.report.cycles && ord < *bord)
+                                }
+                            };
+                            if better {
+                                self.best = Some((variant, ord));
+                            }
+                        }
+                        Some(MeasureOutcome::CutOff) => {
+                            // cut off: provably slower than the incumbent
+                            self.stats.explored += 1;
+                            self.stats.pruned += 1;
+                            if shared {
+                                self.stats.deduped += 1;
+                            }
+                        }
+                        Some(MeasureOutcome::Failed) | None => {}
+                    }
                 }
             }
         }
@@ -472,8 +586,9 @@ impl<'p> Search<'p> {
     fn into_generated(self) -> Result<Generated, Error> {
         let db_stats = self.synth.stats();
         let stats = self.stats;
+        let target = self.options.target;
         match self.best {
-            Some((variant, _)) => Ok(crate::pipeline::emit(variant, db_stats, stats)),
+            Some((variant, _)) => Ok(crate::pipeline::emit(variant, target, db_stats, stats)),
             None => Err(self.last_err.unwrap_or_else(|| {
                 Error::Synth(slingen_synth::SynthError::Unsupported("empty search space".into()))
             })),
@@ -483,7 +598,7 @@ impl<'p> Search<'p> {
 
 /// Exhaustive exploration: every point measured in one parallel batch.
 fn run_exhaustive(search: &mut Search<'_>) {
-    let specs = search.options.search.enumerate(search.options.nu);
+    let specs = search.options.search.enumerate(search.options.target, search.options.nu);
     search.evaluate(&specs, None);
 }
 
@@ -491,7 +606,7 @@ fn run_exhaustive(search: &mut Search<'_>) {
 fn run_greedy(search: &mut Search<'_>) {
     let space = &search.options.search;
     let policies = space.policies.clone();
-    let nus = space.nus_for(search.options.nu);
+    let nus = space.nus_for(search.options.target, search.options.nu);
     let thresholds = space.loop_thresholds.clone();
 
     // Seed coordinates: the caller's defaults, clamped into the space

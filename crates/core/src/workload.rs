@@ -9,6 +9,13 @@ use slingen_blas::{testgen, Uplo};
 use slingen_ir::structure::StorageHalf;
 use slingen_ir::{OpId, Program, Structure};
 
+fn storage_uplo(half: StorageHalf) -> Uplo {
+    match half {
+        StorageHalf::Lower => Uplo::Lower,
+        StorageHalf::Upper => Uplo::Upper,
+    }
+}
+
 /// Generate inputs for every `In`/`InOut` operand of `program`.
 pub fn inputs(program: &Program, seed: u64) -> Vec<(OpId, Vec<f64>)> {
     let mut out = Vec::new();
@@ -20,15 +27,15 @@ pub fn inputs(program: &Program, seed: u64) -> Vec<(OpId, Vec<f64>)> {
         let s = seed.wrapping_mul(31).wrapping_add(i as u64 + 1);
         let data = match decl.structure {
             Structure::Symmetric(half) if decl.properties.positive_definite => {
-                let m = testgen::spd(r, s);
-                let _ = half;
-                m.as_slice().to_vec()
+                // like the plain-symmetric branch, the declared stored
+                // half is authoritative: mirror it onto the other side so
+                // code that only reads the stored triangle agrees with
+                // reference code that reads the full matrix
+                let uplo = storage_uplo(half);
+                testgen::symmetrize(&testgen::spd(r, s), uplo).as_slice().to_vec()
             }
             Structure::Symmetric(half) => {
-                let uplo = match half {
-                    StorageHalf::Lower => Uplo::Lower,
-                    StorageHalf::Upper => Uplo::Upper,
-                };
+                let uplo = storage_uplo(half);
                 testgen::symmetrize(&testgen::general(r, r, s), uplo).as_slice().to_vec()
             }
             Structure::LowerTriangular => {
@@ -76,6 +83,34 @@ mod tests {
         let mut copy = s.clone();
         // must not panic
         slingen_blas::dpotrf(Uplo::Upper, 8, &mut copy, 8);
+    }
+
+    #[test]
+    fn spd_inputs_respect_the_declared_stored_half() {
+        use slingen_ir::structure::StorageHalf;
+        // potrf declares an UpSym PD input: the upper triangle must be
+        // authoritative, i.e. the matrix equals its upper-half mirror
+        let p = apps::potrf(6);
+        let decl = &p.operands()[0];
+        let half = match decl.structure {
+            slingen_ir::Structure::Symmetric(h) => h,
+            other => panic!("potrf input should be symmetric, got {other:?}"),
+        };
+        let ins = inputs(&p, 11);
+        let (_, data) = &ins[0];
+        for i in 0..6 {
+            for j in 0..6 {
+                let (si, sj) = match half {
+                    StorageHalf::Upper => (i.min(j), i.max(j)),
+                    StorageHalf::Lower => (i.max(j), i.min(j)),
+                };
+                assert_eq!(
+                    data[i * 6 + j],
+                    data[si * 6 + sj],
+                    "({i},{j}) must mirror the stored half"
+                );
+            }
+        }
     }
 
     #[test]

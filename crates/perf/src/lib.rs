@@ -6,8 +6,11 @@
 //!
 //! The paper measures generated C on an Intel Sandy Bridge i7-2600; this
 //! reproduction estimates cycles by scheduling the dynamic instruction
-//! stream (produced by `slingen-vm`) onto a port model of the same
-//! microarchitecture:
+//! stream (produced by `slingen-vm`) onto a port model built from a
+//! `slingen_cir::Target` descriptor ([`Machine::from_target`]; the
+//! default AVX2 target is the Sandy Bridge model below, the AVX2+FMA
+//! target additionally executes fused multiply-adds on the multiply
+//! port):
 //!
 //! * separate FP multiply and FP add ports (1 × 256-bit op/cycle each —
 //!   peak 8 flops/cycle in double precision, as in the paper);

@@ -1,5 +1,12 @@
 //! Machine descriptions: issue resources, throughputs, latencies.
+//!
+//! A [`Machine`] is built *from* a [`slingen_cir::Target`] descriptor
+//! ([`Machine::from_target`]): the target carries the per-op cost tables
+//! and capability flags, this module turns them into the resource model
+//! the scheduler charges against. The historical
+//! [`Machine::sandy_bridge`] constructor is the [`Target::Avx2`] machine.
 
+use slingen_cir::Target;
 use std::fmt;
 
 /// An issue resource (execution port or fixed-function unit).
@@ -89,6 +96,9 @@ pub struct Machine {
     pub fmul_latency: f64,
     /// FP add latency (cycles).
     pub fadd_latency: f64,
+    /// Fused multiply-add latency (cycles). FMA occupies the multiply
+    /// port (Haswell-style), so there is no separate capacity knob.
+    pub fma_latency: f64,
     /// Shuffle latency.
     pub shuffle_latency: f64,
     /// Blend latency.
@@ -111,30 +121,44 @@ pub struct Machine {
 }
 
 impl Machine {
-    /// The paper's evaluation platform: Intel Core i7-2600 (Sandy Bridge),
-    /// AVX, double precision, ν = 4. Peak 8 flops/cycle.
-    pub fn sandy_bridge() -> Machine {
+    /// Build the machine model for a [`Target`] from its cost tables.
+    ///
+    /// Every shipped target has a distinct table (see
+    /// [`slingen_cir::target`]); [`Target::Avx2`] reproduces the
+    /// historical Sandy Bridge numbers exactly, and [`Target::Avx2Fma`]
+    /// differs from it only by executing fused multiply-adds — so cycle
+    /// deltas between the two isolate the effect of FMA contraction.
+    pub fn from_target(target: Target) -> Machine {
+        let c = target.costs();
         Machine {
-            name: "Sandy Bridge (i7-2600, AVX, double)".to_string(),
-            fmul_per_cycle: 1.0,
-            fadd_per_cycle: 1.0,
-            shuffle_per_cycle: 1.0,
-            blend_per_cycle: 2.0,
-            mov_per_cycle: 3.0,
-            load_units_per_cycle: 2.0,
-            store_units_per_cycle: 1.0,
-            fmul_latency: 5.0,
-            fadd_latency: 3.0,
-            shuffle_latency: 1.0,
-            blend_latency: 1.0,
-            mov_latency: 1.0,
-            load_latency: 4.0,
-            store_latency: 4.0,
-            div_scalar_cycles: 22.0,
-            div_vector_cycles: 44.0,
-            call_overhead_cycles: 120.0,
-            nominal_width: 4,
+            name: target.desc().machine_name.to_string(),
+            fmul_per_cycle: c.fmul_per_cycle,
+            fadd_per_cycle: c.fadd_per_cycle,
+            shuffle_per_cycle: c.shuffle_per_cycle,
+            blend_per_cycle: c.blend_per_cycle,
+            mov_per_cycle: c.mov_per_cycle,
+            load_units_per_cycle: c.load_units_per_cycle,
+            store_units_per_cycle: c.store_units_per_cycle,
+            fmul_latency: c.fmul_latency,
+            fadd_latency: c.fadd_latency,
+            fma_latency: c.fma_latency,
+            shuffle_latency: c.shuffle_latency,
+            blend_latency: c.blend_latency,
+            mov_latency: c.mov_latency,
+            load_latency: c.load_latency,
+            store_latency: c.store_latency,
+            div_scalar_cycles: c.div_scalar_cycles,
+            div_vector_cycles: c.div_vector_cycles,
+            call_overhead_cycles: c.call_overhead_cycles,
+            nominal_width: c.nominal_width,
         }
+    }
+
+    /// The paper's evaluation platform: Intel Core i7-2600 (Sandy Bridge),
+    /// AVX, double precision, ν = 4. Peak 8 flops/cycle. Identical to
+    /// `Machine::from_target(Target::Avx2)`.
+    pub fn sandy_bridge() -> Machine {
+        Machine::from_target(Target::Avx2)
     }
 
     /// Peak flops/cycle (mul + add ports, nominal width).
@@ -178,6 +202,32 @@ mod tests {
     fn sandy_bridge_peak_is_8_flops_per_cycle() {
         let m = Machine::sandy_bridge();
         assert_eq!(m.peak_flops_per_cycle(), 8.0);
+    }
+
+    #[test]
+    fn sandy_bridge_is_the_avx2_target_machine() {
+        assert_eq!(Machine::sandy_bridge(), Machine::from_target(Target::Avx2));
+    }
+
+    #[test]
+    fn per_target_machines_are_distinct() {
+        let machines: Vec<Machine> = Target::ALL.iter().map(|t| Machine::from_target(*t)).collect();
+        for i in 0..machines.len() {
+            for j in i + 1..machines.len() {
+                assert_ne!(
+                    machines[i], machines[j],
+                    "{} vs {}",
+                    machines[i].name, machines[j].name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nominal_width_tracks_target_max_width() {
+        for t in Target::ALL {
+            assert_eq!(Machine::from_target(t).nominal_width, t.max_width());
+        }
     }
 
     #[test]

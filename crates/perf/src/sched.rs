@@ -171,6 +171,10 @@ impl Scheduler {
                     }
                 }
             }
+            Instr::SFma { .. } | Instr::VFma { .. } => {
+                // fused ops issue on the multiply port (Haswell-style)
+                vec![Demand { resource: Resource::FMul, units: 1.0, latency: m.fma_latency }]
+            }
             Instr::SSqrt { .. } => {
                 let c = m.div_scalar_cycles;
                 vec![Demand { resource: Resource::Divider, units: c, latency: c }]
@@ -343,6 +347,44 @@ mod tests {
             ind.cycles
         );
         assert!(ind.cycles >= 64.0, "64 multiplies need >= 64 cycles on one port");
+    }
+
+    /// A fused multiply-add chain is modeled faster than the equivalent
+    /// mul+add chain: one FMul-port issue at fma latency instead of a
+    /// mul+add latency sum per link, and no FAdd pressure at all.
+    #[test]
+    fn fma_chain_beats_mul_add_chain() {
+        let chain = |fused: bool| {
+            let mut b = FunctionBuilder::new("ch", 1);
+            let o = b.buffer("o", 1, BufKind::ParamOut);
+            let mut acc = b.smov(1.0);
+            for _ in 0..32 {
+                acc = if fused {
+                    b.sfma(slingen_cir::FmaKind::MulAdd, acc, 1.001, 0.5)
+                } else {
+                    let m = b.sbin(slingen_cir::BinOp::Mul, acc, 1.001);
+                    b.sbin(slingen_cir::BinOp::Add, m, 0.5)
+                };
+            }
+            b.sstore(acc, MemRef::new(o, 0));
+            let f = b.finish();
+            let mut bufs = BufferSet::for_function(&f);
+            crate::measure(&f, &mut bufs, None, &Machine::from_target(slingen_cir::Target::Avx2Fma))
+                .unwrap()
+        };
+        let fused = chain(true);
+        let two_op = chain(false);
+        // chain of 32: fused ~= 32*3 cycles (fma completes in the add
+        // latency), two-op ~= 32*(5+3)
+        assert!(
+            fused.cycles < two_op.cycles,
+            "fma chain ({}) must beat mul+add chain ({})",
+            fused.cycles,
+            two_op.cycles
+        );
+        assert!(fused.cycles >= 32.0 * 3.0);
+        assert_eq!(fused.flops, two_op.flops, "fma counts both flops");
+        assert_eq!(fused.count(slingen_cir::InstrClass::Fma), 32);
     }
 
     /// Sequentially dependent divisions serialize at the divider occupancy

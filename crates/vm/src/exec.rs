@@ -264,6 +264,12 @@ impl<'l, 'm> Vm<'l, 'm> {
             Instr::SSqrt { dst, a } => {
                 act.sregs[dst.0] = self.sval(a, act).sqrt();
             }
+            Instr::SFma { kind, dst, a, b, c } => {
+                // fused (single rounding): can differ from the two-op
+                // mul+add sequence by up to 1 ULP
+                act.sregs[dst.0] =
+                    kind.apply(self.sval(a, act), self.sval(b, act), self.sval(c, act));
+            }
             Instr::SMov { dst, a } => {
                 act.sregs[dst.0] = self.sval(a, act);
             }
@@ -295,6 +301,17 @@ impl<'l, 'm> Vm<'l, 'm> {
                 let mut vals = vec![0.0; act.f.width];
                 for (lane, v) in vals.iter_mut().enumerate() {
                     *v = op.apply(act.vregs[a.0][lane], act.vregs[b.0][lane]);
+                }
+                act.vregs[dst.0] = vals;
+            }
+            Instr::VFma { kind, dst, a, b, c } => {
+                let mut vals = vec![0.0; act.f.width];
+                for (lane, v) in vals.iter_mut().enumerate() {
+                    *v = kind.apply(
+                        act.vregs[a.0][lane],
+                        act.vregs[b.0][lane],
+                        act.vregs[c.0][lane],
+                    );
                 }
                 act.vregs[dst.0] = vals;
             }
@@ -450,6 +467,40 @@ mod tests {
         let mut bufs = BufferSet::for_function(&f);
         execute(&f, &mut bufs, &mut NullMonitor).unwrap();
         assert_eq!(bufs.get(y), &[2.0, 6.0, 4.0]);
+    }
+
+    #[test]
+    fn fma_is_fused_single_rounding() {
+        let mut b = FunctionBuilder::new("fma", 4);
+        let y = b.buffer("y", 8, BufKind::ParamOut);
+        // scalar: fused result of (1 + 2^-27)^2 - 1 keeps the 2^-54 tail
+        // that the two-op path rounds away
+        let eps = 1.0 + 2.0f64.powi(-27);
+        let a = b.smov(eps);
+        let neg1 = b.smov(-1.0);
+        let fused = b.sfma(slingen_cir::FmaKind::MulAdd, a, a, neg1);
+        b.sstore(fused, MemRef::new(y, 0));
+        let m = b.sbin(BinOp::Mul, a, a);
+        let two_op = b.sbin(BinOp::Add, m, neg1);
+        b.sstore(two_op, MemRef::new(y, 1));
+        // vector: plain values, lanewise c - a*b (the Cholesky update form)
+        let va = b.vbroadcast(3.0);
+        let vb = b.vbroadcast(4.0);
+        let vc = b.vbroadcast(29.0);
+        let vf = b.vfma(slingen_cir::FmaKind::NegMulAdd, va, vb, vc);
+        b.vstore_contig(vf, MemRef::new(y, 4));
+        let f = b.finish();
+        let mut bufs = BufferSet::for_function(&f);
+        let mut mon = CountingMonitor::default();
+        execute(&f, &mut bufs, &mut mon).unwrap();
+        let out = bufs.get(y);
+        assert_eq!(out[0], eps.mul_add(eps, -1.0));
+        assert_eq!(out[1], eps * eps - 1.0);
+        assert!(out[0] != out[1], "fused and two-op results must differ on this probe");
+        assert_eq!(&out[4..8], &[17.0; 4]);
+        assert_eq!(mon.count(InstrClass::Fma), 2);
+        // flops: scalar fma = 2, vector fma = 2*width = 8, mul+add = 2
+        assert_eq!(mon.flops(), 2 + 8 + 2);
     }
 
     #[test]

@@ -258,6 +258,121 @@ mod apps_equivalence {
     const GOLDEN_KF8: usize = 3836;
 }
 
+// ---------------------------------------------------------------------
+// Cross-target equivalence: for every benchmark app, every shipped
+// target, and every ν the target supports, the target-specialized
+// Stage-3 pipeline must preserve VM semantics. Non-FMA targets run the
+// same passes as before and must stay bit-identical; the FMA target runs
+// the contraction pass, whose fused ops round once instead of twice, so
+// it is compared against the two-op reference under a tight relative
+// tolerance (each contraction perturbs by <= 1 ULP).
+// ---------------------------------------------------------------------
+
+mod target_equivalence {
+    use slingen_cir::passes::{optimize, PassConfig};
+    use slingen_cir::{BufId, Function, Target};
+    use slingen_lgen::{lower_program, BufferMap, LowerOptions};
+    use slingen_synth::{synthesize_program, AlgorithmDb, Policy};
+    use slingen_vm::{BufferSet, NullMonitor};
+
+    /// Documented ULP caveat of the FMA path: relative tolerance for the
+    /// fused-vs-two-op comparison (1-ULP perturbations compounded
+    /// through a small factorization stay far inside this bound).
+    const FMA_RELATIVE_TOLERANCE: f64 = 1e-9;
+
+    fn run(
+        program: &slingen_ir::Program,
+        f: &Function,
+        nu: usize,
+        seed: u64,
+    ) -> Vec<(BufId, Vec<f64>)> {
+        let mut fb = slingen_cir::FunctionBuilder::new("probe", nu);
+        let map = BufferMap::build(program, &mut fb);
+        let mut bufs = BufferSet::for_function(f);
+        for (op, data) in slingen::workload::inputs(program, seed) {
+            bufs.set(map.buf(op), &data);
+        }
+        slingen_vm::execute(f, &mut bufs, &mut NullMonitor).expect("vm execution");
+        f.params()
+            .filter(|(_, d)| d.kind.live_out())
+            .map(|(id, _)| (id, bufs.get(id).to_vec()))
+            .collect()
+    }
+
+    fn check_app_on_targets(program: slingen_ir::Program) {
+        let seed = 0x7A96;
+        for target in Target::ALL {
+            for &nu in target.widths() {
+                let mut db = AlgorithmDb::new();
+                let basic =
+                    synthesize_program(&program, Policy::Lazy, nu, &mut db).expect("synthesis");
+                let opts = LowerOptions { nu, loop_threshold: 64 };
+                let f0 = lower_program(&program, &basic, program.name(), &opts).expect("lowering");
+                let mut fopt = f0.clone();
+                optimize(&mut fopt, &PassConfig::default().for_target(target));
+                let baseline = run(&program, &f0, nu, seed);
+                let optimized = run(&program, &fopt, nu, seed);
+                assert_eq!(baseline.len(), optimized.len());
+                for ((id, want), (id2, got)) in baseline.iter().zip(&optimized) {
+                    assert_eq!(id, id2);
+                    for (i, (w, g)) in want.iter().zip(got).enumerate() {
+                        if target.has_fma() {
+                            let tol = FMA_RELATIVE_TOLERANCE * w.abs().max(1.0);
+                            assert!(
+                                (w - g).abs() <= tol,
+                                "{} {target} nu={nu}: buffer {id} element {i}: {w:?} vs {g:?}",
+                                program.name(),
+                            );
+                        } else {
+                            assert!(
+                                w.to_bits() == g.to_bits(),
+                                "{} {target} nu={nu}: buffer {id} element {i}: {w:?} vs {g:?} \
+                                 (non-FMA targets must stay bit-identical)",
+                                program.name(),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn potrf_equivalent_on_all_targets() {
+        check_app_on_targets(slingen::apps::potrf(8));
+    }
+
+    #[test]
+    fn trsyl_equivalent_on_all_targets() {
+        check_app_on_targets(slingen::apps::trsyl(8));
+    }
+
+    #[test]
+    fn trlya_equivalent_on_all_targets() {
+        check_app_on_targets(slingen::apps::trlya(8));
+    }
+
+    #[test]
+    fn trtri_equivalent_on_all_targets() {
+        check_app_on_targets(slingen::apps::trtri(8));
+    }
+
+    #[test]
+    fn kf_equivalent_on_all_targets() {
+        check_app_on_targets(slingen::apps::kf(4));
+    }
+
+    #[test]
+    fn gpr_equivalent_on_all_targets() {
+        check_app_on_targets(slingen::apps::gpr(4));
+    }
+
+    #[test]
+    fn l1a_equivalent_on_all_targets() {
+        check_app_on_targets(slingen::apps::l1a(4));
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
@@ -271,6 +386,7 @@ proptest! {
             cse: false,
             iterations: 1,
             unroll_budget: 1 << 12,
+            ..PassConfig::default()
         }] {
             let mut f = f0.clone();
             optimize(&mut f, &config);

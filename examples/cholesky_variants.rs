@@ -15,7 +15,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         // every point of the default space, measured individually
         let opts = Options::default();
-        for spec in opts.search.enumerate(opts.nu) {
+        for spec in opts.search.enumerate(opts.target, opts.nu) {
             let g = generate_with_spec(&program, spec, &opts)?;
             println!(
                 "  {:>14}: {:>9.0} cycles ({:.2} f/c nominal), DB hits/misses {}/{}",
@@ -28,11 +28,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
 
         // the default greedy search: all three dimensions, pruned by the
-        // machine model's cycle budget
+        // machine model's cycle budget, byte-identical variants deduped
         let auto = slingen::generate(&program, &opts)?;
         println!(
-            "  greedy winner: {} ({} variants measured, {} pruned early)",
-            auto.spec, auto.tuning.explored, auto.tuning.pruned
+            "  greedy winner: {} ({} variants explored, {} pruned early, {} deduped)",
+            auto.spec, auto.tuning.explored, auto.tuning.pruned, auto.tuning.deduped
         );
 
         // exhaustive sweep for comparison: same winner, more work

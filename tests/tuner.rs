@@ -25,7 +25,7 @@ fn tuned_winner_bounds_every_point_on_all_apps() {
     for (name, program) in paper_apps() {
         let opts = Options::default();
         let tuned = slingen::generate(&program, &opts).unwrap();
-        for spec in opts.search.enumerate(opts.nu) {
+        for spec in opts.search.enumerate(opts.target, opts.nu) {
             let point = generate_with_spec(&program, spec, &opts).unwrap();
             assert!(
                 tuned.report.cycles <= point.report.cycles + 1e-9,
