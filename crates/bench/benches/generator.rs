@@ -59,6 +59,25 @@ fn bench_stages(c: &mut Criterion) {
             f
         })
     });
+    // incremental CSE in isolation: one nearly-clean round over the
+    // converged ~43k-instruction potrf64 body (a single register dirty),
+    // i.e. the cost the fixpoint loop pays per round after the seeding
+    // scan — memoized key reuse plus dirty-set bookkeeping.
+    use slingen_cir::passes::{cse, DirtyLog, RoundStats};
+    let mut fc = f64_.clone();
+    optimize(&mut fc, &PassConfig::default());
+    let mut cache = cse::CseCache::default();
+    let mut dirty = DirtyLog::all_dirty();
+    let mut seed_round = RoundStats::default();
+    cse::cse_incremental(&mut fc, &mut cache, &mut dirty, &mut seed_round);
+    g.bench_function("cse_incremental", |b| {
+        b.iter(|| {
+            let mut round = RoundStats::default();
+            dirty.mark_s(slingen_cir::SReg(0));
+            cse::cse_incremental(&mut fc, &mut cache, &mut dirty, &mut round);
+            round.cse_reused
+        })
+    });
     g.finish();
 }
 

@@ -14,7 +14,7 @@
 //! committed numbers (see ROADMAP.md).
 
 use slingen::{apps, Options};
-use slingen_cir::passes::{optimize_traced, PassConfig};
+use slingen_cir::passes::{optimize_with_stats, PassConfig, PipelineStats};
 use slingen_ir::Program;
 use slingen_lgen::{lower_program, LowerOptions};
 use slingen_synth::{synthesize_program, AlgorithmDb, Policy};
@@ -44,6 +44,7 @@ struct Record {
     stage3_ms: f64,
     autotune_ms: f64,
     static_instrs: usize,
+    fixpoint: PipelineStats,
 }
 
 fn measure(name: &str, program: &Program, passes_breakdown: bool) -> Record {
@@ -64,15 +65,30 @@ fn measure(name: &str, program: &Program, passes_breakdown: bool) -> Record {
         let mut f = f0.clone();
         slingen_cir::passes::optimize(&mut f, &cfg);
     });
+    // the breakdown observes the real pipeline, so it can never drift
+    // from what `optimize` actually runs
     let mut fopt = f0.clone();
-    slingen_cir::passes::optimize(&mut fopt, &cfg);
-    if passes_breakdown {
-        // the breakdown observes the real pipeline, so it can never drift
-        // from what `optimize` actually runs
-        let mut f = f0.clone();
-        optimize_traced(&mut f, &cfg, &mut |pass, elapsed| {
+    let fixpoint = optimize_with_stats(&mut fopt, &cfg, &mut |pass, elapsed| {
+        if passes_breakdown {
             eprintln!("    {pass:<10} {:8.3} ms", elapsed.as_secs_f64() * 1e3);
-        });
+        }
+    });
+    if passes_breakdown {
+        for (i, r) in fixpoint.rounds.iter().enumerate() {
+            if r.cse_skipped {
+                eprintln!("    round {i}: cse skipped (clean dirty log)");
+            } else {
+                eprintln!(
+                    "    round {i}: cse re-keyed {:5}  reused {:5}{}",
+                    r.cse_rekeyed,
+                    r.cse_reused,
+                    if r.changed { "" } else { "  (fixpoint)" }
+                );
+            }
+        }
+        if !fixpoint.converged {
+            eprintln!("    WARNING: stopped on the iteration cap, not at a fixpoint");
+        }
     }
     let autotune_ms = time_ms(|| {
         // fresh options per repetition: this tracks the cold search, not
@@ -86,6 +102,7 @@ fn measure(name: &str, program: &Program, passes_breakdown: bool) -> Record {
         stage3_ms,
         autotune_ms,
         static_instrs: fopt.static_instr_count(),
+        fixpoint,
     }
 }
 
@@ -95,6 +112,7 @@ struct TuneRecord {
     explored: usize,
     pruned: usize,
     deduped: usize,
+    predicted: usize,
     cold_ms: f64,
     cached_ms: f64,
     hit_rate: f64,
@@ -126,6 +144,7 @@ fn measure_tune(name: &str, program: &Program) -> TuneRecord {
         explored: g.tuning.explored,
         pruned: g.tuning.pruned,
         deduped: g.tuning.deduped,
+        predicted: g.tuning.predicted,
         cold_ms,
         cached_ms,
         hit_rate: hits as f64 / (hits + misses).max(1) as f64,
@@ -208,12 +227,13 @@ fn main() {
             eprintln!("tuning {name} ...");
             let t = measure_tune(name, program);
             eprintln!(
-                "  winner {:16} explored {:2} (pruned {:2}, deduped {:2})  cold {:8.3} ms  \
-                 cached {:8.4} ms  ({:.0}x)  cache hit rate {:.2}",
+                "  winner {:16} explored {:2} (pruned {:2}, deduped {:2}, predicted {:2})  \
+                 cold {:8.3} ms  cached {:8.4} ms  ({:.0}x)  cache hit rate {:.2}",
                 t.spec,
                 t.explored,
                 t.pruned,
                 t.deduped,
+                t.predicted,
                 t.cold_ms,
                 t.cached_ms,
                 t.cold_ms / t.cached_ms.max(1e-9),
@@ -240,15 +260,26 @@ fn main() {
     }
     json.push_str("  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
+        let (rekeyed, reused): (usize, usize) = r
+            .fixpoint
+            .rounds
+            .iter()
+            .fold((0, 0), |(a, b), rd| (a + rd.cse_rekeyed, b + rd.cse_reused));
         json.push_str(&format!(
             "    {{\"app\": \"{}\", \"stage1_ms\": {:.3}, \"stage2_ms\": {:.3}, \
-             \"stage3_ms\": {:.3}, \"autotune_ms\": {:.3}, \"static_instrs\": {}}}{}\n",
+             \"stage3_ms\": {:.3}, \"autotune_ms\": {:.3}, \"static_instrs\": {}, \
+             \"fixpoint\": {{\"rounds\": {}, \"cse_rekeyed\": {}, \"cse_reused\": {}, \
+             \"converged\": {}}}}}{}\n",
             r.app,
             r.stage1_ms,
             r.stage2_ms,
             r.stage3_ms,
             r.autotune_ms,
             r.static_instrs,
+            r.fixpoint.rounds.len(),
+            rekeyed,
+            reused,
+            r.fixpoint.converged,
             if i + 1 < records.len() { "," } else { "" }
         ));
     }
@@ -270,7 +301,8 @@ fn main() {
         for (i, t) in tune_records.iter().enumerate() {
             json.push_str(&format!(
                 "    {{\"app\": \"{}\", \"winner\": \"{}\", \"variants_explored\": {}, \
-                 \"variants_pruned\": {}, \"variants_deduped\": {}, \"cold_ms\": {:.3}, \
+                 \"variants_pruned\": {}, \"variants_deduped\": {}, \
+                 \"variants_predicted\": {}, \"cold_ms\": {:.3}, \
                  \"cached_ms\": {:.4}, \"cache_speedup\": {:.1}, \
                  \"cache_hit_rate\": {:.3}}}{}\n",
                 t.app,
@@ -278,6 +310,7 @@ fn main() {
                 t.explored,
                 t.pruned,
                 t.deduped,
+                t.predicted,
                 t.cold_ms,
                 t.cached_ms,
                 t.cold_ms / t.cached_ms.max(1e-9),

@@ -29,6 +29,7 @@
 
 use crate::func::{CStmt, Function};
 use crate::instr::{BinOp, FmaKind, Instr, SOperand, SReg, VReg};
+use crate::passes::DirtyLog;
 
 /// A pending multiply whose result register may feed one add.
 #[derive(Clone, Copy)]
@@ -204,21 +205,32 @@ fn process(st: &mut Contract, ins: &mut Instr) -> bool {
     changed
 }
 
-fn walk(stmts: &mut [CStmt], st: &mut Contract) -> bool {
+fn walk(stmts: &mut [CStmt], st: &mut Contract, dirty: &mut DirtyLog) -> bool {
     let mut changed = false;
     for s in stmts {
         match s {
-            CStmt::I(ins) => changed |= process(st, ins),
+            CStmt::I(ins) => {
+                if process(st, ins) {
+                    // the add/sub became an FMA: its key changed
+                    if let Some(r) = ins.sreg_write() {
+                        dirty.mark_s(r);
+                    }
+                    if let Some(r) = ins.vreg_write() {
+                        dirty.mark_v(r);
+                    }
+                    changed = true;
+                }
+            }
             CStmt::For { body, .. } => {
                 st.reset();
-                changed |= walk(body, st);
+                changed |= walk(body, st, dirty);
                 st.reset();
             }
             CStmt::If { then_, else_, .. } => {
                 st.reset();
-                changed |= walk(then_, st);
+                changed |= walk(then_, st, dirty);
                 st.reset();
-                changed |= walk(else_, st);
+                changed |= walk(else_, st, dirty);
                 st.reset();
             }
         }
@@ -230,8 +242,14 @@ fn walk(stmts: &mut [CStmt], st: &mut Contract) -> bool {
 /// returns whether anything changed. The dead multiplies are left for
 /// [`super::dce`] to collect.
 pub fn contract(f: &mut Function) -> bool {
+    contract_tracked(f, &mut DirtyLog::default())
+}
+
+/// [`contract`], additionally recording fused definitions into `dirty`
+/// for the incremental CSE scan.
+pub fn contract_tracked(f: &mut Function, dirty: &mut DirtyLog) -> bool {
     let mut st = Contract::for_function(f);
-    walk(&mut f.body, &mut st)
+    walk(&mut f.body, &mut st, dirty)
 }
 
 #[cfg(test)]

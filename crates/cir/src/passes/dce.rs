@@ -20,6 +20,7 @@
 use crate::func::{BufKind, BufferDecl, CStmt, Function};
 use crate::fxhash::FxHashSet;
 use crate::instr::Instr;
+use crate::passes::DirtyLog;
 
 #[derive(Default)]
 struct Usage {
@@ -134,19 +135,29 @@ fn instr_is_dead(buffers: &[BufferDecl], u: &Usage, ins: &Instr) -> bool {
 }
 
 /// Compact `stmts` in place, dropping dead instructions and emptied
-/// control flow; sets `removed` when anything was dropped.
-fn sweep(buffers: &[BufferDecl], u: &Usage, stmts: &mut Vec<CStmt>, removed: &mut bool) {
+/// control flow; sets `removed` when anything was dropped. Removals are
+/// recorded into `dirty` for the incremental CSE scan: a deleted
+/// definition shifts reader versions (mark its register), a deleted
+/// store shifts load epochs (mark its buffer), and a deleted `For`/`If`
+/// merges straight-line regions (mark everything).
+fn sweep(
+    buffers: &[BufferDecl],
+    u: &Usage,
+    stmts: &mut Vec<CStmt>,
+    removed: &mut bool,
+    dirty: &mut DirtyLog,
+) {
     let mut w = 0;
     for r in 0..stmts.len() {
         let keep = match &mut stmts[r] {
             CStmt::I(ins) => !instr_is_dead(buffers, u, ins),
             CStmt::For { body, .. } => {
-                sweep(buffers, u, body, removed);
+                sweep(buffers, u, body, removed, dirty);
                 !body.is_empty()
             }
             CStmt::If { then_, else_, .. } => {
-                sweep(buffers, u, then_, removed);
-                sweep(buffers, u, else_, removed);
+                sweep(buffers, u, then_, removed, dirty);
+                sweep(buffers, u, else_, removed, dirty);
                 !(then_.is_empty() && else_.is_empty())
             }
         };
@@ -156,6 +167,19 @@ fn sweep(buffers: &[BufferDecl], u: &Usage, stmts: &mut Vec<CStmt>, removed: &mu
             }
             w += 1;
         } else {
+            match &stmts[r] {
+                CStmt::I(Instr::SStore { dst, .. }) => dirty.mark_buf(dst.buf.0),
+                CStmt::I(Instr::VStore { base, .. }) => dirty.mark_buf(base.buf.0),
+                CStmt::I(ins) => {
+                    if let Some(reg) = ins.sreg_write() {
+                        dirty.mark_s(reg);
+                    }
+                    if let Some(reg) = ins.vreg_write() {
+                        dirty.mark_v(reg);
+                    }
+                }
+                CStmt::For { .. } | CStmt::If { .. } => dirty.mark_all(),
+            }
             *removed = true;
         }
     }
@@ -165,13 +189,19 @@ fn sweep(buffers: &[BufferDecl], u: &Usage, stmts: &mut Vec<CStmt>, removed: &mu
 /// Remove dead instructions and dead local stores from `f`, iterating to a
 /// fixpoint; returns whether anything was removed.
 pub fn dce(f: &mut Function) -> bool {
+    dce_tracked(f, &mut DirtyLog::default())
+}
+
+/// [`dce`], additionally recording removals into `dirty` for the
+/// incremental CSE scan.
+pub fn dce_tracked(f: &mut Function, dirty: &mut DirtyLog) -> bool {
     let mut any = false;
     let mut u = Usage::default();
     loop {
         collect(f, &mut u);
         let mut removed = false;
         let mut body = std::mem::take(&mut f.body);
-        sweep(&f.buffers, &u, &mut body, &mut removed);
+        sweep(&f.buffers, &u, &mut body, &mut removed, dirty);
         f.body = body;
         if !removed {
             break;

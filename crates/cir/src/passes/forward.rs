@@ -31,6 +31,18 @@
 use crate::func::{CStmt, Function};
 use crate::fxhash::FxHashMap;
 use crate::instr::{Instr, LaneSel, SOperand, SReg, VReg};
+use crate::passes::DirtyLog;
+
+/// Mark the destination register of `ins` in the dirty log (incremental
+/// CSE seeding: the definition's content or existence changed).
+fn mark_def(dirty: &mut DirtyLog, ins: &Instr) {
+    if let Some(r) = ins.sreg_write() {
+        dirty.mark_s(r);
+    }
+    if let Some(r) = ins.vreg_write() {
+        dirty.mark_v(r);
+    }
+}
 
 /// Who holds the current value of a memory cell.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -256,7 +268,7 @@ fn process(st: &mut State, ins: &mut Instr, ls_analysis: bool, scalar_repl: bool
     }
 }
 
-fn walk(stmts: &mut Vec<CStmt>, st: &mut State, ls: bool, sr: bool) -> bool {
+fn walk(stmts: &mut Vec<CStmt>, st: &mut State, ls: bool, sr: bool, dirty: &mut DirtyLog) -> bool {
     let mut changed = false;
     let mut w = 0;
     for r in 0..stmts.len() {
@@ -264,25 +276,31 @@ fn walk(stmts: &mut Vec<CStmt>, st: &mut State, ls: bool, sr: bool) -> bool {
             CStmt::I(ins) => match process(st, ins, ls, sr) {
                 Outcome::Keep => true,
                 Outcome::Rewritten => {
+                    // the definition's content changed (load → mov/
+                    // extract/shuffle/blend)
+                    mark_def(dirty, ins);
                     changed = true;
                     true
                 }
                 Outcome::Drop => {
+                    // the definition disappears: later definitions of the
+                    // register (and their readers) shift versions
+                    mark_def(dirty, ins);
                     changed = true;
                     false
                 }
             },
             CStmt::For { body, .. } => {
                 st.clear_cells();
-                changed |= walk(body, st, ls, sr);
+                changed |= walk(body, st, ls, sr, dirty);
                 st.clear_cells();
                 true
             }
             CStmt::If { then_, else_, .. } => {
                 st.clear_cells();
-                changed |= walk(then_, st, ls, sr);
+                changed |= walk(then_, st, ls, sr, dirty);
                 st.clear_cells();
-                changed |= walk(else_, st, ls, sr);
+                changed |= walk(else_, st, ls, sr, dirty);
                 st.clear_cells();
                 true
             }
@@ -301,9 +319,20 @@ fn walk(stmts: &mut Vec<CStmt>, st: &mut State, ls: bool, sr: bool) -> bool {
 /// Run scalar replacement (`scalar_repl`) and/or the load/store analysis
 /// (`ls_analysis`) over `f`; returns whether anything changed.
 pub fn forward(f: &mut Function, ls_analysis: bool, scalar_repl: bool) -> bool {
+    forward_tracked(f, ls_analysis, scalar_repl, &mut DirtyLog::default())
+}
+
+/// [`forward`], additionally recording touched definitions into `dirty`
+/// for the incremental CSE scan.
+pub fn forward_tracked(
+    f: &mut Function,
+    ls_analysis: bool,
+    scalar_repl: bool,
+    dirty: &mut DirtyLog,
+) -> bool {
     let mut st = State::for_function(f);
     let mut body = std::mem::take(&mut f.body);
-    let changed = walk(&mut body, &mut st, ls_analysis, scalar_repl);
+    let changed = walk(&mut body, &mut st, ls_analysis, scalar_repl, dirty);
     f.body = body;
     changed
 }
@@ -472,21 +501,28 @@ fn copyprop_instr(st: &mut CopyState, ins: &mut Instr) -> bool {
     changed
 }
 
-fn copyprop_walk(stmts: &mut [CStmt], st: &mut CopyState) -> bool {
+fn copyprop_walk(stmts: &mut [CStmt], st: &mut CopyState, dirty: &mut DirtyLog) -> bool {
     let mut changed = false;
     for s in stmts {
         match s {
-            CStmt::I(ins) => changed |= copyprop_instr(st, ins),
+            CStmt::I(ins) => {
+                if copyprop_instr(st, ins) {
+                    // substituted operands change the definition's key
+                    // (substitutions in stores have no key to invalidate)
+                    mark_def(dirty, ins);
+                    changed = true;
+                }
+            }
             CStmt::For { body, .. } => {
                 st.reset();
-                changed |= copyprop_walk(body, st);
+                changed |= copyprop_walk(body, st, dirty);
                 st.reset();
             }
             CStmt::If { then_, else_, .. } => {
                 st.reset();
-                changed |= copyprop_walk(then_, st);
+                changed |= copyprop_walk(then_, st, dirty);
                 st.reset();
-                changed |= copyprop_walk(else_, st);
+                changed |= copyprop_walk(else_, st, dirty);
                 st.reset();
             }
         }
@@ -497,8 +533,14 @@ fn copyprop_walk(stmts: &mut [CStmt], st: &mut CopyState) -> bool {
 /// Propagate scalar and vector copies within straight-line regions;
 /// returns whether anything changed.
 pub fn copyprop(f: &mut Function) -> bool {
+    copyprop_tracked(f, &mut DirtyLog::default())
+}
+
+/// [`copyprop`], additionally recording touched definitions into `dirty`
+/// for the incremental CSE scan.
+pub fn copyprop_tracked(f: &mut Function, dirty: &mut DirtyLog) -> bool {
     let mut st = CopyState::for_function(f);
-    copyprop_walk(&mut f.body, &mut st)
+    copyprop_walk(&mut f.body, &mut st, dirty)
 }
 
 #[cfg(test)]

@@ -28,17 +28,26 @@
 //! The search is target-aware: the ν axis is derived from
 //! [`Target::widths`] (a Scalar target never explores vector variants),
 //! the Stage-3 pipeline contracts multiply–add chains on FMA targets,
-//! and the target participates in the [`TuneCache`] key. Variants whose
-//! lowered Stage-3 output is byte-identical (equal-threshold variants
-//! often collapse at small sizes) are measured once and share the
-//! outcome — [`TuneStats::deduped`] reports how often that fired.
+//! and the target participates in the [`TuneCache`] key.
+//!
+//! Colliding variants are eliminated *before* they cost anything: the
+//! first lowering of each (policy, ν) group records a
+//! [`LowerProfile`], from which the loop-threshold equivalence class of
+//! every other threshold is computed exactly — variants predicted to
+//! produce a byte-identical body skip Stage 2/3 entirely and share the
+//! representative's measurement ([`TuneStats::predicted`]; debug builds
+//! re-lower and assert the digests really collide). Unpredicted
+//! byte-collisions (across policies) are still caught after lowering by
+//! the emitted-C digest ([`TuneStats::deduped`]). Representatives run
+//! lowering, optimization, digest, and measurement end-to-end in one
+//! thread per variant — no cross-stage barrier.
 
 use crate::pipeline::{measure, Generated, Options};
 use crate::Error;
 use slingen_cir::passes::optimize;
 use slingen_cir::{Function, Target};
 use slingen_ir::Program;
-use slingen_lgen::{lower_program, LowerOptions};
+use slingen_lgen::{lower_program_profiled, LowerOptions, LowerProfile};
 use slingen_perf::Report;
 use slingen_synth::{synthesize_program, AlgorithmDb, BasicProgram, Policy};
 use std::collections::{HashMap, HashSet};
@@ -203,15 +212,22 @@ impl SearchSpace {
 /// How the winner of one `generate()` call was found.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TuneStats {
-    /// Variants actually lowered, optimized, and evaluated (cut-off and
-    /// deduplicated variants count: their Stage-2/3 work was done).
+    /// Variants evaluated against a measurement (including cut-off,
+    /// deduplicated, and predicted variants).
     pub explored: usize,
     /// Variants abandoned by the cycle-budget early-cutoff.
     pub pruned: usize,
-    /// Variants whose lowered Stage-3 output was byte-identical to an
-    /// already-measured variant (equal-threshold variants often collapse
-    /// at small sizes); their measurement was reused, not repeated.
+    /// Variants that were lowered and whose Stage-3 output turned out
+    /// byte-identical to an already-measured variant; their measurement
+    /// was reused, not repeated. Disjoint from `predicted`:
+    /// `explored = measured + cut-off representatives + deduped +
+    /// predicted`.
     pub deduped: usize,
+    /// Variants *predicted* byte-identical to an already-lowered variant
+    /// from its group's [`LowerProfile`] (equal loop-threshold class at
+    /// the same policy and ν); they skipped Stage 2/3 entirely and share
+    /// the representative's measurement.
+    pub predicted: usize,
     /// Whether the result came from the [`TuneCache`].
     pub cache_hit: bool,
 }
@@ -313,7 +329,21 @@ impl fmt::Debug for TuneCache {
     }
 }
 
+/// The member of `values` nearest to `target` (ties toward the smaller
+/// value). Shared between the greedy seed selection and the cache key so
+/// the two can never disagree about which point a request snaps to.
+fn nearest(values: &[usize], target: usize) -> usize {
+    values.iter().copied().min_by_key(|v| (v.abs_diff(target), *v)).expect("non-empty axis")
+}
+
 /// Everything that determines the tuned output, flattened into a string.
+///
+/// The raw `nu`/`loop_threshold` options are canonicalized before
+/// keying: the search consumes them only through the effective ν axis
+/// ([`SearchSpace::nus_for`]) and the seed point (nearest axis member of
+/// each), so two requests that snap to the same coordinates provably run
+/// the same search — e.g. a seed threshold of 100 shares the entry of
+/// 64, instead of missing the cache on a semantically identical request.
 fn cache_key(program: &Program, options: &Options) -> String {
     use std::fmt::Write;
     let mut key = String::with_capacity(256);
@@ -325,15 +355,13 @@ fn cache_key(program: &Program, options: &Options) -> String {
             let _ = write!(key, "|ow{i}:{}", t.0);
         }
     }
+    let nus = options.search.nus_for(options.target, options.nu);
+    let seed_nu = nearest(&nus, options.nu);
+    let seed_thr = nearest(&options.search.loop_thresholds, options.loop_threshold);
     let _ = write!(
         key,
-        "|target:{}|machine:{:?}|passes:{:?}|nu:{}|thr:{}|seed:{}",
-        options.target,
-        options.machine,
-        options.passes,
-        options.nu,
-        options.loop_threshold,
-        options.seed
+        "|target:{}|machine:{:?}|passes:{:?}|nus:{nus:?}|seednu:{seed_nu}|seedthr:{seed_thr}|seed:{}",
+        options.target, options.machine, options.passes, options.seed
     );
     options.search.fingerprint(&mut key);
     key
@@ -385,9 +413,21 @@ pub(crate) fn lower_variant(
     basic: &BasicProgram,
     options: &Options,
 ) -> Result<Function, Error> {
-    let mut function = lower_program(program, basic, program.name(), &spec.lower_options())?;
+    lower_variant_profiled(program, spec, basic, options).map(|(f, _)| f)
+}
+
+/// [`lower_variant`], also returning the [`LowerProfile`] recorded while
+/// Stage 2 ran — the basis of the tuner's predictive threshold dedupe.
+pub(crate) fn lower_variant_profiled(
+    program: &Program,
+    spec: VariantSpec,
+    basic: &BasicProgram,
+    options: &Options,
+) -> Result<(Function, LowerProfile), Error> {
+    let (mut function, profile) =
+        lower_program_profiled(program, basic, program.name(), &spec.lower_options())?;
     optimize(&mut function, &options.passes_for_target());
-    Ok(function)
+    Ok((function, profile))
 }
 
 /// The dedupe key of one lowered body: a 64-bit FxHash digest of the
@@ -395,9 +435,6 @@ pub(crate) fn lower_variant(
 /// hashed and dropped inside the lowering thread — nothing variant-sized
 /// is retained across the search.
 type BodyKey = (u64, usize);
-
-/// One lowered variant plus its dedupe key.
-type LoweredVariant = (VariantSpec, Result<(Function, BodyKey), Error>);
 
 /// Digest the lowered Stage-3 output of `function` for `target`.
 fn body_key(function: &Function, target: Target) -> BodyKey {
@@ -421,6 +458,35 @@ enum MeasureOutcome {
     Failed,
 }
 
+/// The resolution of one batch item, filled in as the waves of
+/// [`Search::evaluate`] complete.
+enum Slot {
+    /// Synthesis, lowering, or the debug backstop failed.
+    Err(Error),
+    /// The variant resolved to a lowered body. `predicted` variants never
+    /// ran Stage 2/3 — their key came from the group's [`LowerProfile`]
+    /// classification.
+    Done { key: BodyKey, predicted: bool },
+}
+
+/// What one representative thread produces: the lowered function, its
+/// Stage-2 profile, the body digest, and the measurement it ran inline
+/// (`None` when the body was already measured).
+type RepResult =
+    Result<(Function, LowerProfile, BodyKey, Option<Result<Option<Report>, Error>>), Error>;
+
+/// The incumbent: the winning spec plus the digest under which its
+/// lowered body is retained in [`Search::body_fns`]. The `Function`
+/// itself is *not* cloned per improvement — it is materialized once, at
+/// [`Search::into_generated`].
+struct Best {
+    spec: VariantSpec,
+    report: Report,
+    /// Canonical enumeration index (ties break on it).
+    ord: usize,
+    key: BodyKey,
+}
+
 /// The search state: the visited set, the incumbent, and exploration
 /// statistics.
 struct Search<'p> {
@@ -437,7 +503,19 @@ struct Search<'p> {
     /// outcome (ROADMAP PR-2 lead — equal-threshold variants often
     /// collapse at small sizes).
     measured: HashMap<BodyKey, MeasureOutcome>,
-    best: Option<(Variant, usize)>,
+    /// First recorded Stage-2 profile per (policy, ν) group. The works
+    /// values are threshold-independent, so one profile classifies every
+    /// loop threshold of its group exactly.
+    profiles: HashMap<(Policy, usize), LowerProfile>,
+    /// Lowered-body digest per (policy, ν, loop-threshold class): a
+    /// variant landing on a recorded class is a *predicted* collision and
+    /// skips Stage 2/3 entirely.
+    class_bodies: HashMap<(Policy, usize, usize), BodyKey>,
+    /// One retained `Function` per distinct lowered body, so the winner
+    /// is materialized without re-lowering and without per-improvement
+    /// clones.
+    body_fns: HashMap<BodyKey, Function>,
+    best: Option<Best>,
     stats: TuneStats,
     last_err: Option<Error>,
 }
@@ -458,6 +536,9 @@ impl<'p> Search<'p> {
             order,
             visited: HashSet::new(),
             measured: HashMap::new(),
+            profiles: HashMap::new(),
+            class_bodies: HashMap::new(),
+            body_fns: HashMap::new(),
             best: None,
             stats: TuneStats::default(),
             last_err: None,
@@ -465,11 +546,16 @@ impl<'p> Search<'p> {
     }
 
     /// Evaluate a batch of specs: Stage 1 serially through the shared
-    /// database, Stages 2–3 fanned out across OS threads, then one
-    /// measurement per *distinct* lowered body (byte-identical variants
-    /// share it; see [`Search::measured`]), also fanned out. Updates the
-    /// incumbent deterministically (strict min cycles, ties broken by
-    /// canonical enumeration order).
+    /// database, then waves of *representatives*. Each wave classifies
+    /// every pending variant against the recorded [`LowerProfile`]s —
+    /// predicted collisions resolve instantly without Stage 2/3 — and
+    /// claims one representative per unresolved (policy, ν) group or
+    /// unseen loop-threshold class. Representatives run lowering,
+    /// Stage-3 optimization, digest, and (if the body is new)
+    /// measurement end-to-end in one thread each, with no cross-stage
+    /// barrier. Updates the incumbent deterministically (strict min
+    /// cycles, ties broken by canonical enumeration order): accounting
+    /// runs in batch order regardless of wave scheduling.
     fn evaluate(&mut self, specs: &[VariantSpec], budget: Option<f64>) {
         let fresh: Vec<VariantSpec> =
             specs.iter().copied().filter(|s| self.visited.insert(*s)).collect();
@@ -480,95 +566,180 @@ impl<'p> Search<'p> {
         }
         let program = self.program;
         let options = self.options;
-        // Phase 1: lowering + Stage-3 optimization, in parallel; each
-        // variant's emitted C is digested into its dedupe key.
-        let lowered: Vec<LoweredVariant> = std::thread::scope(|scope| {
-            let handles: Vec<_> = todo
-                .into_iter()
-                .map(|(spec, basic)| {
-                    scope.spawn(move || {
-                        let r = basic.and_then(|b| {
-                            lower_variant(program, spec, &b, options).map(|f| {
-                                let key = body_key(&f, options.target);
-                                (f, key)
-                            })
-                        });
-                        (spec, r)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("autotune lowering thread panicked"))
-                .collect()
-        });
-        // Phase 2: pick one representative per distinct unmeasured body.
-        let mut reps: Vec<(BodyKey, usize)> = Vec::new();
-        let mut rep_keys: HashSet<BodyKey> = HashSet::new();
-        for (i, (_, res)) in lowered.iter().enumerate() {
-            if let Ok((_, key)) = res {
-                if !self.measured.contains_key(key) && rep_keys.insert(*key) {
-                    reps.push((*key, i));
+        // Bodies that were already measured before this batch started:
+        // any variant landing on one of them is shared, never a
+        // representative, matching the historical accounting.
+        let pre_batch: HashSet<BodyKey> = self.measured.keys().copied().collect();
+
+        let mut batch_specs: Vec<VariantSpec> = Vec::with_capacity(todo.len());
+        let mut basics: Vec<Option<Arc<BasicProgram>>> = Vec::with_capacity(todo.len());
+        let mut slots: Vec<Option<Slot>> = Vec::with_capacity(todo.len());
+        let mut pending: Vec<usize> = Vec::new();
+        for (i, (spec, basic)) in todo.into_iter().enumerate() {
+            batch_specs.push(spec);
+            match basic {
+                Ok(b) => {
+                    basics.push(Some(b));
+                    slots.push(None);
+                    pending.push(i);
+                }
+                Err(e) => {
+                    basics.push(None);
+                    slots.push(Some(Slot::Err(e)));
                 }
             }
         }
-        let rep_idx: HashSet<usize> = reps.iter().map(|(_, i)| *i).collect();
-        let measured_now: Vec<(BodyKey, Result<Option<Report>, Error>)> =
-            std::thread::scope(|scope| {
+
+        // Wave loop: every wave resolves all predictable variants for
+        // free and spends threads only on representatives. Deferred
+        // variants wait for a representative of their group/class to
+        // land; each wave resolves at least its representatives, so the
+        // loop terminates.
+        while !pending.is_empty() {
+            let mut defer: Vec<usize> = Vec::new();
+            let mut reps: Vec<usize> = Vec::new();
+            let mut claimed_groups: HashSet<(Policy, usize)> = HashSet::new();
+            let mut claimed_classes: HashSet<(Policy, usize, usize)> = HashSet::new();
+            for &i in &pending {
+                let spec = batch_specs[i];
+                let group = (spec.policy, spec.nu);
+                match self.profiles.get(&group) {
+                    Some(profile) => {
+                        let class = profile.loop_class(spec.loop_threshold);
+                        if let Some(&key) = self.class_bodies.get(&(spec.policy, spec.nu, class)) {
+                            // Predicted collision: skip Stage 2/3. Debug
+                            // builds re-lower and prove the prediction.
+                            #[cfg(debug_assertions)]
+                            {
+                                let basic = basics[i].as_ref().expect("pending items have basics");
+                                let (f, p) = lower_variant_profiled(program, spec, basic, options)
+                                    .expect("predicted variant must lower like its representative");
+                                debug_assert_eq!(
+                                    body_key(&f, options.target),
+                                    key,
+                                    "LowerProfile predicted a collision that does not hold for {spec}"
+                                );
+                                debug_assert_eq!(
+                                    &p, profile,
+                                    "LowerProfile differs across thresholds of one (policy, ν) group"
+                                );
+                            }
+                            slots[i] = Some(Slot::Done { key, predicted: true });
+                        } else if claimed_classes.insert((spec.policy, spec.nu, class)) {
+                            reps.push(i);
+                        } else {
+                            defer.push(i);
+                        }
+                    }
+                    None => {
+                        if claimed_groups.insert(group) {
+                            reps.push(i);
+                        } else {
+                            defer.push(i);
+                        }
+                    }
+                }
+            }
+            // One thread per representative: lower → digest → measure
+            // (measurement is skipped when the body is already known).
+            let measured = &self.measured;
+            let results: Vec<(usize, RepResult)> = std::thread::scope(|scope| {
                 let handles: Vec<_> = reps
-                    .into_iter()
-                    .map(|(key, i)| {
-                        let function = &lowered[i].1.as_ref().expect("representatives are Ok").0;
-                        scope.spawn(move || (key, measure(program, function, options, budget)))
+                    .iter()
+                    .map(|&i| {
+                        let spec = batch_specs[i];
+                        let basic = basics[i].clone().expect("pending items have basics");
+                        scope.spawn(move || {
+                            let r = lower_variant_profiled(program, spec, &basic, options).map(
+                                |(f, profile)| {
+                                    let key = body_key(&f, options.target);
+                                    let m = if measured.contains_key(&key) {
+                                        None
+                                    } else {
+                                        Some(measure(program, &f, options, budget))
+                                    };
+                                    (f, profile, key, m)
+                                },
+                            );
+                            (i, r)
+                        })
                     })
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("autotune measure thread panicked"))
+                    .map(|h| h.join().expect("autotune variant thread panicked"))
                     .collect()
             });
-        for (key, res) in measured_now {
-            let outcome = match res {
-                Ok(Some(report)) => MeasureOutcome::Measured(Box::new(report)),
-                Ok(None) => MeasureOutcome::CutOff,
-                Err(e) => {
-                    self.last_err = Some(e);
-                    MeasureOutcome::Failed
+            // Join in wave order (ascending batch index): the first
+            // writer wins on every shared map, which is deterministic
+            // because wave membership follows batch order.
+            for (i, r) in results {
+                let spec = batch_specs[i];
+                match r {
+                    Err(e) => slots[i] = Some(Slot::Err(e)),
+                    Ok((f, profile, key, m)) => {
+                        let class = profile.loop_class(spec.loop_threshold);
+                        self.profiles.entry((spec.policy, spec.nu)).or_insert(profile);
+                        self.class_bodies.entry((spec.policy, spec.nu, class)).or_insert(key);
+                        self.body_fns.entry(key).or_insert(f);
+                        if let Some(m) = m {
+                            let outcome = match m {
+                                Ok(Some(report)) => MeasureOutcome::Measured(Box::new(report)),
+                                Ok(None) => MeasureOutcome::CutOff,
+                                Err(e) => {
+                                    self.last_err = Some(e);
+                                    MeasureOutcome::Failed
+                                }
+                            };
+                            self.measured.entry(key).or_insert(outcome);
+                        }
+                        slots[i] = Some(Slot::Done { key, predicted: false });
+                    }
                 }
-            };
-            self.measured.insert(key, outcome);
+            }
+            pending = defer;
         }
-        // Phase 3: account every variant of the batch, in canonical batch
-        // order, against the shared measurements.
-        for (i, (spec, res)) in lowered.into_iter().enumerate() {
-            match res {
-                Err(e) => self.last_err = Some(e),
-                Ok((function, key)) => {
-                    let shared = !rep_idx.contains(&i);
+
+        // Account every variant of the batch, in canonical batch order,
+        // against the shared measurements. The first variant in batch
+        // order to surface each new body is its accounting
+        // representative; everything else on that body is shared.
+        let mut batch_first: HashSet<BodyKey> = HashSet::new();
+        for (i, slot) in slots.into_iter().enumerate() {
+            match slot.expect("every batch item resolves to a slot") {
+                Slot::Err(e) => self.last_err = Some(e),
+                Slot::Done { key, predicted } => {
+                    let spec = batch_specs[i];
+                    let shared = pre_batch.contains(&key) || !batch_first.insert(key);
                     match self.measured.get(&key) {
                         Some(MeasureOutcome::Measured(report)) => {
                             self.stats.explored += 1;
-                            if shared {
+                            if predicted {
+                                self.stats.predicted += 1;
+                            } else if shared {
                                 self.stats.deduped += 1;
                             }
-                            let variant = Variant { function, spec, report: (**report).clone() };
+                            let cycles = report.cycles;
                             let ord = self.order.get(&spec).copied().unwrap_or(usize::MAX);
                             let better = match &self.best {
                                 None => true,
-                                Some((b, bord)) => {
-                                    variant.report.cycles < b.report.cycles
-                                        || (variant.report.cycles == b.report.cycles && ord < *bord)
+                                Some(b) => {
+                                    cycles < b.report.cycles
+                                        || (cycles == b.report.cycles && ord < b.ord)
                                 }
                             };
                             if better {
-                                self.best = Some((variant, ord));
+                                self.best =
+                                    Some(Best { spec, report: (**report).clone(), ord, key });
                             }
                         }
                         Some(MeasureOutcome::CutOff) => {
                             // cut off: provably slower than the incumbent
                             self.stats.explored += 1;
                             self.stats.pruned += 1;
-                            if shared {
+                            if predicted {
+                                self.stats.predicted += 1;
+                            } else if shared {
                                 self.stats.deduped += 1;
                             }
                         }
@@ -580,15 +751,20 @@ impl<'p> Search<'p> {
     }
 
     fn incumbent_cycles(&self) -> Option<f64> {
-        self.best.as_ref().map(|(v, _)| v.report.cycles)
+        self.best.as_ref().map(|b| b.report.cycles)
     }
 
-    fn into_generated(self) -> Result<Generated, Error> {
+    fn into_generated(mut self) -> Result<Generated, Error> {
         let db_stats = self.synth.stats();
         let stats = self.stats;
         let target = self.options.target;
         match self.best {
-            Some((variant, _)) => Ok(crate::pipeline::emit(variant, target, db_stats, stats)),
+            Some(best) => {
+                let function =
+                    self.body_fns.remove(&best.key).expect("the winning body is retained");
+                let variant = Variant { function, spec: best.spec, report: best.report };
+                Ok(crate::pipeline::emit(variant, target, db_stats, stats))
+            }
             None => Err(self.last_err.unwrap_or_else(|| {
                 Error::Synth(slingen_synth::SynthError::Unsupported("empty search space".into()))
             })),
@@ -610,10 +786,8 @@ fn run_greedy(search: &mut Search<'_>) {
     let thresholds = space.loop_thresholds.clone();
 
     // Seed coordinates: the caller's defaults, clamped into the space
-    // (nearest member, ties toward the smaller value).
-    let nearest = |values: &[usize], target: usize| -> usize {
-        values.iter().copied().min_by_key(|v| (v.abs_diff(target), *v)).expect("non-empty axis")
-    };
+    // (nearest member, ties toward the smaller value) — the same
+    // canonicalization [`cache_key`] uses.
     let seed_nu = nearest(&nus, search.options.nu);
     let seed_thr = nearest(&thresholds, search.options.loop_threshold);
 
@@ -632,13 +806,12 @@ fn run_greedy(search: &mut Search<'_>) {
     // abandoned mid-measurement.
     const MAX_SWEEPS: usize = 3;
     for _ in 0..MAX_SWEEPS {
-        let Some((best_spec, before)) =
-            search.best.as_ref().map(|(v, _)| (v.spec, v.report.cycles))
+        let Some((best_spec, before)) = search.best.as_ref().map(|b| (b.spec, b.report.cycles))
         else {
             return; // every seed failed; nothing to descend from
         };
         for coord in 0..3 {
-            let Some((cur, _)) = search.best.as_ref().map(|(v, _)| (v.spec, ())) else {
+            let Some(cur) = search.best.as_ref().map(|b| b.spec) else {
                 return;
             };
             let batch: Vec<VariantSpec> = match coord {
@@ -664,7 +837,7 @@ fn run_greedy(search: &mut Search<'_>) {
         let unchanged = search
             .best
             .as_ref()
-            .map(|(v, _)| v.spec == best_spec && v.report.cycles == before)
+            .map(|b| b.spec == best_spec && b.report.cycles == before)
             .unwrap_or(true);
         if unchanged {
             break;

@@ -255,7 +255,10 @@ mod apps_equivalence {
     }
 
     const GOLDEN_POTRF8: usize = 246;
-    const GOLDEN_KF8: usize = 3836;
+    // 3836 → 3831 when the cleanup-iteration cap was raised past 3: kf8
+    // needs 5 rounds to reach its fixpoint, and the old cap silently
+    // stopped one copyprop/DCE wave short.
+    const GOLDEN_KF8: usize = 3831;
 }
 
 // ---------------------------------------------------------------------

@@ -131,6 +131,56 @@ fn cache_replays_identical_artifacts() {
     assert_eq!(opts.cache.len(), 3);
 }
 
+/// The cache key canonicalizes the seed coordinates: requests whose raw
+/// `nu`/`loop_threshold` snap to the same axis members provably run the
+/// same search, so they share one entry instead of missing.
+#[test]
+fn cache_canonicalizes_equivalent_seed_options() {
+    let program = apps::trtri(8);
+    let opts = Options::default(); // nu 4, threshold 64
+    let cold = slingen::generate(&program, &opts).unwrap();
+    assert!(!cold.tuning.cache_hit);
+    // 100 and 63 both snap to threshold 64 in {16, 64, 256}; ν = 8 snaps
+    // to 4 (the widest member of the AVX2 ν axis). All three are the
+    // same canonical search as the cold run.
+    for (nu, thr) in [(4, 100), (4, 63), (8, 64)] {
+        let equiv =
+            Options { nu, loop_threshold: thr, cache: opts.cache.clone(), ..Options::default() };
+        let warm = slingen::generate(&program, &equiv).unwrap();
+        assert!(warm.tuning.cache_hit, "(ν={nu}, thr={thr}) must hit the canonical entry");
+        assert_eq!(warm.c_code, cold.c_code);
+        assert_eq!(warm.spec, cold.spec);
+    }
+    assert_eq!(opts.cache.len(), 1, "equivalent requests must share one entry");
+}
+
+/// Exploration statistics reconcile: every point of an exhaustive search
+/// is accounted exactly once, and the predicted/deduped counters are
+/// disjoint parts of that total.
+#[test]
+fn exhaustive_stats_reconcile_with_the_space() {
+    for (name, program) in paper_apps() {
+        let opts = Options {
+            search: SearchSpace::default().with_strategy(Strategy::Exhaustive),
+            ..Options::default()
+        };
+        let g = slingen::generate(&program, &opts).unwrap();
+        let space = opts.search.len(opts.target, opts.nu);
+        assert_eq!(
+            g.tuning.explored, space,
+            "{name}: every point of the space must be accounted exactly once"
+        );
+        assert!(
+            g.tuning.predicted + g.tuning.deduped < g.tuning.explored,
+            "{name}: at least one variant must be a measured representative"
+        );
+        // The threshold axis has 3 members per (policy, ν) group; any
+        // group whose profile separates fewer than 3 classes yields
+        // predicted collisions. All 7 paper apps have at least one.
+        assert!(g.tuning.predicted > 0, "{name}: expected predicted collisions, got none");
+    }
+}
+
 /// A pinned policy bypasses the search but still reports its spec.
 #[test]
 fn pinned_policy_skips_search() {
