@@ -3,17 +3,21 @@
 //! workloads, and emits machine-readable `BENCH_generator.json`.
 //!
 //! Usage: `cargo run --release -p slingen-bench --bin bench [--passes]
-//! [--tune] [--out PATH]`
+//! [--tune] [--serve] [--out PATH]`
 //!
 //! The JSON is a list of per-workload records:
 //! `{"app", "stage1_ms", "stage2_ms", "stage3_ms", "autotune_ms", ...}`,
 //! preceded by a small metadata header. `--tune` adds a per-workload
 //! autotuner report — variants explored/pruned, cache hit rate, and the
-//! cold-vs-cached `generate()` speedup. Each PR that touches the
-//! generation hot path should re-run this and compare against the
-//! committed numbers (see ROADMAP.md).
+//! cold-vs-cached `generate()` speedup. `--serve` adds a serve-front-end
+//! report: requests/sec and p50/p99 latency at worker counts 1/4/16 on a
+//! hot cache over distinct keys and on a mixed hot/cold request stream
+//! (with coalescing counts). Each PR that touches the generation hot
+//! path should re-run this and compare against the committed numbers
+//! (see ROADMAP.md).
 
-use slingen::{apps, Options};
+use slingen::serve::Engine;
+use slingen::{apps, Options, Target, TuneCache};
 use slingen_cir::passes::{optimize_with_stats, PassConfig, PipelineStats};
 use slingen_ir::Program;
 use slingen_lgen::{lower_program, LowerOptions};
@@ -151,6 +155,97 @@ fn measure_tune(name: &str, program: &Program) -> TuneRecord {
     }
 }
 
+struct ServeScenario {
+    scenario: String,
+    workers: usize,
+    requests: usize,
+    requests_per_sec: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    searches: u64,
+    coalesced: u64,
+}
+
+/// Drive `requests` through `engine.handle_line` from a pool of
+/// `workers` threads pulling off one shared queue, recording the
+/// per-request latency distribution.
+fn run_serve_scenario(
+    scenario: &str,
+    engine: &Engine,
+    lines: &[String],
+    workers: usize,
+) -> ServeScenario {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let searches0 = engine.cache().searches();
+    let coalesced0 = engine.cache().totals().coalesced;
+    let next = AtomicUsize::new(0);
+    let t0 = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(line) = lines.get(i) else { break };
+                        let t = Instant::now();
+                        let resp = engine.handle_line(line);
+                        assert!(resp.contains("\"ok\":true"), "serve bench request failed: {resp}");
+                        mine.push(t.elapsed().as_secs_f64() * 1e3);
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
+    ServeScenario {
+        scenario: scenario.to_string(),
+        workers,
+        requests: lines.len(),
+        requests_per_sec: lines.len() as f64 / wall_s.max(1e-9),
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+        searches: engine.cache().searches() - searches0,
+        coalesced: engine.cache().totals().coalesced - coalesced0,
+    }
+}
+
+/// The serve-front-end report: requests/sec and latency percentiles at
+/// worker counts 1/4/16, on (a) a pre-warmed cache over distinct keys —
+/// the pure replay path — and (b) a mixed hot/cold stream with duplicate
+/// keys in flight — searches plus coalescing.
+fn measure_serve() -> Vec<ServeScenario> {
+    let request =
+        |app: &str, n: usize| format!("{{\"app\":\"{app}\",\"n\":{n},\"emit\":\"summary\"}}");
+    // 12 distinct small kernels
+    let keys: Vec<String> =
+        (3..=8).flat_map(|n| [request("potrf", n), request("trtri", n)]).collect();
+    let mut scenarios = Vec::new();
+    for &workers in &[1usize, 4, 16] {
+        // (a) hot cache, distinct keys round-robin: every request replays
+        let hot_engine = Engine::new(TuneCache::new(), Target::Avx2);
+        for line in &keys {
+            let resp = hot_engine.handle_line(line); // pre-warm
+            assert!(resp.contains("\"ok\":true"), "warmup failed: {resp}");
+        }
+        let stream: Vec<String> = (0..1200).map(|i| keys[i % keys.len()].clone()).collect();
+        let s = run_serve_scenario("hot_distinct", &hot_engine, &stream, workers);
+        assert_eq!(s.searches, 0, "a hot cache must not search");
+        scenarios.push(s);
+
+        // (b) mixed hot/cold: fresh cache, 8 distinct keys x 8 copies —
+        // duplicates in flight coalesce, repeats hit
+        let mixed_engine = Engine::new(TuneCache::new(), Target::Avx2);
+        let stream: Vec<String> = (0..64).map(|i| request("potrf", 3 + (i % 8))).collect();
+        scenarios.push(run_serve_scenario("mixed_hot_cold", &mixed_engine, &stream, workers));
+    }
+    scenarios
+}
+
 /// Extract `"key": <value>` (string, object, or array value) from the top
 /// level of a previously written JSON document, returning the raw text.
 fn extract_top_level(src: &str, key: &str) -> Option<String> {
@@ -191,6 +286,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let passes_breakdown = args.iter().any(|a| a == "--passes");
     let tune = args.iter().any(|a| a == "--tune");
+    let serve = args.iter().any(|a| a == "--serve");
     let out_path = match args.iter().position(|a| a == "--out") {
         Some(i) => match args.get(i + 1) {
             Some(p) if !p.starts_with("--") => p.clone(),
@@ -296,6 +392,26 @@ fn main() {
             json.push_str(&section);
         }
     }
+    let serve_records = if serve {
+        eprintln!("serving (hot_distinct + mixed_hot_cold at workers 1/4/16) ...");
+        let records = measure_serve();
+        for s in &records {
+            eprintln!(
+                "  {:14} workers {:2}  {:8.0} req/s  p50 {:8.4} ms  p99 {:8.4} ms  \
+                 searches {:2}  coalesced {:2}",
+                s.scenario,
+                s.workers,
+                s.requests_per_sec,
+                s.p50_ms,
+                s.p99_ms,
+                s.searches,
+                s.coalesced
+            );
+        }
+        records
+    } else {
+        Vec::new()
+    };
     if !tune_records.is_empty() {
         json.push_str(",\n  \"tune\": [\n");
         for (i, t) in tune_records.iter().enumerate() {
@@ -319,6 +435,38 @@ fn main() {
             ));
         }
         json.push_str("  ]");
+    }
+    if serve_records.is_empty() {
+        // likewise keep a previously committed serve report on refreshes
+        // that skip --serve
+        if let Some(section) = std::fs::read_to_string(&out_path)
+            .ok()
+            .as_deref()
+            .and_then(|prev| extract_top_level(prev, "serve"))
+        {
+            json.push_str(",\n  ");
+            json.push_str(&section);
+        }
+    } else {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        json.push_str(&format!(",\n  \"serve\": {{\"cores\": {cores}, \"scenarios\": [\n"));
+        for (i, s) in serve_records.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"scenario\": \"{}\", \"workers\": {}, \"requests\": {}, \
+                 \"requests_per_sec\": {:.0}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \
+                 \"searches\": {}, \"coalesced\": {}}}{}\n",
+                s.scenario,
+                s.workers,
+                s.requests,
+                s.requests_per_sec,
+                s.p50_ms,
+                s.p99_ms,
+                s.searches,
+                s.coalesced,
+                if i + 1 < serve_records.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ]}");
     }
     json.push_str("\n}\n");
     std::fs::write(&out_path, &json).expect("write benchmark json");

@@ -405,6 +405,28 @@ pub enum InstrClass {
     Call,
 }
 
+impl InstrClass {
+    /// All instruction classes, for iteration.
+    pub const ALL: [InstrClass; 10] = [
+        InstrClass::Load,
+        InstrClass::Store,
+        InstrClass::FAdd,
+        InstrClass::FMul,
+        InstrClass::Fma,
+        InstrClass::FDivSqrt,
+        InstrClass::Shuffle,
+        InstrClass::Blend,
+        InstrClass::Mov,
+        InstrClass::Call,
+    ];
+
+    /// Inverse of the `Display` names — used by the persistent tuning
+    /// cache, so the names above are a stable wire format.
+    pub fn parse(s: &str) -> Option<InstrClass> {
+        InstrClass::ALL.iter().copied().find(|c| c.to_string() == s)
+    }
+}
+
 impl fmt::Display for InstrClass {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {

@@ -1,0 +1,154 @@
+//! `slingen-serve` — the kernel-generation service front-end.
+//!
+//! Reads line-delimited JSON requests (see `slingen::serve`) from stdin
+//! (default) or a Unix socket, answers each with one JSON response line,
+//! and keeps every tuning result in one shared sharded cache so repeated
+//! and concurrent requests replay instead of re-searching.
+//!
+//! ```text
+//! slingen-serve [--workers N] [--cache-file PATH] [--socket PATH] [--target T]
+//! ```
+//!
+//! * `--workers N`    worker threads sharing the cache (default 4)
+//! * `--cache-file P` warm-load the tuning cache from P at startup and
+//!   atomically save it back on shutdown (stdin mode) or after every
+//!   connection (socket mode); a missing/corrupt file starts empty
+//! * `--socket P`     listen on a Unix socket instead of stdin; each
+//!   connection is served with the worker pool, responses go back on
+//!   the same connection
+//! * `--target T`     default ISA for requests without a `target` field
+//!   (scalar | sse2 | avx2 | avx2fma; default avx2)
+//!
+//! On shutdown a one-line JSON stats summary is written to stderr, e.g.
+//! `{"cache_entries": 5, ..., "searches": 0}`.
+
+use slingen::serve::{serve_lines, Engine, ServeSummary};
+use slingen::{Target, TuneCache};
+use std::io::{BufReader, Write};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    workers: usize,
+    cache_file: Option<PathBuf>,
+    socket: Option<PathBuf>,
+    target: Target,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { workers: 4, cache_file: None, socket: None, target: Target::Avx2 };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .ok()
+                    .filter(|w| (1..=256).contains(w))
+                    .ok_or("--workers must be an integer in 1..=256")?;
+            }
+            "--cache-file" => args.cache_file = Some(PathBuf::from(value("--cache-file")?)),
+            "--socket" => args.socket = Some(PathBuf::from(value("--socket")?)),
+            "--target" => {
+                let t = value("--target")?;
+                args.target = Target::parse(&t).ok_or(format!("unknown target `{t}`"))?;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: slingen-serve [--workers N] [--cache-file PATH] \
+                     [--socket PATH] [--target T]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn save_cache(engine: &Engine, path: &std::path::Path) {
+    match engine.cache().save(path) {
+        Ok(n) => eprintln!("slingen-serve: saved {n} cache entries to {}", path.display()),
+        Err(e) => eprintln!("slingen-serve: cache save to {} failed: {e}", path.display()),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("slingen-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let cache = match &args.cache_file {
+        Some(path) => TuneCache::load(path),
+        None => TuneCache::new(),
+    };
+    let engine = Engine::new(cache, args.target);
+
+    let result: std::io::Result<ServeSummary> = match &args.socket {
+        None => {
+            let stdin = std::io::stdin();
+            serve_lines(&engine, stdin.lock(), std::io::stdout(), args.workers)
+        }
+        Some(path) => serve_socket(&engine, path, args.workers, args.cache_file.as_deref()),
+    };
+
+    if let Some(path) = &args.cache_file {
+        save_cache(&engine, path);
+    }
+    eprintln!("{}", engine.stats_json());
+
+    match result {
+        Ok(summary) => {
+            eprintln!(
+                "slingen-serve: handled {} requests ({} errors)",
+                summary.requests, summary.errors
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("slingen-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Accept connections on a Unix socket; each connection's request lines
+/// are pumped through the shared worker pool and answered on the same
+/// connection. Serves until the process is killed (or accept fails).
+fn serve_socket(
+    engine: &Engine,
+    path: &std::path::Path,
+    workers: usize,
+    cache_file: Option<&std::path::Path>,
+) -> std::io::Result<ServeSummary> {
+    use std::os::unix::net::UnixListener;
+
+    // A stale socket file from a previous run would make bind fail.
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    eprintln!("slingen-serve: listening on {}", path.display());
+    let mut total = ServeSummary::default();
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let mut writer = stream;
+        match serve_lines(engine, reader, &mut writer, workers) {
+            Ok(s) => {
+                total.requests += s.requests;
+                total.errors += s.errors;
+            }
+            Err(e) => eprintln!("slingen-serve: connection error: {e}"),
+        }
+        let _ = writer.flush();
+        // Persist eagerly so a kill between connections loses nothing.
+        if let Some(p) = cache_file {
+            save_cache(engine, p);
+        }
+    }
+    Ok(total)
+}

@@ -30,14 +30,17 @@
 //! ```
 
 pub mod apps;
+pub mod cache;
 pub mod pipeline;
+pub mod serve;
 pub mod tuner;
 pub mod verify;
 pub mod workload;
 
+pub use cache::{CacheTotals, ShardStats, TuneCache, SHARD_COUNT};
 pub use pipeline::{generate, generate_with_policy, generate_with_spec, Generated, Options};
 pub use slingen_cir::Target;
-pub use tuner::{SearchSpace, Strategy, TuneCache, TuneStats, VariantSpec};
+pub use tuner::{SearchSpace, Strategy, TuneStats, VariantSpec};
 pub use verify::verify;
 
 use std::fmt;

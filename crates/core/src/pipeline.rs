@@ -36,7 +36,10 @@ pub struct Options {
     /// contraction turns on when [`Options::target`] has FMA).
     pub passes: PassConfig,
     /// Stage-2 loop threshold (see [`slingen_lgen::LowerOptions`]) used
-    /// when `policy` is pinned; the autotuner's search seeds from it.
+    /// when `policy` is pinned. The tuned path deliberately does *not*
+    /// seed from it: the greedy search seeds at canonical coordinates
+    /// derived from the space alone, so every equivalent request shares
+    /// one [`TuneCache`] entry (see `tuner::cache_key`).
     pub loop_threshold: usize,
     /// Machine model used for autotuning.
     pub machine: Machine,
@@ -48,6 +51,11 @@ pub struct Options {
     /// default; clone one `Options` (or the cache handle) to share it.
     pub cache: TuneCache,
 }
+
+/// The default Stage-2 loop threshold — also the canonical greedy seed
+/// threshold: the tuned search always seeds at the axis member nearest
+/// this value, independent of the caller's raw `loop_threshold`.
+pub(crate) const DEFAULT_LOOP_THRESHOLD: usize = 64;
 
 impl Default for Options {
     /// The historical default: the AVX2 (Sandy Bridge model) target at
@@ -66,7 +74,7 @@ impl Options {
             nu: target.max_width(),
             policy: None,
             passes: PassConfig::default(),
-            loop_threshold: 64,
+            loop_threshold: DEFAULT_LOOP_THRESHOLD,
             machine: Machine::from_target(target),
             seed: 0x51,
             search: SearchSpace::default(),

@@ -42,7 +42,9 @@
 //! lowering, optimization, digest, and measurement end-to-end in one
 //! thread per variant — no cross-stage barrier.
 
-use crate::pipeline::{measure, Generated, Options};
+use crate::cache::{CachedWin, Claim, PersistedWin};
+pub use crate::cache::{ShardStats, TuneCache};
+use crate::pipeline::{measure, Generated, Options, DEFAULT_LOOP_THRESHOLD};
 use crate::Error;
 use slingen_cir::passes::optimize;
 use slingen_cir::{Function, Target};
@@ -52,7 +54,7 @@ use slingen_perf::Report;
 use slingen_synth::{synthesize_program, AlgorithmDb, BasicProgram, Policy};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// One point of the autotuning search space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -230,120 +232,33 @@ pub struct TuneStats {
     pub predicted: usize,
     /// Whether the result came from the [`TuneCache`].
     pub cache_hit: bool,
-}
-
-/// The cached outcome of one tuned generation.
-#[derive(Debug, Clone)]
-struct CachedWin {
-    spec: VariantSpec,
-    function: Function,
-    c_code: String,
-    report: Report,
-    db_stats: (usize, usize),
-    stats: TuneStats,
-}
-
-#[derive(Debug, Default)]
-struct CacheInner {
-    map: HashMap<String, CachedWin>,
-    hits: usize,
-    misses: usize,
-}
-
-/// A shareable autotuning cache keyed by (program, machine, search space,
-/// options). Cloning the handle shares the underlying store, so one cache
-/// can serve many threads; `Options::default()` creates a fresh one.
-#[derive(Clone, Default)]
-pub struct TuneCache(Arc<Mutex<CacheInner>>);
-
-impl TuneCache {
-    /// An empty cache.
-    pub fn new() -> Self {
-        TuneCache::default()
-    }
-
-    /// (hits, misses) so far.
-    pub fn stats(&self) -> (usize, usize) {
-        let inner = self.0.lock().unwrap();
-        (inner.hits, inner.misses)
-    }
-
-    /// Number of cached programs.
-    pub fn len(&self) -> usize {
-        self.0.lock().unwrap().map.len()
-    }
-
-    /// Whether the cache is empty.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Drop all entries (stats are kept).
-    pub fn clear(&self) {
-        self.0.lock().unwrap().map.clear();
-    }
-
-    fn lookup(&self, key: &str) -> Option<Generated> {
-        let mut inner = self.0.lock().unwrap();
-        match inner.map.get(key).cloned() {
-            Some(win) => {
-                inner.hits += 1;
-                Some(Generated {
-                    function: win.function,
-                    c_code: win.c_code,
-                    policy: win.spec.policy,
-                    spec: win.spec,
-                    report: win.report,
-                    db_stats: win.db_stats,
-                    tuning: TuneStats { cache_hit: true, ..win.stats },
-                })
-            }
-            None => {
-                inner.misses += 1;
-                None
-            }
-        }
-    }
-
-    fn insert(&self, key: String, g: &Generated) {
-        let win = CachedWin {
-            spec: g.spec,
-            function: g.function.clone(),
-            c_code: g.c_code.clone(),
-            report: g.report.clone(),
-            db_stats: g.db_stats,
-            stats: g.tuning,
-        };
-        self.0.lock().unwrap().map.insert(key, win);
-    }
-}
-
-impl fmt::Debug for TuneCache {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let inner = self.0.lock().unwrap();
-        f.debug_struct("TuneCache")
-            .field("entries", &inner.map.len())
-            .field("hits", &inner.hits)
-            .field("misses", &inner.misses)
-            .finish()
-    }
+    /// Whether this request piggybacked on an *in-flight* search for the
+    /// same key: it blocked until the owning request's search finished
+    /// and shares its result (always together with `cache_hit`).
+    pub coalesced: bool,
+    /// Whether the entry originated from a persisted cache file
+    /// ([`TuneCache::load`]) rather than a search in this process.
+    pub persisted: bool,
 }
 
 /// The member of `values` nearest to `target` (ties toward the smaller
-/// value). Shared between the greedy seed selection and the cache key so
-/// the two can never disagree about which point a request snaps to.
+/// value). Used by the greedy seed selection to snap the canonical seed
+/// threshold into an arbitrary axis.
 fn nearest(values: &[usize], target: usize) -> usize {
     values.iter().copied().min_by_key(|v| (v.abs_diff(target), *v)).expect("non-empty axis")
 }
 
 /// Everything that determines the tuned output, flattened into a string.
 ///
-/// The raw `nu`/`loop_threshold` options are canonicalized before
-/// keying: the search consumes them only through the effective ν axis
-/// ([`SearchSpace::nus_for`]) and the seed point (nearest axis member of
-/// each), so two requests that snap to the same coordinates provably run
-/// the same search — e.g. a seed threshold of 100 shares the entry of
-/// 64, instead of missing the cache on a semantically identical request.
+/// The raw `nu`/`loop_threshold` options are canonicalized *uniformly*
+/// before keying: the search consumes the options only through the
+/// effective ν axis ([`SearchSpace::nus_for`]) — the greedy seed point is
+/// a pure function of the space itself (widest axis ν, canonical
+/// threshold; see [`run_greedy`]) — so any two requests with the same
+/// axes provably run the identical search and share one entry. In
+/// particular every `loop_threshold`, axis member or not (100, 64, 256,
+/// ...), hits the same cached result; historically an axis-member seed
+/// like 256 still missed.
 fn cache_key(program: &Program, options: &Options) -> String {
     use std::fmt::Write;
     let mut key = String::with_capacity(256);
@@ -356,11 +271,9 @@ fn cache_key(program: &Program, options: &Options) -> String {
         }
     }
     let nus = options.search.nus_for(options.target, options.nu);
-    let seed_nu = nearest(&nus, options.nu);
-    let seed_thr = nearest(&options.search.loop_thresholds, options.loop_threshold);
     let _ = write!(
         key,
-        "|target:{}|machine:{:?}|passes:{:?}|nus:{nus:?}|seednu:{seed_nu}|seedthr:{seed_thr}|seed:{}",
+        "|target:{}|machine:{:?}|passes:{:?}|nus:{nus:?}|seed:{}",
         options.target, options.machine, options.passes, options.seed
     );
     options.search.fingerprint(&mut key);
@@ -785,11 +698,16 @@ fn run_greedy(search: &mut Search<'_>) {
     let nus = space.nus_for(search.options.target, search.options.nu);
     let thresholds = space.loop_thresholds.clone();
 
-    // Seed coordinates: the caller's defaults, clamped into the space
-    // (nearest member, ties toward the smaller value) — the same
-    // canonicalization [`cache_key`] uses.
+    // Canonical seed coordinates, a pure function of the space: the
+    // widest ν the axis offers, and the axis member nearest the default
+    // threshold. Seeding from the *caller's* raw `loop_threshold` here
+    // would make semantically identical requests run distinct searches —
+    // the cache-miss gap [`cache_key`] closes. The descent sweeps every
+    // threshold anyway, so seeding canonically costs no search quality;
+    // a pinned `loop_threshold` still honors the caller exactly
+    // (`generate_with_policy`).
     let seed_nu = nearest(&nus, search.options.nu);
-    let seed_thr = nearest(&thresholds, search.options.loop_threshold);
+    let seed_thr = nearest(&thresholds, DEFAULT_LOOP_THRESHOLD);
 
     // Round 0: full policy sweep at the seed point — exactly the
     // historical two-policy fan-out, so the greedy winner can never lose
@@ -845,8 +763,43 @@ fn run_greedy(search: &mut Search<'_>) {
     }
 }
 
+/// Re-materialize a persisted cache entry: Stage 1–3 for the one winning
+/// spec (no search, no measurement), verified byte-identical against the
+/// persisted C. Any mismatch — a stale file from an older code
+/// generator, an unparsable report — rejects the entry with a reason and
+/// the caller falls back to a full search; persisted data is never
+/// trusted blindly.
+fn materialize_persisted(
+    program: &Program,
+    options: &Options,
+    p: &PersistedWin,
+) -> Result<CachedWin, String> {
+    let spec = p.spec;
+    let mut db = AlgorithmDb::new();
+    let basic = synthesize_program(program, spec.policy, spec.nu, &mut db)
+        .map_err(|e| format!("persisted spec no longer synthesizes: {e}"))?;
+    let function = lower_variant(program, spec, &basic, options)
+        .map_err(|e| format!("persisted spec no longer lowers: {e}"))?;
+    let c_code = slingen_cir::unparse::to_c_for(&function, options.target);
+    if c_code != p.c_code {
+        return Err("persisted C differs from re-materialized C (stale generator?)".into());
+    }
+    let report = Report::from_wire(options.machine.clone(), &p.report_wire)
+        .ok_or("persisted report line is unparsable")?;
+    Ok(CachedWin { spec, function, c_code, report, db_stats: p.db_stats, stats: p.stats })
+}
+
 /// Run the autotuning search for `program` under `options`, consulting
 /// and populating the cache.
+///
+/// Concurrency: the first request for a key becomes the *owner* of an
+/// in-flight slot and runs the one search; requests arriving while it
+/// runs block on the slot and share the owner's result (or its error) —
+/// K concurrent requests for one kernel cost exactly one search
+/// ([`TuneCache::searches`], [`TuneStats::coalesced`]). Entries loaded
+/// from a cache file replay without searching: the winning spec is
+/// re-lowered deterministically and checked byte-identical against the
+/// persisted C before being served ([`TuneStats::persisted`]).
 pub(crate) fn tune(program: &Program, options: &Options) -> Result<Generated, Error> {
     if options.search.is_empty() {
         return Err(Error::Synth(slingen_synth::SynthError::Unsupported(
@@ -854,15 +807,47 @@ pub(crate) fn tune(program: &Program, options: &Options) -> Result<Generated, Er
         )));
     }
     let key = cache_key(program, options);
-    if let Some(hit) = options.cache.lookup(&key) {
-        return Ok(hit);
+    let mut ticket = match options.cache.claim(&key) {
+        Claim::Hit(g) => return Ok(*g),
+        Claim::Failed(e) => return Err(e),
+        Claim::Owner(t) => t,
+    };
+    if let Some(p) = ticket.take_persisted() {
+        match materialize_persisted(program, options, &p) {
+            Ok(win) => {
+                let g = win.to_generated(false);
+                ticket.fulfill(win);
+                return Ok(g);
+            }
+            Err(reason) => {
+                eprintln!(
+                    "slingen: persisted entry for `{}` unusable ({reason}); re-searching",
+                    program.name()
+                );
+            }
+        }
     }
+    options.cache.note_search();
     let mut search = Search::new(program, options);
     match options.search.strategy() {
         Strategy::Exhaustive => run_exhaustive(&mut search),
         Strategy::Greedy => run_greedy(&mut search),
     }
-    let generated = search.into_generated()?;
-    options.cache.insert(key, &generated);
-    Ok(generated)
+    match search.into_generated() {
+        Ok(g) => {
+            ticket.fulfill(CachedWin {
+                spec: g.spec,
+                function: g.function.clone(),
+                c_code: g.c_code.clone(),
+                report: g.report.clone(),
+                db_stats: g.db_stats,
+                stats: g.tuning,
+            });
+            Ok(g)
+        }
+        Err(e) => {
+            ticket.fail(e.clone());
+            Err(e)
+        }
+    }
 }

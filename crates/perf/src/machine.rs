@@ -46,6 +46,28 @@ impl Resource {
         Resource::Frontend,
     ];
 
+    /// Stable single-token name used in the on-disk cache wire format
+    /// (see [`crate::Report::to_wire`]). Never reorder or rename these:
+    /// persisted caches parse them back with [`Resource::parse_wire`].
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            Resource::FMul => "fmul",
+            Resource::FAdd => "fadd",
+            Resource::Divider => "div",
+            Resource::Shuffle => "shuf",
+            Resource::Blend => "blend",
+            Resource::Load => "load",
+            Resource::Store => "store",
+            Resource::Mov => "mov",
+            Resource::Frontend => "fe",
+        }
+    }
+
+    /// Inverse of [`Resource::wire_name`].
+    pub fn parse_wire(s: &str) -> Option<Resource> {
+        Resource::ALL.iter().copied().find(|r| r.wire_name() == s)
+    }
+
     /// Short label used in reports (matches the paper's vocabulary).
     pub fn label(self) -> &'static str {
         match self {

@@ -116,6 +116,61 @@ impl Report {
     pub fn machine(&self) -> &Machine {
         &self.machine
     }
+
+    /// Serialize everything except the machine into one line of the
+    /// persistent-cache wire format. Floats are written as exact IEEE-754
+    /// bit patterns (hex), so a round trip through
+    /// [`Report::from_wire`] reproduces the report bit-for-bit. The
+    /// machine itself is *not* persisted — it is part of the cache key,
+    /// so the loader always re-supplies the identical model.
+    pub fn to_wire(&self) -> String {
+        use std::fmt::Write;
+        let mut s = format!(
+            "v1 {:016x} {} {} R{}",
+            self.cycles.to_bits(),
+            self.flops,
+            self.instructions,
+            self.res_units.len()
+        );
+        for (r, v) in &self.res_units {
+            let _ = write!(s, " {}={:016x}", r.wire_name(), v.to_bits());
+        }
+        let _ = write!(s, " C{}", self.counts.len());
+        for (c, n) in &self.counts {
+            let _ = write!(s, " {c}={n}");
+        }
+        s
+    }
+
+    /// Parse a [`Report::to_wire`] line back, measured-on `machine`.
+    /// Returns `None` on any malformed token — the persistent cache
+    /// treats that as a corrupt entry, never as partial data.
+    pub fn from_wire(machine: Machine, s: &str) -> Option<Report> {
+        let mut toks = s.split(' ');
+        if toks.next()? != "v1" {
+            return None;
+        }
+        let cycles = f64::from_bits(u64::from_str_radix(toks.next()?, 16).ok()?);
+        let flops: u64 = toks.next()?.parse().ok()?;
+        let instructions: u64 = toks.next()?.parse().ok()?;
+        let nres: usize = toks.next()?.strip_prefix('R')?.parse().ok()?;
+        let mut res_units = BTreeMap::new();
+        for _ in 0..nres {
+            let (name, bits) = toks.next()?.split_once('=')?;
+            let r = Resource::parse_wire(name)?;
+            res_units.insert(r, f64::from_bits(u64::from_str_radix(bits, 16).ok()?));
+        }
+        let ncls: usize = toks.next()?.strip_prefix('C')?.parse().ok()?;
+        let mut counts = BTreeMap::new();
+        for _ in 0..ncls {
+            let (name, n) = toks.next()?.split_once('=')?;
+            counts.insert(InstrClass::parse(name)?, n.parse().ok()?);
+        }
+        if toks.next().is_some() {
+            return None; // trailing garbage: corrupt
+        }
+        Some(Report::new(machine, cycles, flops, instructions, res_units, counts))
+    }
 }
 
 impl fmt::Display for Report {
@@ -188,6 +243,43 @@ mod tests {
         let r = report_with(&[(Resource::FMul, 100.0), (Resource::Shuffle, 200.0)], 800, 250.0);
         assert_eq!(r.perf_limit(Resource::Shuffle), 4.0);
         assert_eq!(r.perf_limit(Resource::Blend), 8.0);
+    }
+
+    #[test]
+    fn wire_round_trip_is_bit_exact() {
+        let mut res_units = BTreeMap::new();
+        res_units.insert(Resource::FMul, 10.125);
+        res_units.insert(Resource::Divider, 0.1 + 0.2); // non-representable sum
+        let mut counts = BTreeMap::new();
+        counts.insert(InstrClass::Fma, 42u64);
+        counts.insert(InstrClass::Load, 7);
+        let r = Report::new(Machine::sandy_bridge(), 123.456, 800, 900, res_units, counts);
+        let wire = r.to_wire();
+        let back = Report::from_wire(Machine::sandy_bridge(), &wire).expect("round trip");
+        assert_eq!(back.cycles.to_bits(), r.cycles.to_bits());
+        assert_eq!(back.flops, r.flops);
+        assert_eq!(back.instructions, r.instructions);
+        assert_eq!(back.count(InstrClass::Fma), 42);
+        assert_eq!(
+            back.resource_cycles(Resource::Divider).to_bits(),
+            r.resource_cycles(Resource::Divider).to_bits()
+        );
+        assert_eq!(back.to_wire(), wire, "re-serialization is stable");
+    }
+
+    #[test]
+    fn wire_rejects_malformed_lines() {
+        for bad in [
+            "",
+            "v2 0 0 0 R0 C0",
+            "v1 zz 0 0 R0 C0",
+            "v1 0 0 0 R1 C0",
+            "v1 0 0 0 R1 bogus=0 C0",
+            "v1 0 0 0 R0 C1 nosuchclass=3",
+            "v1 0 0 0 R0 C0 trailing",
+        ] {
+            assert!(Report::from_wire(Machine::sandy_bridge(), bad).is_none(), "{bad:?}");
+        }
     }
 
     #[test]

@@ -42,6 +42,16 @@ pub enum Policy {
 impl Policy {
     /// All policies (the variant space explored by autotuning).
     pub const ALL: [Policy; 2] = [Policy::Lazy, Policy::Eager];
+
+    /// Inverse of the `Display` names — used by the persistent tuning
+    /// cache, so the names are a stable wire format.
+    pub fn parse(s: &str) -> Option<Policy> {
+        match s {
+            "lazy" => Some(Policy::Lazy),
+            "eager" => Some(Policy::Eager),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for Policy {

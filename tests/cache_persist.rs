@@ -1,0 +1,160 @@
+//! Persistence suite: the tuning cache must round-trip through its
+//! on-disk format byte-exactly, and must treat every corrupt, truncated,
+//! stale, or wrong-version file as empty — logged, never trusted, never
+//! a panic.
+
+use slingen::{apps, Options, TuneCache};
+use slingen_ir::Program;
+use std::fs;
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("slingen-cache-test-{}-{name}", std::process::id()))
+}
+
+fn tracked_apps() -> Vec<Program> {
+    vec![apps::potrf(6), apps::trtri(6), apps::trsyl(4), apps::kf(4), apps::gpr(4)]
+}
+
+/// Save → load replays every tracked workload as a persisted hit with
+/// byte-identical C, the exact report, and zero cold searches.
+#[test]
+fn save_load_round_trip_replays_every_entry() {
+    let warm = Options::default();
+    let cold: Vec<_> =
+        tracked_apps().iter().map(|p| slingen::generate(p, &warm).unwrap()).collect();
+    assert_eq!(warm.cache.searches(), tracked_apps().len() as u64);
+
+    let path = tmp("roundtrip");
+    let written = warm.cache.save(&path).unwrap();
+    assert_eq!(written, tracked_apps().len());
+
+    let loaded = TuneCache::load_checked(&path).unwrap();
+    assert_eq!(loaded.len(), written);
+    let replay = Options { cache: loaded.clone(), ..Options::default() };
+    for (program, cold) in tracked_apps().iter().zip(&cold) {
+        let g = slingen::generate(program, &replay).unwrap();
+        assert!(g.tuning.cache_hit, "{}: must replay from disk", program.name());
+        assert!(g.tuning.persisted, "{}: must be marked persisted", program.name());
+        assert_eq!(g.c_code, cold.c_code, "{}: C must be byte-identical", program.name());
+        assert_eq!(g.spec, cold.spec);
+        assert_eq!(g.report.cycles, cold.report.cycles);
+        assert_eq!(g.report.flops, cold.report.flops);
+    }
+    assert_eq!(loaded.searches(), 0, "a warm-loaded cache must not re-search");
+    // replayed entries are re-persistable: a second round trip is stable
+    let path2 = tmp("roundtrip2");
+    assert_eq!(loaded.save(&path2).unwrap(), written);
+    assert_eq!(fs::read_to_string(&path).unwrap(), fs::read_to_string(&path2).unwrap());
+    let _ = fs::remove_file(&path);
+    let _ = fs::remove_file(&path2);
+}
+
+/// A missing file is not an error for `load` (cold start), but is for
+/// `load_checked`.
+#[test]
+fn missing_file_loads_empty() {
+    let path = tmp("does-not-exist");
+    let cache = TuneCache::load(&path);
+    assert!(cache.is_empty());
+    assert!(TuneCache::load_checked(&path).is_err());
+}
+
+/// Every corruption mode degrades to an empty cache with a reason — and
+/// generation through that empty cache still works.
+#[test]
+fn corrupt_files_load_empty_and_never_panic() {
+    // a real file to derive truncated/doctored variants from
+    let opts = Options::default();
+    slingen::generate(&apps::potrf(4), &opts).unwrap();
+    let valid_path = tmp("valid");
+    opts.cache.save(&valid_path).unwrap();
+    let valid = fs::read_to_string(&valid_path).unwrap();
+    let _ = fs::remove_file(&valid_path);
+
+    let truncated = &valid[..valid.len() / 2];
+    let wrong_version = valid.replacen("slingen-tunecache v1", "slingen-tunecache v99", 1);
+    let lying_length = valid.replacen("code ", "code 9", 1); // inflates the blob length
+    let no_end_marker = valid[..valid.rfind("end ").unwrap()].to_string();
+    let trailing_garbage = format!("{valid}junk after the end marker\n");
+    let cases: Vec<(&str, String)> = vec![
+        ("empty", String::new()),
+        ("bad-magic", "not-a-cache v1\n".into()),
+        ("wrong-version", wrong_version),
+        ("truncated", truncated.into()),
+        ("binary-garbage", "\u{1}\u{2}\u{3}\u{fffd}\n\n\u{4}".into()),
+        ("lying-length", lying_length),
+        ("no-end-marker", no_end_marker),
+        ("trailing-garbage", trailing_garbage),
+    ];
+    for (name, contents) in cases {
+        let path = tmp(name);
+        fs::write(&path, contents).unwrap();
+        let err = TuneCache::load_checked(&path);
+        assert!(err.is_err(), "{name}: load_checked must reject the file");
+        let cache = TuneCache::load(&path);
+        assert!(cache.is_empty(), "{name}: load must degrade to an empty cache");
+        let _ = fs::remove_file(&path);
+    }
+
+    // an empty (degraded) cache still serves generation
+    let degraded = Options { cache: TuneCache::load(&tmp("empty")), ..Options::default() };
+    let g = slingen::generate(&apps::potrf(4), &degraded).unwrap();
+    assert!(!g.tuning.cache_hit);
+}
+
+/// A well-formed but *stale* file — the persisted C no longer matches
+/// what the generator emits for the recorded spec — is rejected at
+/// materialization time and falls back to a fresh search.
+#[test]
+fn stale_persisted_code_falls_back_to_a_fresh_search() {
+    let opts = Options::default();
+    let cold = slingen::generate(&apps::potrf(4), &opts).unwrap();
+    let path = tmp("stale");
+    opts.cache.save(&path).unwrap();
+
+    // Doctor one byte inside the C blob, keeping the length intact, so
+    // the file parses cleanly but no longer matches the generator.
+    let contents = fs::read_to_string(&path).unwrap();
+    assert!(contents.contains("void potrf"));
+    fs::write(&path, contents.replacen("void potrf", "woid potrf", 1)).unwrap();
+
+    let loaded = TuneCache::load_checked(&path).unwrap();
+    assert_eq!(loaded.len(), 1, "the doctored file still parses");
+    let replay = Options { cache: loaded.clone(), ..Options::default() };
+    let g = slingen::generate(&apps::potrf(4), &replay).unwrap();
+    assert!(!g.tuning.cache_hit, "a stale entry must not be replayed");
+    assert_eq!(g.c_code, cold.c_code, "the fresh search must reproduce the true artifact");
+    assert_eq!(loaded.searches(), 1, "the fallback runs exactly one search");
+    // and the repaired entry replays normally from now on
+    let again = slingen::generate(&apps::potrf(4), &replay).unwrap();
+    assert!(again.tuning.cache_hit);
+    let _ = fs::remove_file(&path);
+}
+
+/// `save` is atomic: it never leaves a temp file behind, and an existing
+/// file is replaced wholesale, not appended to.
+#[test]
+fn save_is_atomic_and_replaces() {
+    let opts = Options::default();
+    slingen::generate(&apps::potrf(4), &opts).unwrap();
+    let path = tmp("atomic");
+    opts.cache.save(&path).unwrap();
+    let first = fs::read_to_string(&path).unwrap();
+    slingen::generate(&apps::trtri(4), &opts).unwrap();
+    opts.cache.save(&path).unwrap();
+    let second = fs::read_to_string(&path).unwrap();
+    assert_ne!(first, second);
+    assert!(second.ends_with("end 2\n"), "exactly one end marker with the new count");
+    assert_eq!(second.matches("slingen-tunecache").count(), 1, "replaced, not appended");
+    let dir = path.parent().unwrap();
+    let stem = path.file_name().unwrap().to_string_lossy().into_owned();
+    let leftovers: Vec<_> = fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with(&stem) && *n != stem)
+        .collect();
+    assert!(leftovers.is_empty(), "no temp files left behind: {leftovers:?}");
+    let _ = fs::remove_file(&path);
+}

@@ -124,10 +124,21 @@ fn cache_replays_identical_artifacts() {
     let other = slingen::generate(&apps::trtri(6), &opts).unwrap();
     assert!(!other.tuning.cache_hit);
     assert_eq!(opts.cache.len(), 2);
-    // options that change the output key separately
+    // the search is a pure function of the space, so a request seeded at
+    // another axis member (threshold 256) replays the canonical entry
     let wider = Options { loop_threshold: 256, cache: opts.cache.clone(), ..Options::default() };
     let g = slingen::generate(&program, &wider).unwrap();
-    assert!(!g.tuning.cache_hit, "a changed seed threshold must miss");
+    assert!(g.tuning.cache_hit, "an axis-member seed threshold must hit the canonical entry");
+    assert_eq!(g.c_code, cold.c_code);
+    assert_eq!(opts.cache.len(), 2);
+    // options that genuinely change the searched space still miss
+    let narrowed = Options {
+        search: SearchSpace::default().with_loop_thresholds(vec![16, 64]),
+        cache: opts.cache.clone(),
+        ..Options::default()
+    };
+    let g = slingen::generate(&program, &narrowed).unwrap();
+    assert!(!g.tuning.cache_hit, "a different search space must miss");
     assert_eq!(opts.cache.len(), 3);
 }
 
@@ -140,10 +151,12 @@ fn cache_canonicalizes_equivalent_seed_options() {
     let opts = Options::default(); // nu 4, threshold 64
     let cold = slingen::generate(&program, &opts).unwrap();
     assert!(!cold.tuning.cache_hit);
-    // 100 and 63 both snap to threshold 64 in {16, 64, 256}; ν = 8 snaps
-    // to 4 (the widest member of the AVX2 ν axis). All three are the
-    // same canonical search as the cold run.
-    for (nu, thr) in [(4, 100), (4, 63), (8, 64)] {
+    // Every member of the default threshold axis {16, 64, 256} — and
+    // off-axis values such as 100 and 63 — shares the canonical entry:
+    // the greedy seed is derived from the space, not from the request.
+    // ν = 8 snaps to 4 (the widest member of the AVX2 ν axis). All are
+    // the same canonical search as the cold run.
+    for (nu, thr) in [(4, 16), (4, 64), (4, 256), (4, 100), (4, 63), (8, 64)] {
         let equiv =
             Options { nu, loop_threshold: thr, cache: opts.cache.clone(), ..Options::default() };
         let warm = slingen::generate(&program, &equiv).unwrap();
