@@ -52,6 +52,7 @@ fn kernel_passes() -> PassConfig {
         cse: true,
         fma_contraction: false,
         iterations: 2,
+        block_memo: true,
     }
 }
 

@@ -33,6 +33,7 @@ pub fn scalar_codegen(
             cse: true,
             fma_contraction: false,
             iterations: 3,
+            block_memo: true,
         }
     } else {
         PassConfig {
@@ -42,6 +43,7 @@ pub fn scalar_codegen(
             cse: true,
             fma_contraction: false,
             iterations: 1,
+            block_memo: true,
         }
     };
     optimize(&mut f, &passes);

@@ -117,9 +117,13 @@ struct TuneRecord {
     pruned: usize,
     deduped: usize,
     predicted: usize,
+    blocks_reused: usize,
+    lb_pruned: usize,
     cold_ms: f64,
     cached_ms: f64,
     hit_rate: f64,
+    /// Per-representative cold-time breakdown of the reported search.
+    rep_costs: Vec<slingen::RepCost>,
 }
 
 /// The autotuner report: variant-space exploration plus the cache's
@@ -149,15 +153,21 @@ fn measure_tune(name: &str, program: &Program) -> TuneRecord {
         pruned: g.tuning.pruned,
         deduped: g.tuning.deduped,
         predicted: g.tuning.predicted,
+        blocks_reused: g.tuning.blocks_reused,
+        lb_pruned: g.tuning.lb_pruned,
         cold_ms,
         cached_ms,
         hit_rate: hits as f64 / (hits + misses).max(1) as f64,
+        rep_costs: g.rep_costs,
     }
 }
 
 struct ServeScenario {
     scenario: String,
+    /// Worker threads actually spawned: min(requested, available cores).
     workers: usize,
+    /// The scenario's nominal parallelism, before the core cap.
+    requested_workers: usize,
     requests: usize,
     requests_per_sec: f64,
     p50_ms: f64,
@@ -173,9 +183,14 @@ fn run_serve_scenario(
     scenario: &str,
     engine: &Engine,
     lines: &[String],
-    workers: usize,
+    requested_workers: usize,
 ) -> ServeScenario {
     use std::sync::atomic::{AtomicUsize, Ordering};
+    // Oversubscribing a small box just measures scheduler thrash, not
+    // the engine: cap the pool at the machine's parallelism and record
+    // both numbers so the JSON stays honest about what actually ran.
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let workers = requested_workers.min(cores);
     let searches0 = engine.cache().searches();
     let coalesced0 = engine.cache().totals().coalesced;
     let next = AtomicUsize::new(0);
@@ -205,6 +220,7 @@ fn run_serve_scenario(
     ServeScenario {
         scenario: scenario.to_string(),
         workers,
+        requested_workers,
         requests: lines.len(),
         requests_per_sec: lines.len() as f64 / wall_s.max(1e-9),
         p50_ms: pct(0.50),
@@ -335,6 +351,16 @@ fn main() {
                 t.cold_ms / t.cached_ms.max(1e-9),
                 t.hit_rate
             );
+            eprintln!("  blocks_reused {:5}  lb_pruned {:2}", t.blocks_reused, t.lb_pruned);
+            for c in &t.rep_costs {
+                eprintln!(
+                    "    rep {:16} lower {:8.3} ms  opt {:8.3} ms  measure {:8.3} ms",
+                    c.spec.to_string(),
+                    c.lower_ms,
+                    c.opt_ms,
+                    c.measure_ms
+                );
+            }
             tune_records.push(t);
         }
     }
@@ -397,10 +423,11 @@ fn main() {
         let records = measure_serve();
         for s in &records {
             eprintln!(
-                "  {:14} workers {:2}  {:8.0} req/s  p50 {:8.4} ms  p99 {:8.4} ms  \
-                 searches {:2}  coalesced {:2}",
+                "  {:14} workers {:2} (req {:2})  {:8.0} req/s  p50 {:8.4} ms  \
+                 p99 {:8.4} ms  searches {:2}  coalesced {:2}",
                 s.scenario,
                 s.workers,
+                s.requested_workers,
                 s.requests_per_sec,
                 s.p50_ms,
                 s.p99_ms,
@@ -415,22 +442,37 @@ fn main() {
     if !tune_records.is_empty() {
         json.push_str(",\n  \"tune\": [\n");
         for (i, t) in tune_records.iter().enumerate() {
+            let reps: Vec<String> = t
+                .rep_costs
+                .iter()
+                .map(|c| {
+                    format!(
+                        "{{\"spec\": \"{}\", \"lower_ms\": {:.3}, \"opt_ms\": {:.3}, \
+                         \"measure_ms\": {:.3}}}",
+                        c.spec, c.lower_ms, c.opt_ms, c.measure_ms
+                    )
+                })
+                .collect();
             json.push_str(&format!(
                 "    {{\"app\": \"{}\", \"winner\": \"{}\", \"variants_explored\": {}, \
                  \"variants_pruned\": {}, \"variants_deduped\": {}, \
-                 \"variants_predicted\": {}, \"cold_ms\": {:.3}, \
+                 \"variants_predicted\": {}, \"blocks_reused\": {}, \"lb_pruned\": {}, \
+                 \"cold_ms\": {:.3}, \
                  \"cached_ms\": {:.4}, \"cache_speedup\": {:.1}, \
-                 \"cache_hit_rate\": {:.3}}}{}\n",
+                 \"cache_hit_rate\": {:.3}, \"reps\": [{}]}}{}\n",
                 t.app,
                 t.spec,
                 t.explored,
                 t.pruned,
                 t.deduped,
                 t.predicted,
+                t.blocks_reused,
+                t.lb_pruned,
                 t.cold_ms,
                 t.cached_ms,
                 t.cold_ms / t.cached_ms.max(1e-9),
                 t.hit_rate,
+                reps.join(", "),
                 if i + 1 < tune_records.len() { "," } else { "" }
             ));
         }
@@ -452,11 +494,13 @@ fn main() {
         json.push_str(&format!(",\n  \"serve\": {{\"cores\": {cores}, \"scenarios\": [\n"));
         for (i, s) in serve_records.iter().enumerate() {
             json.push_str(&format!(
-                "    {{\"scenario\": \"{}\", \"workers\": {}, \"requests\": {}, \
+                "    {{\"scenario\": \"{}\", \"workers\": {}, \
+                 \"requested_workers\": {}, \"requests\": {}, \
                  \"requests_per_sec\": {:.0}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \
                  \"searches\": {}, \"coalesced\": {}}}{}\n",
                 s.scenario,
                 s.workers,
+                s.requested_workers,
                 s.requests,
                 s.requests_per_sec,
                 s.p50_ms,

@@ -471,9 +471,18 @@ impl Instr {
     /// Scalar registers read by this instruction.
     pub fn sreg_reads(&self) -> Vec<SReg> {
         let mut out = Vec::new();
+        self.for_each_sreg_read(|r| out.push(r));
+        out
+    }
+
+    /// Visit every scalar register read, without allocating. The hot
+    /// paths (DCE usage collection, the scheduler's readiness scan) call
+    /// this once per instruction per scan; [`Instr::sreg_reads`] is the
+    /// allocating convenience wrapper.
+    pub fn for_each_sreg_read(&self, mut visit: impl FnMut(SReg)) {
         let mut push = |o: &SOperand| {
             if let SOperand::Reg(r) = o {
-                out.push(*r);
+                visit(*r);
             }
         };
         match self {
@@ -491,19 +500,33 @@ impl Instr {
             Instr::VBroadcast { src, .. } => push(src),
             _ => {}
         }
-        out
     }
 
     /// Vector registers read by this instruction.
     pub fn vreg_reads(&self) -> Vec<VReg> {
+        let mut out = Vec::new();
+        self.for_each_vreg_read(|r| out.push(r));
+        out
+    }
+
+    /// Visit every vector register read, without allocating (see
+    /// [`Instr::for_each_sreg_read`]).
+    pub fn for_each_vreg_read(&self, mut visit: impl FnMut(VReg)) {
         match self {
-            Instr::VStore { src, .. } | Instr::VMov { src, .. } => vec![*src],
-            Instr::VBin { a, b, .. } => vec![*a, *b],
-            Instr::VFma { a, b, c, .. } => vec![*a, *b, *c],
-            Instr::VShuffle { a, b, .. } => vec![*a, *b],
-            Instr::VBlend { a, b, .. } => vec![*a, *b],
-            Instr::VExtract { src, .. } | Instr::VReduceAdd { src, .. } => vec![*src],
-            _ => Vec::new(),
+            Instr::VStore { src, .. } | Instr::VMov { src, .. } => visit(*src),
+            Instr::VBin { a, b, .. }
+            | Instr::VShuffle { a, b, .. }
+            | Instr::VBlend { a, b, .. } => {
+                visit(*a);
+                visit(*b);
+            }
+            Instr::VFma { a, b, c, .. } => {
+                visit(*a);
+                visit(*b);
+                visit(*c);
+            }
+            Instr::VExtract { src, .. } | Instr::VReduceAdd { src, .. } => visit(*src),
+            _ => {}
         }
     }
 

@@ -6,13 +6,17 @@
 //! and concurrent requests replay instead of re-searching.
 //!
 //! ```text
-//! slingen-serve [--workers N] [--cache-file PATH] [--socket PATH] [--target T]
+//! slingen-serve [--workers N] [--cache-file PATH] [--cache-max-entries N]
+//!               [--socket PATH] [--target T]
 //! ```
 //!
 //! * `--workers N`    worker threads sharing the cache (default 4)
 //! * `--cache-file P` warm-load the tuning cache from P at startup and
 //!   atomically save it back on shutdown (stdin mode) or after every
 //!   connection (socket mode); a missing/corrupt file starts empty
+//! * `--cache-max-entries N` cap the cache at N entries: every save
+//!   evicts the least-recently-hit surplus (memory and file), so a
+//!   long-running service keeps its hot working set bounded
 //! * `--socket P`     listen on a Unix socket instead of stdin; each
 //!   connection is served with the worker pool, responses go back on
 //!   the same connection
@@ -31,12 +35,19 @@ use std::process::ExitCode;
 struct Args {
     workers: usize,
     cache_file: Option<PathBuf>,
+    cache_max_entries: Option<usize>,
     socket: Option<PathBuf>,
     target: Target,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { workers: 4, cache_file: None, socket: None, target: Target::Avx2 };
+    let mut args = Args {
+        workers: 4,
+        cache_file: None,
+        cache_max_entries: None,
+        socket: None,
+        target: Target::Avx2,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
@@ -49,6 +60,15 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or("--workers must be an integer in 1..=256")?;
             }
             "--cache-file" => args.cache_file = Some(PathBuf::from(value("--cache-file")?)),
+            "--cache-max-entries" => {
+                args.cache_max_entries = Some(
+                    value("--cache-max-entries")?
+                        .parse()
+                        .ok()
+                        .filter(|n| *n >= 1)
+                        .ok_or("--cache-max-entries must be a positive integer")?,
+                );
+            }
             "--socket" => args.socket = Some(PathBuf::from(value("--socket")?)),
             "--target" => {
                 let t = value("--target")?;
@@ -57,7 +77,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: slingen-serve [--workers N] [--cache-file PATH] \
-                     [--socket PATH] [--target T]"
+                     [--cache-max-entries N] [--socket PATH] [--target T]"
                 );
                 std::process::exit(0);
             }
@@ -67,8 +87,8 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn save_cache(engine: &Engine, path: &std::path::Path) {
-    match engine.cache().save(path) {
+fn save_cache(engine: &Engine, path: &std::path::Path, max_entries: Option<usize>) {
+    match engine.cache().save_capped(path, max_entries) {
         Ok(n) => eprintln!("slingen-serve: saved {n} cache entries to {}", path.display()),
         Err(e) => eprintln!("slingen-serve: cache save to {} failed: {e}", path.display()),
     }
@@ -94,11 +114,17 @@ fn main() -> ExitCode {
             let stdin = std::io::stdin();
             serve_lines(&engine, stdin.lock(), std::io::stdout(), args.workers)
         }
-        Some(path) => serve_socket(&engine, path, args.workers, args.cache_file.as_deref()),
+        Some(path) => serve_socket(
+            &engine,
+            path,
+            args.workers,
+            args.cache_file.as_deref(),
+            args.cache_max_entries,
+        ),
     };
 
     if let Some(path) = &args.cache_file {
-        save_cache(&engine, path);
+        save_cache(&engine, path, args.cache_max_entries);
     }
     eprintln!("{}", engine.stats_json());
 
@@ -125,6 +151,7 @@ fn serve_socket(
     path: &std::path::Path,
     workers: usize,
     cache_file: Option<&std::path::Path>,
+    cache_max_entries: Option<usize>,
 ) -> std::io::Result<ServeSummary> {
     use std::os::unix::net::UnixListener;
 
@@ -147,7 +174,7 @@ fn serve_socket(
         let _ = writer.flush();
         // Persist eagerly so a kill between connections loses nothing.
         if let Some(p) = cache_file {
-            save_cache(engine, p);
+            save_cache(engine, p, cache_max_entries);
         }
     }
     Ok(total)

@@ -84,6 +84,7 @@ impl CachedWin {
             report: self.report.clone(),
             db_stats: self.db_stats,
             tuning: TuneStats { cache_hit: true, coalesced, ..self.stats },
+            rep_costs: Vec::new(),
         }
     }
 }
@@ -136,9 +137,17 @@ enum Entry {
     InFlight(Arc<Flight>),
 }
 
+/// One stored entry plus its recency stamp: the value of the global hit
+/// clock the last time this key was looked up or (re)inserted. Save-time
+/// eviction ([`TuneCache::save_capped`]) drops the smallest stamps first.
+struct Slot {
+    entry: Entry,
+    last_hit: u64,
+}
+
 #[derive(Default)]
 struct Shard {
-    map: HashMap<String, Entry>,
+    map: HashMap<String, Slot>,
     hits: u64,
     misses: u64,
     inserts: u64,
@@ -181,6 +190,8 @@ pub struct CacheTotals {
 struct CacheShared {
     shards: [Mutex<Shard>; SHARD_COUNT],
     searches: AtomicU64,
+    /// Monotone lookup clock driving the per-slot recency stamps.
+    hit_clock: AtomicU64,
 }
 
 /// A shareable autotuning cache keyed by (program, machine, search space,
@@ -196,6 +207,7 @@ impl Default for TuneCache {
         TuneCache(Arc::new(CacheShared {
             shards: std::array::from_fn(|_| Mutex::new(Shard::default())),
             searches: AtomicU64::new(0),
+            hit_clock: AtomicU64::new(0),
         }))
     }
 }
@@ -278,45 +290,60 @@ impl TuneCache {
         self.0.searches.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Advance the hit clock and return the new stamp.
+    fn touch(&self) -> u64 {
+        self.0.hit_clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
     /// Resolve `key`: a stored entry is a [`Claim::Hit`]; an in-flight
     /// search blocks until its owner publishes; a vacant slot makes the
     /// caller the owner ([`Claim::Owner`]) — it must run the search (or
     /// materialize the persisted payload) and settle the [`Ticket`].
     pub(crate) fn claim(&self, key: &str) -> Claim {
         let si = shard_index(key);
+        let now = self.touch();
         let flight;
         {
             let mut shard = self.0.shards[si].lock().unwrap();
-            match shard.map.get(key) {
-                Some(Entry::Ready(win)) => {
-                    let g = win.to_generated(false);
-                    shard.hits += 1;
-                    return Claim::Hit(Box::new(g));
-                }
-                Some(Entry::Persisted(_)) => {
-                    shard.hits += 1;
-                    let f = Flight::new();
-                    let Some(Entry::Persisted(p)) =
-                        shard.map.insert(key.to_string(), Entry::InFlight(f.clone()))
-                    else {
-                        unreachable!("entry was just observed as Persisted");
-                    };
-                    return Claim::Owner(Ticket {
-                        cache: self.clone(),
-                        key: key.to_string(),
-                        flight: f,
-                        payload: Some(p),
-                        settled: false,
-                    });
-                }
-                Some(Entry::InFlight(f)) => {
-                    flight = f.clone();
-                    shard.coalesced += 1;
+            let Shard { map, hits, misses, coalesced, .. } = &mut *shard;
+            match map.get_mut(key) {
+                Some(slot) => {
+                    slot.last_hit = now;
+                    match &slot.entry {
+                        Entry::Ready(win) => {
+                            let g = win.to_generated(false);
+                            *hits += 1;
+                            return Claim::Hit(Box::new(g));
+                        }
+                        Entry::Persisted(_) => {
+                            *hits += 1;
+                            let f = Flight::new();
+                            let Entry::Persisted(p) =
+                                std::mem::replace(&mut slot.entry, Entry::InFlight(f.clone()))
+                            else {
+                                unreachable!("entry was just observed as Persisted");
+                            };
+                            return Claim::Owner(Ticket {
+                                cache: self.clone(),
+                                key: key.to_string(),
+                                flight: f,
+                                payload: Some(p),
+                                settled: false,
+                            });
+                        }
+                        Entry::InFlight(f) => {
+                            flight = f.clone();
+                            *coalesced += 1;
+                        }
+                    }
                 }
                 None => {
-                    shard.misses += 1;
+                    *misses += 1;
                     let f = Flight::new();
-                    shard.map.insert(key.to_string(), Entry::InFlight(f.clone()));
+                    map.insert(
+                        key.to_string(),
+                        Slot { entry: Entry::InFlight(f.clone()), last_hit: now },
+                    );
                     return Claim::Owner(Ticket {
                         cache: self.clone(),
                         key: key.to_string(),
@@ -338,7 +365,8 @@ impl TuneCache {
     /// Store a freshly loaded persisted entry (load path only).
     fn insert_persisted(&self, key: String, win: PersistedWin) {
         let si = shard_index(&key);
-        self.0.shards[si].lock().unwrap().map.insert(key, Entry::Persisted(Box::new(win)));
+        let slot = Slot { entry: Entry::Persisted(Box::new(win)), last_hit: self.touch() };
+        self.0.shards[si].lock().unwrap().map.insert(key, slot);
     }
 
     /// Atomically persist every settled entry: write a temp file next to
@@ -346,13 +374,28 @@ impl TuneCache {
     /// searches have not finished); persisted-but-unmaterialized entries
     /// round-trip unchanged. Returns the number of entries written.
     pub fn save(&self, path: &Path) -> io::Result<usize> {
+        self.save_capped(path, None)
+    }
+
+    /// [`TuneCache::save`] with a size cap: when the store holds more
+    /// than `max_entries` settled entries, the least-recently-hit
+    /// surplus is evicted — dropped from memory *and* omitted from the
+    /// file — before writing. Recency is the in-process hit clock
+    /// (every lookup or insert stamps its slot), so long-running serve
+    /// processes keep their hot working set and shed one-off requests.
+    /// In-flight entries are never evicted (their owners hold tickets)
+    /// and, as always, never persisted.
+    pub fn save_capped(&self, path: &Path, max_entries: Option<usize>) -> io::Result<usize> {
+        if let Some(cap) = max_entries {
+            self.evict_least_recently_hit(cap);
+        }
         use std::fmt::Write as _;
         let mut out = format!("{MAGIC} v{VERSION}\n");
         let mut count = 0usize;
         for shard in &self.0.shards {
             let shard = shard.lock().unwrap();
-            for (key, entry) in &shard.map {
-                let (spec, c_code, wire, db_stats, stats) = match entry {
+            for (key, slot) in &shard.map {
+                let (spec, c_code, wire, db_stats, stats) = match &slot.entry {
                     Entry::Ready(w) => (w.spec, &w.c_code, w.report.to_wire(), w.db_stats, w.stats),
                     Entry::Persisted(p) => {
                         (p.spec, &p.c_code, p.report_wire.clone(), p.db_stats, p.stats)
@@ -381,6 +424,36 @@ impl TuneCache {
             Err(e) => {
                 let _ = std::fs::remove_file(&tmp);
                 Err(e)
+            }
+        }
+    }
+
+    /// Drop least-recently-hit settled entries until at most `cap`
+    /// remain. The snapshot-then-remove shape keeps each shard lock
+    /// short; an entry that is looked up (fresh stamp) or goes in-flight
+    /// between the two steps survives — eviction is best-effort, never
+    /// racing a live request.
+    fn evict_least_recently_hit(&self, cap: usize) {
+        let mut settled: Vec<(u64, usize, String)> = Vec::new();
+        for (si, shard) in self.0.shards.iter().enumerate() {
+            let shard = shard.lock().unwrap();
+            for (key, slot) in &shard.map {
+                if !matches!(slot.entry, Entry::InFlight(_)) {
+                    settled.push((slot.last_hit, si, key.clone()));
+                }
+            }
+        }
+        if settled.len() <= cap {
+            return;
+        }
+        settled.sort();
+        let excess = settled.len() - cap;
+        for (stamp, si, key) in settled.into_iter().take(excess) {
+            let mut shard = self.0.shards[si].lock().unwrap();
+            if let Some(slot) = shard.map.get(&key) {
+                if slot.last_hit == stamp && !matches!(slot.entry, Entry::InFlight(_)) {
+                    shard.map.remove(&key);
+                }
             }
         }
     }
@@ -475,9 +548,13 @@ impl Ticket {
         let boxed = Box::new(win);
         let si = shard_index(&self.key);
         {
+            let now = self.cache.touch();
             let mut shard = self.cache.0.shards[si].lock().unwrap();
             shard.inserts += 1;
-            shard.map.insert(self.key.clone(), Entry::Ready(boxed.clone()));
+            shard.map.insert(
+                self.key.clone(),
+                Slot { entry: Entry::Ready(boxed.clone()), last_hit: now },
+            );
         }
         self.flight.publish(Ok(boxed));
     }
@@ -493,7 +570,7 @@ impl Ticket {
         let si = shard_index(&self.key);
         {
             let mut shard = self.cache.0.shards[si].lock().unwrap();
-            if let Some(Entry::InFlight(f)) = shard.map.get(&self.key) {
+            if let Some(Slot { entry: Entry::InFlight(f), .. }) = shard.map.get(&self.key) {
                 if Arc::ptr_eq(f, &self.flight) {
                     shard.map.remove(&self.key);
                 }
@@ -622,9 +699,8 @@ fn parse_cache_file(src: &str) -> Result<Vec<(String, PersistedWin)>, String> {
                     pruned,
                     deduped,
                     predicted,
-                    cache_hit: false,
-                    coalesced: false,
                     persisted: true,
+                    ..TuneStats::default()
                 },
             },
         ));

@@ -40,7 +40,7 @@ pub mod workload;
 pub use cache::{CacheTotals, ShardStats, TuneCache, SHARD_COUNT};
 pub use pipeline::{generate, generate_with_policy, generate_with_spec, Generated, Options};
 pub use slingen_cir::Target;
-pub use tuner::{SearchSpace, Strategy, TuneStats, VariantSpec};
+pub use tuner::{RepCost, SearchSpace, Strategy, TuneStats, VariantSpec};
 pub use verify::verify;
 
 use std::fmt;

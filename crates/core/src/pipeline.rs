@@ -5,7 +5,7 @@
 //! live in [`Options`]; this module owns the option/result types and the
 //! single-variant path used when the policy is pinned.
 
-use crate::tuner::{self, SearchSpace, TuneCache, TuneStats, Variant, VariantSpec};
+use crate::tuner::{self, RepCost, SearchSpace, TuneCache, TuneStats, Variant, VariantSpec};
 use crate::workload;
 use crate::Error;
 use slingen_cir::passes::PassConfig;
@@ -107,6 +107,10 @@ pub struct Generated {
     pub db_stats: (usize, usize),
     /// How the winner was found: variants explored/pruned, cache hit.
     pub tuning: TuneStats,
+    /// Per-representative cold-time breakdown (lower/opt/measure, ms),
+    /// in the order the search ran them. Empty on cache hits and on
+    /// fixed-spec generation — only a real search pays these costs.
+    pub rep_costs: Vec<RepCost>,
 }
 
 impl Generated {
@@ -124,6 +128,7 @@ pub(crate) fn emit(
     target: Target,
     db_stats: (usize, usize),
     tuning: TuneStats,
+    rep_costs: Vec<RepCost>,
 ) -> Generated {
     let c_code = slingen_cir::unparse::to_c_for(&variant.function, target);
     Generated {
@@ -134,6 +139,7 @@ pub(crate) fn emit(
         report: variant.report,
         db_stats,
         tuning,
+        rep_costs,
     }
 }
 
@@ -157,6 +163,7 @@ pub fn generate_with_spec(
         options.target,
         (db.hits(), db.misses()),
         TuneStats { explored: 1, ..TuneStats::default() },
+        Vec::new(),
     ))
 }
 

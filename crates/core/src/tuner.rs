@@ -46,11 +46,11 @@ use crate::cache::{CachedWin, Claim, PersistedWin};
 pub use crate::cache::{ShardStats, TuneCache};
 use crate::pipeline::{measure, Generated, Options, DEFAULT_LOOP_THRESHOLD};
 use crate::Error;
-use slingen_cir::passes::optimize;
+use slingen_cir::passes::optimize_with_stats;
 use slingen_cir::{Function, Target};
 use slingen_ir::Program;
 use slingen_lgen::{lower_program_profiled, LowerOptions, LowerProfile};
-use slingen_perf::Report;
+use slingen_perf::{pressure_lower_bound, Report};
 use slingen_synth::{synthesize_program, AlgorithmDb, BasicProgram, Policy};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -239,6 +239,34 @@ pub struct TuneStats {
     /// Whether the entry originated from a persisted cache file
     /// ([`TuneCache::load`]) rather than a search in this process.
     pub persisted: bool,
+    /// Straight-line blocks (and whole pass invocations) the Stage-3
+    /// block memo proved clean and replayed instead of re-scanning,
+    /// summed over every representative lowering of the search
+    /// ([`slingen_cir::passes::RoundStats::blocks_skipped`]).
+    pub blocks_reused: usize,
+    /// Measurements abandoned before the VM even ran because the static
+    /// pressure bound ([`slingen_perf::pressure_lower_bound`]) already
+    /// exceeded the incumbent's cycle budget.
+    pub lb_pruned: usize,
+}
+
+/// Where one representative's cold time went, in milliseconds: Stage 2
+/// lowering, Stage 3 optimization, and the modeled-cycle measurement
+/// (`measure_ms == 0.0` when the lowered body digested onto an
+/// already-measured sibling). Representatives are the only variants that
+/// pay these costs — predicted and deduped variants ride along for free —
+/// so this list is the complete cold-time ledger of one search. Cache
+/// hits carry an empty list.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepCost {
+    /// The representative's variant.
+    pub spec: VariantSpec,
+    /// Stage 2: lowering the basic program to C-IR.
+    pub lower_ms: f64,
+    /// Stage 3: the optimization fixpoint.
+    pub opt_ms: f64,
+    /// Modeled-cycle measurement (VM run + scheduler).
+    pub measure_ms: f64,
 }
 
 /// The member of `values` nearest to `target` (ties toward the smaller
@@ -337,25 +365,41 @@ pub(crate) fn lower_variant_profiled(
     basic: &BasicProgram,
     options: &Options,
 ) -> Result<(Function, LowerProfile), Error> {
-    let (mut function, profile) =
-        lower_program_profiled(program, basic, program.name(), &spec.lower_options())?;
-    optimize(&mut function, &options.passes_for_target());
-    Ok((function, profile))
+    lower_variant_timed(program, spec, basic, options).map(|(f, p, _, _, _)| (f, p))
 }
 
-/// The dedupe key of one lowered body: a 64-bit FxHash digest of the
-/// emitted C plus its length (collision guard). The C string itself is
-/// hashed and dropped inside the lowering thread — nothing variant-sized
-/// is retained across the search.
+/// [`lower_variant_profiled`], additionally reporting how long Stage 2
+/// (lowering) and Stage 3 (the optimization pipeline) took, in
+/// milliseconds — the per-representative cost breakdown surfaced through
+/// [`RepCost`] — and how many clean blocks the Stage-3 block memo
+/// skipped ([`TuneStats::blocks_reused`]).
+fn lower_variant_timed(
+    program: &Program,
+    spec: VariantSpec,
+    basic: &BasicProgram,
+    options: &Options,
+) -> Result<(Function, LowerProfile, f64, f64, usize), Error> {
+    let t0 = std::time::Instant::now();
+    let (mut function, profile) =
+        lower_program_profiled(program, basic, program.name(), &spec.lower_options())?;
+    let lower_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = std::time::Instant::now();
+    let stats = optimize_with_stats(&mut function, &options.passes_for_target(), &mut |_, _| {});
+    let opt_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let blocks_skipped = stats.rounds.iter().map(|r| r.blocks_skipped).sum();
+    Ok((function, profile, lower_ms, opt_ms, blocks_skipped))
+}
+
+/// The dedupe key of one lowered body: a 64-bit digest of the emitted C
+/// plus its length (collision guard). The digest is computed by streaming
+/// the unparse bytes straight into the hasher
+/// ([`slingen_cir::unparse::digest_c_for`]) — the multi-megabyte C string
+/// is never materialized during the search, only when a winner is emitted.
 type BodyKey = (u64, usize);
 
 /// Digest the lowered Stage-3 output of `function` for `target`.
 fn body_key(function: &Function, target: Target) -> BodyKey {
-    use std::hash::Hasher as _;
-    let c = slingen_cir::unparse::to_c_for(function, target);
-    let mut h = slingen_cir::fxhash::FxHasher::default();
-    h.write(c.as_bytes());
-    (h.finish(), c.len())
+    slingen_cir::unparse::digest_c_for(function, target)
 }
 
 /// The remembered measurement of one distinct lowered body.
@@ -385,8 +429,22 @@ enum Slot {
 /// What one representative thread produces: the lowered function, its
 /// Stage-2 profile, the body digest, and the measurement it ran inline
 /// (`None` when the body was already measured).
-type RepResult =
-    Result<(Function, LowerProfile, BodyKey, Option<Result<Option<Report>, Error>>), Error>;
+struct RepOut {
+    function: Function,
+    profile: LowerProfile,
+    key: BodyKey,
+    /// The measurement this thread ran (`None`: body already measured).
+    measured: Option<Result<Option<Report>, Error>>,
+    /// (lower_ms, opt_ms, measure_ms) — the [`RepCost`] breakdown.
+    timings: (f64, f64, f64),
+    /// Clean blocks the Stage-3 block memo skipped in this lowering.
+    blocks_skipped: usize,
+    /// Whether the measurement was cut off by the static pressure bound
+    /// without running the VM ([`TuneStats::lb_pruned`]).
+    lb_pruned: bool,
+}
+
+type RepResult = Result<RepOut, Error>;
 
 /// The incumbent: the winning spec plus the digest under which its
 /// lowered body is retained in [`Search::body_fns`]. The `Function`
@@ -430,6 +488,8 @@ struct Search<'p> {
     body_fns: HashMap<BodyKey, Function>,
     best: Option<Best>,
     stats: TuneStats,
+    /// Per-representative cost ledger, in wave completion order.
+    rep_costs: Vec<RepCost>,
     last_err: Option<Error>,
 }
 
@@ -454,6 +514,7 @@ impl<'p> Search<'p> {
             body_fns: HashMap::new(),
             best: None,
             stats: TuneStats::default(),
+            rep_costs: Vec::new(),
             last_err: None,
         }
     }
@@ -563,15 +624,52 @@ impl<'p> Search<'p> {
                         let spec = batch_specs[i];
                         let basic = basics[i].clone().expect("pending items have basics");
                         scope.spawn(move || {
-                            let r = lower_variant_profiled(program, spec, &basic, options).map(
-                                |(f, profile)| {
+                            let r = lower_variant_timed(program, spec, &basic, options).map(
+                                |(f, profile, lower_ms, opt_ms, blocks_skipped)| {
                                     let key = body_key(&f, options.target);
-                                    let m = if measured.contains_key(&key) {
-                                        None
+                                    let mut lb_pruned = false;
+                                    let (m, measure_ms) = if measured.contains_key(&key) {
+                                        (None, 0.0)
                                     } else {
-                                        Some(measure(program, &f, options, budget))
+                                        let t = std::time::Instant::now();
+                                        // Incumbent fast path: when a cycle
+                                        // budget is set and the static
+                                        // pressure bound already exceeds it,
+                                        // the budgeted VM run is guaranteed
+                                        // to be abandoned — skip it. Debug
+                                        // builds run the VM anyway and
+                                        // prove the prediction.
+                                        let m = match budget {
+                                            Some(b)
+                                                if pressure_lower_bound(&f, &options.machine)
+                                                    > b =>
+                                            {
+                                                lb_pruned = true;
+                                                #[cfg(debug_assertions)]
+                                                debug_assert!(
+                                                    matches!(
+                                                        measure(program, &f, options, budget),
+                                                        Ok(None)
+                                                    ),
+                                                    "pressure_lower_bound exceeded the budget \
+                                                     but the budgeted VM run was not cut off \
+                                                     for {spec}"
+                                                );
+                                                Ok(None)
+                                            }
+                                            _ => measure(program, &f, options, budget),
+                                        };
+                                        (Some(m), t.elapsed().as_secs_f64() * 1e3)
                                     };
-                                    (f, profile, key, m)
+                                    RepOut {
+                                        function: f,
+                                        profile,
+                                        key,
+                                        measured: m,
+                                        timings: (lower_ms, opt_ms, measure_ms),
+                                        blocks_skipped,
+                                        lb_pruned,
+                                    }
                                 },
                             );
                             (i, r)
@@ -590,7 +688,20 @@ impl<'p> Search<'p> {
                 let spec = batch_specs[i];
                 match r {
                     Err(e) => slots[i] = Some(Slot::Err(e)),
-                    Ok((f, profile, key, m)) => {
+                    Ok(RepOut {
+                        function: f,
+                        profile,
+                        key,
+                        measured: m,
+                        timings: (lower_ms, opt_ms, measure_ms),
+                        blocks_skipped,
+                        lb_pruned,
+                    }) => {
+                        self.rep_costs.push(RepCost { spec, lower_ms, opt_ms, measure_ms });
+                        self.stats.blocks_reused += blocks_skipped;
+                        if lb_pruned {
+                            self.stats.lb_pruned += 1;
+                        }
                         let class = profile.loop_class(spec.loop_threshold);
                         self.profiles.entry((spec.policy, spec.nu)).or_insert(profile);
                         self.class_bodies.entry((spec.policy, spec.nu, class)).or_insert(key);
@@ -676,7 +787,7 @@ impl<'p> Search<'p> {
                 let function =
                     self.body_fns.remove(&best.key).expect("the winning body is retained");
                 let variant = Variant { function, spec: best.spec, report: best.report };
-                Ok(crate::pipeline::emit(variant, target, db_stats, stats))
+                Ok(crate::pipeline::emit(variant, target, db_stats, stats, self.rep_costs))
             }
             None => Err(self.last_err.unwrap_or_else(|| {
                 Error::Synth(slingen_synth::SynthError::Unsupported("empty search space".into()))

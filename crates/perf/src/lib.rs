@@ -37,7 +37,7 @@ pub mod sched;
 
 pub use machine::{Machine, Resource};
 pub use report::Report;
-pub use sched::Scheduler;
+pub use sched::{pressure_lower_bound, Scheduler};
 
 use slingen_cir::Function;
 use slingen_vm::{BufferSet, KernelLib, VmError};

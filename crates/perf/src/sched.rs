@@ -13,7 +13,8 @@
 
 use crate::machine::{Machine, Resource};
 use crate::report::Report;
-use slingen_cir::{BinOp, Instr, InstrClass};
+use slingen_cir::fxhash::FxHashMap;
+use slingen_cir::{BinOp, CStmt, Function, Instr, InstrClass};
 use slingen_vm::{Event, Monitor};
 use std::collections::{BTreeMap, HashMap};
 
@@ -55,6 +56,17 @@ pub struct Scheduler {
     /// (the autotuner's early cutoff for dominated variants).
     budget: Option<f64>,
     exceeded: bool,
+    /// Memoized demand tapes, keyed by static-instruction identity.
+    ///
+    /// [`demands`] is a pure function of `(instr, width)`, and every
+    /// [`Event`] borrows its instruction from a [`Function`] that outlives
+    /// the run — so the address of an `Instr` identifies one static
+    /// instruction (and thereby its function's width) for the scheduler's
+    /// whole lifetime. A rolled loop body or repeatedly-called kernel
+    /// block is decomposed once and its tape replayed on every later
+    /// dynamic execution, instead of re-matching and re-allocating a
+    /// `Vec<Demand>` per event.
+    demand_memo: FxHashMap<usize, Box<[Demand]>>,
 }
 
 impl Scheduler {
@@ -81,6 +93,7 @@ impl Scheduler {
             instructions: 0,
             budget,
             exceeded: false,
+            demand_memo: FxHashMap::default(),
         }
     }
 
@@ -90,139 +103,14 @@ impl Scheduler {
         self.exceeded
     }
 
-    /// Decompose one instruction into its resource demands. The first
-    /// demand is the *primary* one (its latency defines the result's
-    /// availability); secondary demands add pressure but not latency.
-    fn demands(&self, instr: &Instr, width: usize) -> Vec<Demand> {
-        let m = &self.machine;
-        match instr {
-            Instr::SLoad { .. } => {
-                vec![Demand { resource: Resource::Load, units: 1.0, latency: m.load_latency }]
-            }
-            Instr::SStore { .. } => {
-                vec![Demand { resource: Resource::Store, units: 1.0, latency: m.store_latency }]
-            }
-            Instr::VLoad { lanes, .. } => {
-                let active = lanes.iter().flatten().count();
-                if contiguous(lanes) {
-                    vec![Demand {
-                        resource: Resource::Load,
-                        units: mem_units(width, active),
-                        latency: m.load_latency,
-                    }]
-                } else {
-                    // strided/gathered: one scalar load per lane plus the
-                    // packing shuffles the Loader would emit.
-                    let mut d = vec![Demand {
-                        resource: Resource::Load,
-                        units: active as f64,
-                        latency: m.load_latency,
-                    }];
-                    if active > 1 {
-                        d.push(Demand {
-                            resource: Resource::Shuffle,
-                            units: (active - 1) as f64,
-                            latency: m.shuffle_latency,
-                        });
-                    }
-                    d
-                }
-            }
-            Instr::VStore { lanes, .. } => {
-                let active = lanes.iter().flatten().count();
-                if contiguous(lanes) {
-                    vec![Demand {
-                        resource: Resource::Store,
-                        units: mem_units(width, active),
-                        latency: m.store_latency,
-                    }]
-                } else {
-                    let mut d = vec![Demand {
-                        resource: Resource::Store,
-                        units: active as f64,
-                        latency: m.store_latency,
-                    }];
-                    if active > 1 {
-                        d.push(Demand {
-                            resource: Resource::Shuffle,
-                            units: (active - 1) as f64,
-                            latency: m.shuffle_latency,
-                        });
-                    }
-                    d
-                }
-            }
-            Instr::SBin { op, .. } | Instr::VBin { op, .. } => {
-                let vector = matches!(instr, Instr::VBin { .. }) && width > 1;
-                match op {
-                    BinOp::Mul => vec![Demand {
-                        resource: Resource::FMul,
-                        units: 1.0,
-                        latency: m.fmul_latency,
-                    }],
-                    BinOp::Add | BinOp::Sub => vec![Demand {
-                        resource: Resource::FAdd,
-                        units: 1.0,
-                        latency: m.fadd_latency,
-                    }],
-                    BinOp::Div => {
-                        let c = if vector { m.div_vector_cycles } else { m.div_scalar_cycles };
-                        vec![Demand { resource: Resource::Divider, units: c, latency: c }]
-                    }
-                }
-            }
-            Instr::SFma { .. } | Instr::VFma { .. } => {
-                // fused ops issue on the multiply port (Haswell-style)
-                vec![Demand { resource: Resource::FMul, units: 1.0, latency: m.fma_latency }]
-            }
-            Instr::SSqrt { .. } => {
-                let c = m.div_scalar_cycles;
-                vec![Demand { resource: Resource::Divider, units: c, latency: c }]
-            }
-            Instr::SMov { .. } | Instr::VMov { .. } => {
-                vec![Demand { resource: Resource::Mov, units: 1.0, latency: m.mov_latency }]
-            }
-            Instr::VBroadcast { .. } => {
-                vec![Demand { resource: Resource::Shuffle, units: 1.0, latency: m.shuffle_latency }]
-            }
-            Instr::VShuffle { .. } | Instr::VExtract { .. } => {
-                vec![Demand { resource: Resource::Shuffle, units: 1.0, latency: m.shuffle_latency }]
-            }
-            Instr::VBlend { .. } => {
-                vec![Demand { resource: Resource::Blend, units: 1.0, latency: m.blend_latency }]
-            }
-            Instr::VReduceAdd { .. } => {
-                // log2(width) shuffle+add pairs
-                let steps = (width.max(2) as f64).log2().ceil();
-                vec![
-                    Demand {
-                        resource: Resource::FAdd,
-                        units: steps,
-                        latency: m.fadd_latency * steps,
-                    },
-                    Demand {
-                        resource: Resource::Shuffle,
-                        units: steps,
-                        latency: m.shuffle_latency,
-                    },
-                ]
-            }
-            Instr::Call { .. } => vec![Demand {
-                resource: Resource::Frontend,
-                units: m.call_overhead_cycles,
-                latency: m.call_overhead_cycles,
-            }],
-        }
-    }
-
     fn sources_ready(&self, ev: &Event<'_>) -> f64 {
         let mut t: f64 = 0.0;
-        for r in ev.instr.sreg_reads() {
+        ev.instr.for_each_sreg_read(|r| {
             t = t.max(self.sready.get(&r.0).copied().unwrap_or(0.0));
-        }
-        for r in ev.instr.vreg_reads() {
+        });
+        ev.instr.for_each_vreg_read(|r| {
             t = t.max(self.vready.get(&r.0).copied().unwrap_or(0.0));
-        }
+        });
         for cell in &ev.reads {
             t = t.max(self.cellready.get(cell).copied().unwrap_or(0.0));
         }
@@ -242,6 +130,201 @@ impl Scheduler {
     }
 }
 
+/// Decompose one instruction into its resource demands. The first
+/// demand is the *primary* one (its latency defines the result's
+/// availability); secondary demands add pressure but not latency. This
+/// single decomposition drives both the dynamic scheduler and the static
+/// [`pressure_lower_bound`], so the bound cannot drift from the model.
+fn demands(m: &Machine, instr: &Instr, width: usize) -> Vec<Demand> {
+    match instr {
+        Instr::SLoad { .. } => {
+            vec![Demand { resource: Resource::Load, units: 1.0, latency: m.load_latency }]
+        }
+        Instr::SStore { .. } => {
+            vec![Demand { resource: Resource::Store, units: 1.0, latency: m.store_latency }]
+        }
+        Instr::VLoad { lanes, .. } => {
+            let active = lanes.iter().flatten().count();
+            if contiguous(lanes) {
+                vec![Demand {
+                    resource: Resource::Load,
+                    units: mem_units(width, active),
+                    latency: m.load_latency,
+                }]
+            } else {
+                // strided/gathered: one scalar load per lane plus the
+                // packing shuffles the Loader would emit.
+                let mut d = vec![Demand {
+                    resource: Resource::Load,
+                    units: active as f64,
+                    latency: m.load_latency,
+                }];
+                if active > 1 {
+                    d.push(Demand {
+                        resource: Resource::Shuffle,
+                        units: (active - 1) as f64,
+                        latency: m.shuffle_latency,
+                    });
+                }
+                d
+            }
+        }
+        Instr::VStore { lanes, .. } => {
+            let active = lanes.iter().flatten().count();
+            if contiguous(lanes) {
+                vec![Demand {
+                    resource: Resource::Store,
+                    units: mem_units(width, active),
+                    latency: m.store_latency,
+                }]
+            } else {
+                let mut d = vec![Demand {
+                    resource: Resource::Store,
+                    units: active as f64,
+                    latency: m.store_latency,
+                }];
+                if active > 1 {
+                    d.push(Demand {
+                        resource: Resource::Shuffle,
+                        units: (active - 1) as f64,
+                        latency: m.shuffle_latency,
+                    });
+                }
+                d
+            }
+        }
+        Instr::SBin { op, .. } | Instr::VBin { op, .. } => {
+            let vector = matches!(instr, Instr::VBin { .. }) && width > 1;
+            match op {
+                BinOp::Mul => {
+                    vec![Demand { resource: Resource::FMul, units: 1.0, latency: m.fmul_latency }]
+                }
+                BinOp::Add | BinOp::Sub => {
+                    vec![Demand { resource: Resource::FAdd, units: 1.0, latency: m.fadd_latency }]
+                }
+                BinOp::Div => {
+                    let c = if vector { m.div_vector_cycles } else { m.div_scalar_cycles };
+                    vec![Demand { resource: Resource::Divider, units: c, latency: c }]
+                }
+            }
+        }
+        Instr::SFma { .. } | Instr::VFma { .. } => {
+            // fused ops issue on the multiply port (Haswell-style)
+            vec![Demand { resource: Resource::FMul, units: 1.0, latency: m.fma_latency }]
+        }
+        Instr::SSqrt { .. } => {
+            let c = m.div_scalar_cycles;
+            vec![Demand { resource: Resource::Divider, units: c, latency: c }]
+        }
+        Instr::SMov { .. } | Instr::VMov { .. } => {
+            vec![Demand { resource: Resource::Mov, units: 1.0, latency: m.mov_latency }]
+        }
+        Instr::VBroadcast { .. } => {
+            vec![Demand { resource: Resource::Shuffle, units: 1.0, latency: m.shuffle_latency }]
+        }
+        Instr::VShuffle { .. } | Instr::VExtract { .. } => {
+            vec![Demand { resource: Resource::Shuffle, units: 1.0, latency: m.shuffle_latency }]
+        }
+        Instr::VBlend { .. } => {
+            vec![Demand { resource: Resource::Blend, units: 1.0, latency: m.blend_latency }]
+        }
+        Instr::VReduceAdd { .. } => {
+            // log2(width) shuffle+add pairs
+            let steps = (width.max(2) as f64).log2().ceil();
+            vec![
+                Demand { resource: Resource::FAdd, units: steps, latency: m.fadd_latency * steps },
+                Demand { resource: Resource::Shuffle, units: steps, latency: m.shuffle_latency },
+            ]
+        }
+        Instr::Call { .. } => vec![Demand {
+            resource: Resource::Frontend,
+            units: m.call_overhead_cycles,
+            latency: m.call_overhead_cycles,
+        }],
+    }
+}
+
+/// Accumulated static pressure for [`pressure_lower_bound`].
+#[derive(Default)]
+struct Pressure {
+    /// Trip-count-weighted unit totals per resource.
+    units: BTreeMap<Resource, f64>,
+    /// Largest per-event `units/capacity − latency` excess per resource
+    /// (unweighted): the slack a final event could hide behind its own
+    /// occupancy.
+    excess: BTreeMap<Resource, f64>,
+    /// Largest single-event latency.
+    max_latency: f64,
+}
+
+fn pressure_walk(stmts: &[CStmt], mult: f64, width: usize, m: &Machine, acc: &mut Pressure) {
+    for s in stmts {
+        match s {
+            CStmt::I(ins) => {
+                for d in demands(m, ins, width) {
+                    *acc.units.entry(d.resource).or_insert(0.0) += mult * d.units;
+                    let cap = m.capacity(d.resource);
+                    let e = (d.units / cap - d.latency).max(0.0);
+                    let slot = acc.excess.entry(d.resource).or_insert(0.0);
+                    if e > *slot {
+                        *slot = e;
+                    }
+                    if d.latency > acc.max_latency {
+                        acc.max_latency = d.latency;
+                    }
+                }
+            }
+            CStmt::For { lo, hi, step, body, .. } => {
+                // Only constant-bound loops contribute; bounds that
+                // depend on an outer induction variable (triangular
+                // loops) are skipped — their body runs ≥ 0 times, so
+                // omitting it keeps the bound a lower bound.
+                if let (Some(l), Some(h)) = (lo.as_constant(), hi.as_constant()) {
+                    let trips = ((h - l).max(0) + step - 1) / step;
+                    if trips > 0 {
+                        pressure_walk(body, mult * trips as f64, width, m, acc);
+                    }
+                }
+            }
+            CStmt::If { .. } => {
+                // Which branch runs is data-dependent; either runs ≥ 0
+                // times, so skipping both is sound for a lower bound.
+            }
+        }
+    }
+}
+
+/// A cheap, sound lower bound on the makespan [`Scheduler`] would report
+/// for `f`: the best of the per-resource throughput bounds and the
+/// largest single-instruction latency, from one static walk of the body
+/// (no VM execution, no dependence tracking).
+///
+/// Soundness of the throughput bound per resource `R`: the scheduler
+/// advances `R`'s next-free time by `units/capacity` per event, so the
+/// *last* event on `R` issues no earlier than `total_units/capacity −
+/// units_last/capacity`, and the makespan covers its completion at
+/// `issue + latency_last`. Subtracting the largest per-event
+/// `units/capacity − latency` excess (clamped at 0) therefore keeps the
+/// bound below any possible makespan regardless of which event is last
+/// (the clamp matters for [`Instr::VReduceAdd`]'s shuffle leg, whose
+/// occupancy exceeds its latency).
+///
+/// The autotuner compares this bound against the incumbent's cycle
+/// budget: `pressure_lower_bound(f) > budget` proves the budgeted VM run
+/// would be abandoned, so the variant can be discarded without executing
+/// it ([`crate::measure_budgeted`]'s strict `makespan > budget` cutoff).
+pub fn pressure_lower_bound(f: &Function, machine: &Machine) -> f64 {
+    let mut acc = Pressure::default();
+    pressure_walk(&f.body, 1.0, f.width, machine, &mut acc);
+    let mut lb = acc.max_latency;
+    for (r, &u) in &acc.units {
+        let cap = machine.capacity(*r);
+        let e = acc.excess.get(r).copied().unwrap_or(0.0);
+        lb = lb.max(u / cap - e);
+    }
+    lb
+}
+
 fn contiguous(lanes: &[Option<i64>]) -> bool {
     let active = lanes.iter().take_while(|l| l.is_some()).count();
     lanes[..active].iter().enumerate().all(|(i, l)| *l == Some(i as i64))
@@ -255,25 +338,34 @@ impl Monitor for Scheduler {
         self.flops += ev.instr.flops(ev.width);
         *self.counts.entry(ev.instr.class()).or_insert(0) += 1;
 
-        let demands = self.demands(ev.instr, ev.width);
         let ready = self.sources_ready(ev);
+        let Scheduler { machine, demand_memo, res_free, res_units, .. } = self;
+        let dem: &[Demand] = demand_memo
+            .entry(ev.instr as *const Instr as usize)
+            .or_insert_with(|| demands(machine, ev.instr, ev.width).into_boxed_slice());
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            dem.len(),
+            demands(machine, ev.instr, ev.width).len(),
+            "demand tape replay diverged from a fresh decomposition"
+        );
 
         // issue on the primary resource
-        let primary = demands[0];
-        let free = self.res_free.get(&primary.resource).copied().unwrap_or(0.0);
+        let primary = dem[0];
+        let free = res_free.get(&primary.resource).copied().unwrap_or(0.0);
         let issue = ready.max(free);
-        let cap = self.machine.capacity(primary.resource);
-        self.res_free.insert(primary.resource, issue + primary.units / cap);
-        *self.res_units.entry(primary.resource).or_insert(0.0) += primary.units;
+        let cap = machine.capacity(primary.resource);
+        res_free.insert(primary.resource, issue + primary.units / cap);
+        *res_units.entry(primary.resource).or_insert(0.0) += primary.units;
         let mut done = issue + primary.latency;
 
         // secondary demands occupy their resources and may delay completion
-        for d in &demands[1..] {
-            let free = self.res_free.get(&d.resource).copied().unwrap_or(0.0);
+        for d in &dem[1..] {
+            let free = res_free.get(&d.resource).copied().unwrap_or(0.0);
             let s_issue = issue.max(free);
-            let cap = self.machine.capacity(d.resource);
-            self.res_free.insert(d.resource, s_issue + d.units / cap);
-            *self.res_units.entry(d.resource).or_insert(0.0) += d.units;
+            let cap = machine.capacity(d.resource);
+            res_free.insert(d.resource, s_issue + d.units / cap);
+            *res_units.entry(d.resource).or_insert(0.0) += d.units;
             done = done.max(s_issue + d.latency);
         }
 

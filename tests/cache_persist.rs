@@ -158,3 +158,77 @@ fn save_is_atomic_and_replaces() {
     assert!(leftovers.is_empty(), "no temp files left behind: {leftovers:?}");
     let _ = fs::remove_file(&path);
 }
+
+/// `save_capped` evicts the least-recently-hit entries — from the file
+/// *and* from memory — keeping the `cap` most recently touched. Recency
+/// follows lookups, not insertion order: re-hitting an old entry saves
+/// it from eviction.
+#[test]
+fn save_capped_evicts_least_recently_hit() {
+    let opts = Options::default();
+    let programs = tracked_apps();
+    for p in &programs {
+        slingen::generate(p, &opts).unwrap();
+    }
+    assert_eq!(opts.cache.len(), programs.len());
+
+    // Refresh the two *oldest* entries: a pure-insertion-order policy
+    // would now evict exactly the wrong ones.
+    slingen::generate(&programs[0], &opts).unwrap();
+    slingen::generate(&programs[1], &opts).unwrap();
+
+    let path = tmp("capped");
+    let written = opts.cache.save_capped(&path, Some(3)).unwrap();
+    assert_eq!(written, 3, "the cap bounds the file");
+    assert_eq!(opts.cache.len(), 3, "eviction also bounds the in-memory store");
+
+    // Survivors: the refreshed [0], [1] and the last-inserted [4].
+    let searches_before = opts.cache.searches();
+    for keep in [0, 1, 4] {
+        let g = slingen::generate(&programs[keep], &opts).unwrap();
+        assert!(g.tuning.cache_hit, "{}: recently-hit entry must survive", programs[keep].name());
+    }
+    assert_eq!(opts.cache.searches(), searches_before, "survivors replay without searching");
+    // Evicted: [2] and [3] re-search from scratch.
+    for gone in [2, 3] {
+        let g = slingen::generate(&programs[gone], &opts).unwrap();
+        assert!(
+            !g.tuning.cache_hit,
+            "{}: least-recently-hit entry must be evicted",
+            programs[gone].name()
+        );
+    }
+
+    // The saved file holds exactly the survivors: a fresh load replays
+    // all three without a search.
+    let loaded = TuneCache::load_checked(&path).unwrap();
+    assert_eq!(loaded.len(), 3);
+    let replay = Options { cache: loaded.clone(), ..Options::default() };
+    for keep in [0, 1, 4] {
+        let g = slingen::generate(&programs[keep], &replay).unwrap();
+        assert!(g.tuning.cache_hit && g.tuning.persisted, "{}", programs[keep].name());
+    }
+    assert_eq!(loaded.searches(), 0);
+    let _ = fs::remove_file(&path);
+}
+
+/// A cap at or above the entry count is a no-op: nothing evicted, and
+/// the file is what an uncapped save writes.
+#[test]
+fn save_capped_above_len_is_uncapped() {
+    let opts = Options::default();
+    slingen::generate(&apps::potrf(4), &opts).unwrap();
+    slingen::generate(&apps::trtri(4), &opts).unwrap();
+    let capped = tmp("cap-noop");
+    let plain = tmp("cap-noop-plain");
+    assert_eq!(opts.cache.save_capped(&capped, Some(100)).unwrap(), 2);
+    assert_eq!(opts.cache.len(), 2, "no eviction at or above the cap");
+    assert_eq!(opts.cache.save(&plain).unwrap(), 2);
+    assert_eq!(
+        fs::read_to_string(&capped).unwrap(),
+        fs::read_to_string(&plain).unwrap(),
+        "a generous cap writes the same file as an uncapped save"
+    );
+    let _ = fs::remove_file(&capped);
+    let _ = fs::remove_file(&plain);
+}

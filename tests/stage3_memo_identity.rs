@@ -1,0 +1,148 @@
+//! Soundness of the cold-search fast paths added on top of predictive
+//! dedupe: block-memoized Stage 3 (the dirty-log pass skipping and the
+//! CSE replay segments) and the scheduler's memoized demand tapes must be
+//! pure accelerations — same C bytes, same Report bits — never a change
+//! in what the generator produces.
+//!
+//! Three layers are proved here, on every paper app × target × ν ×
+//! policy:
+//!
+//! 1. `PassConfig::block_memo` on vs. off emits **byte-identical C**.
+//! 2. The winning variant's [`Report`] (measured through the memoizing
+//!    scheduler) is **bit-identical** across the toggle, compared via
+//!    the exact IEEE-754 wire encoding ([`Report::to_wire`]).
+//! 3. The static [`pressure_lower_bound`] used by the tuner's
+//!    incumbent-aware cutoff never exceeds the measured makespan — the
+//!    "prune" really is a lower bound, so skipping the VM for
+//!    `lb > budget` variants can only drop losers.
+//!
+//! [`Report`]: slingen_perf::Report
+//! [`Report::to_wire`]: slingen_perf::Report::to_wire
+//! [`pressure_lower_bound`]: slingen_perf::pressure_lower_bound
+
+use proptest::prelude::*;
+use slingen::{apps, generate, generate_with_spec, Options, Target, VariantSpec};
+use slingen_ir::Program;
+use slingen_perf::pressure_lower_bound;
+use slingen_synth::Policy;
+
+fn paper_apps() -> Vec<(&'static str, Program)> {
+    vec![
+        ("potrf", apps::potrf(6)),
+        ("trsyl", apps::trsyl(4)),
+        ("trlya", apps::trlya(4)),
+        ("trtri", apps::trtri(6)),
+        ("kf", apps::kf(4)),
+        ("gpr", apps::gpr(4)),
+        ("l1a", apps::l1a(8)),
+    ]
+}
+
+fn opts_with_memo(target: Target, block_memo: bool) -> Options {
+    let mut opts = Options::for_target(target);
+    opts.passes.block_memo = block_memo;
+    opts
+}
+
+/// Exhaustive sweep: for every app × target × ν × policy, Stage 3 with
+/// the block memo enabled emits the same C bytes and measures to the
+/// same Report bits as the plain full-pass pipeline, and the static
+/// pressure bound under-approximates the measured makespan.
+#[test]
+fn block_memo_is_byte_identical_everywhere() {
+    for (name, program) in paper_apps() {
+        for target in Target::ALL {
+            for &nu in target.widths() {
+                for policy in Policy::ALL {
+                    let spec = VariantSpec { policy, nu, loop_threshold: 64 };
+                    let memo = generate_with_spec(&program, spec, &opts_with_memo(target, true))
+                        .expect("paper app generates (memo)");
+                    let full = generate_with_spec(&program, spec, &opts_with_memo(target, false))
+                        .expect("paper app generates (full)");
+                    assert_eq!(
+                        memo.c_code, full.c_code,
+                        "{name}/{target}/nu{nu}/{policy}: block-memoized Stage 3 changed the \
+                         emitted C"
+                    );
+                    assert_eq!(
+                        memo.report.to_wire(),
+                        full.report.to_wire(),
+                        "{name}/{target}/nu{nu}/{policy}: block-memoized Stage 3 changed the \
+                         measured Report"
+                    );
+                    let opts = opts_with_memo(target, true);
+                    let lb = pressure_lower_bound(&memo.function, &opts.machine);
+                    assert!(
+                        lb <= memo.report.cycles + 1e-9,
+                        "{name}/{target}/nu{nu}/{policy}: pressure bound {lb} exceeds measured \
+                         makespan {}",
+                        memo.report.cycles
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The full autotuned search — where the block memo, the CSE replay
+/// segments, and the LB cutoff all actually fire — picks the same
+/// winning spec and emits the same C bytes with the memo on and off.
+#[test]
+fn tuned_winner_is_memo_invariant() {
+    for (name, program) in paper_apps() {
+        for target in [Target::Avx2Fma, Target::Sse2] {
+            let memo =
+                generate(&program, &opts_with_memo(target, true)).expect("paper app tunes (memo)");
+            let full =
+                generate(&program, &opts_with_memo(target, false)).expect("paper app tunes (full)");
+            assert_eq!(
+                memo.spec, full.spec,
+                "{name}/{target}: block-memoized search picked a different winner"
+            );
+            assert_eq!(
+                memo.c_code, full.c_code,
+                "{name}/{target}: block-memoized search emitted different C"
+            );
+            assert_eq!(
+                memo.report.to_wire(),
+                full.report.to_wire(),
+                "{name}/{target}: block-memoized search reported different measurements"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Property: for random (app, target, policy, ν, threshold) draws,
+    /// the block-memoized pipeline and the full pipeline agree byte-for-
+    /// byte on C and bit-for-bit on the Report.
+    #[test]
+    fn random_specs_are_memo_invariant(
+        app_idx in 0usize..7,
+        target_idx in 0usize..4,
+        policy_idx in 0usize..2,
+        nu_idx in 0usize..3,
+        threshold in 0usize..600,
+    ) {
+        let (name, program) = paper_apps().swap_remove(app_idx);
+        let target = Target::ALL[target_idx % Target::ALL.len()];
+        let policy = Policy::ALL[policy_idx % Policy::ALL.len()];
+        let widths = target.widths();
+        let nu = widths[nu_idx % widths.len()];
+        let spec = VariantSpec { policy, nu, loop_threshold: threshold };
+        let memo = generate_with_spec(&program, spec, &opts_with_memo(target, true)).unwrap();
+        let full = generate_with_spec(&program, spec, &opts_with_memo(target, false)).unwrap();
+        prop_assert_eq!(
+            &memo.c_code, &full.c_code,
+            "{}/{}/nu{}/{}/t{}: block memo changed the emitted C",
+            name, target, nu, policy, threshold
+        );
+        prop_assert_eq!(
+            memo.report.to_wire(), full.report.to_wire(),
+            "{}/{}/nu{}/{}/t{}: block memo changed the Report",
+            name, target, nu, policy, threshold
+        );
+    }
+}
