@@ -3,7 +3,8 @@
 //! workloads, and emits machine-readable `BENCH_generator.json`.
 //!
 //! Usage: `cargo run --release -p slingen-bench --bin bench [--passes]
-//! [--tune] [--serve] [--out PATH]`
+//! [--tune] [--serve] [--measure] [--calibrate] [--only APPS]
+//! [--out PATH]`
 //!
 //! The JSON is a list of per-workload records:
 //! `{"app", "stage1_ms", "stage2_ms", "stage3_ms", "autotune_ms", ...}`,
@@ -12,9 +13,14 @@
 //! cold-vs-cached `generate()` speedup. `--serve` adds a serve-front-end
 //! report: requests/sec and p50/p99 latency at worker counts 1/4/16 on a
 //! hot cache over distinct keys and on a mixed hot/cold request stream
-//! (with coalescing counts). Each PR that touches the generation hot
-//! path should re-run this and compare against the committed numbers
-//! (see ROADMAP.md).
+//! (with coalescing counts). `--measure` adds the model-drift report:
+//! each workload's model-ranked vs hardware-ranked winner with measured
+//! cycle counts (two-stage measured autotuning; falls back per workload
+//! when no C compiler works). `--calibrate` fits per-op latencies and
+//! throughputs from generated microbenchmarks for Avx2/Avx2Fma and
+//! records them next to the model's cost-table entries. Each PR that
+//! touches the generation hot path should re-run this and compare
+//! against the committed numbers (see ROADMAP.md).
 
 use slingen::serve::Engine;
 use slingen::{apps, Options, Target, TuneCache};
@@ -262,6 +268,58 @@ fn measure_serve() -> Vec<ServeScenario> {
     scenarios
 }
 
+struct MeasureRecord {
+    app: String,
+    model_spec: String,
+    model_cycles: f64,
+    /// Hardware-ranked winner and its model prediction; equals the model
+    /// row when stage two fell back.
+    hw_spec: String,
+    hw_model_cycles: f64,
+    /// Measured time of the hardware winner, when stage two ran.
+    measured: Option<slingen_perf::MeasuredTime>,
+    /// Measured time of the *model* winner (trial zero of the re-rank).
+    model_winner_measured: Option<f64>,
+    trials: usize,
+}
+
+/// The model-drift report: model-ranked vs hardware-ranked winner per
+/// workload, with the measured-over-modeled cycle ratio.
+fn measure_hw(name: &str, program: &Program) -> MeasureRecord {
+    let model = slingen::generate(program, &Options::default()).unwrap();
+    let opts = Options { measure: slingen::MeasureConfig::hardware(), ..Options::default() };
+    let g = slingen::generate(program, &opts).unwrap();
+    MeasureRecord {
+        app: name.to_string(),
+        model_spec: model.spec.to_string(),
+        model_cycles: model.report.cycles,
+        hw_spec: g.spec.to_string(),
+        hw_model_cycles: g.report.cycles,
+        measured: g.report.measured,
+        model_winner_measured: g.hw_trials.first().map(|t| t.measured.cycles),
+        trials: g.hw_trials.len(),
+    }
+}
+
+struct CalRecord {
+    target: Target,
+    cal: slingen::Calibration,
+}
+
+/// The model's cost-table entry corresponding to one calibrated op, for
+/// the drift columns: div/sqrt map to the divider charges, the pipelined
+/// ops to their latencies.
+fn model_latency_for(target: Target, op: &str, vector: bool) -> f64 {
+    let m = slingen_perf::Machine::from_target(target);
+    match (op, vector) {
+        ("div" | "sqrt", false) => m.div_scalar_cycles,
+        ("div" | "sqrt", true) => m.div_vector_cycles,
+        ("add", _) => m.fadd_latency,
+        ("mul", _) => m.fmul_latency,
+        _ => m.fma_latency,
+    }
+}
+
 /// Extract `"key": <value>` (string, object, or array value) from the top
 /// level of a previously written JSON document, returning the raw text.
 fn extract_top_level(src: &str, key: &str) -> Option<String> {
@@ -303,6 +361,8 @@ fn main() {
     let passes_breakdown = args.iter().any(|a| a == "--passes");
     let tune = args.iter().any(|a| a == "--tune");
     let serve = args.iter().any(|a| a == "--serve");
+    let hw_measure = args.iter().any(|a| a == "--measure");
+    let calibrate = args.iter().any(|a| a == "--calibrate");
     let out_path = match args.iter().position(|a| a == "--out") {
         Some(i) => match args.get(i + 1) {
             Some(p) if !p.starts_with("--") => p.clone(),
@@ -314,13 +374,31 @@ fn main() {
         None => "BENCH_generator.json".to_string(),
     };
 
-    let workloads: Vec<(String, Program)> = vec![
+    let mut workloads: Vec<(String, Program)> = vec![
         ("potrf8".into(), apps::potrf(8)),
         ("potrf16".into(), apps::potrf(16)),
         ("potrf32".into(), apps::potrf(32)),
         ("potrf64".into(), apps::potrf(64)),
         ("kf8".into(), apps::kf(8)),
     ];
+    // `--only a,b` restricts the tracked set (smoke runs); a filtered
+    // run should go to `--out /tmp/...`, not the committed JSON.
+    if let Some(i) = args.iter().position(|a| a == "--only") {
+        let keep: Vec<String> = match args.get(i + 1) {
+            Some(list) if !list.starts_with("--") => list.split(',').map(str::to_string).collect(),
+            _ => {
+                eprintln!("error: --only requires a comma-separated workload list");
+                std::process::exit(2);
+            }
+        };
+        for k in &keep {
+            if !workloads.iter().any(|(n, _)| n == k) {
+                eprintln!("error: unknown workload `{k}` for --only");
+                std::process::exit(2);
+            }
+        }
+        workloads.retain(|(n, _)| keep.contains(n));
+    }
 
     let mut records = Vec::new();
     for (name, program) in &workloads {
@@ -331,6 +409,55 @@ fn main() {
             r.stage1_ms, r.stage2_ms, r.stage3_ms, r.autotune_ms, r.static_instrs
         );
         records.push(r);
+    }
+
+    let mut measure_records = Vec::new();
+    if hw_measure {
+        for (name, program) in &workloads {
+            eprintln!("hardware-measuring {name} ...");
+            let r = measure_hw(name, program);
+            match (r.measured, r.model_winner_measured) {
+                (Some(m), Some(mw)) => eprintln!(
+                    "  model winner {:16} {:7.1} cy modeled / {:7.1} cy measured; \
+                     hw winner {:16} {:7.1} cy measured ({:.2}x modeled, {} trials)",
+                    r.model_spec,
+                    r.model_cycles,
+                    mw,
+                    r.hw_spec,
+                    m.cycles,
+                    m.cycles / r.hw_model_cycles.max(1e-9),
+                    r.trials
+                ),
+                _ => eprintln!(
+                    "  model winner {:16} {:7.1} cy modeled; hardware ranking fell back",
+                    r.model_spec, r.model_cycles
+                ),
+            }
+            measure_records.push(r);
+        }
+    }
+
+    let mut cal_records = Vec::new();
+    if calibrate {
+        for target in [Target::Avx2, Target::Avx2Fma] {
+            eprintln!("calibrating {} ...", target.name());
+            match slingen::calibrate(target, &slingen::MeasureConfig::hardware()) {
+                Ok(cal) => {
+                    for c in cal.ops.iter() {
+                        eprintln!(
+                            "  {:5} {}  lat {:6.2} cy  thr {:6.2} op/cy  (model {:5.1} cy)",
+                            c.op,
+                            if c.vector { "vec" } else { "scl" },
+                            c.latency,
+                            c.throughput,
+                            model_latency_for(target, c.op, c.vector)
+                        );
+                    }
+                    cal_records.push(CalRecord { target, cal });
+                }
+                Err(e) => eprintln!("  calibration unavailable: {e}"),
+            }
+        }
     }
 
     let mut tune_records = Vec::new();
@@ -474,6 +601,91 @@ fn main() {
                 t.hit_rate,
                 reps.join(", "),
                 if i + 1 < tune_records.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ]");
+    }
+    if measure_records.is_empty() {
+        // keep a previously committed model-drift report on refreshes
+        // that skip --measure
+        if let Some(section) = std::fs::read_to_string(&out_path)
+            .ok()
+            .as_deref()
+            .and_then(|prev| extract_top_level(prev, "model_vs_measured"))
+        {
+            json.push_str(",\n  ");
+            json.push_str(&section);
+        }
+    } else {
+        json.push_str(",\n  \"model_vs_measured\": [\n");
+        for (i, r) in measure_records.iter().enumerate() {
+            match (r.measured, r.model_winner_measured) {
+                (Some(m), Some(mw)) => json.push_str(&format!(
+                    "    {{\"app\": \"{}\", \"source\": \"measured\", \
+                     \"model_winner\": \"{}\", \"model_cycles\": {:.1}, \
+                     \"model_winner_measured_cycles\": {:.1}, \
+                     \"hw_winner\": \"{}\", \"hw_model_cycles\": {:.1}, \
+                     \"measured_cycles\": {:.1}, \"measured_ns\": {:.1}, \
+                     \"measured_over_modeled\": {:.3}, \"trials\": {}}}{}\n",
+                    r.app,
+                    r.model_spec,
+                    r.model_cycles,
+                    mw,
+                    r.hw_spec,
+                    r.hw_model_cycles,
+                    m.cycles,
+                    m.ns,
+                    m.cycles / r.hw_model_cycles.max(1e-9),
+                    r.trials,
+                    if i + 1 < measure_records.len() { "," } else { "" }
+                )),
+                _ => json.push_str(&format!(
+                    "    {{\"app\": \"{}\", \"source\": \"model\", \
+                     \"model_winner\": \"{}\", \"model_cycles\": {:.1}}}{}\n",
+                    r.app,
+                    r.model_spec,
+                    r.model_cycles,
+                    if i + 1 < measure_records.len() { "," } else { "" }
+                )),
+            }
+        }
+        json.push_str("  ]");
+    }
+    if cal_records.is_empty() {
+        // and a previously committed calibration on refreshes that skip
+        // --calibrate
+        if let Some(section) = std::fs::read_to_string(&out_path)
+            .ok()
+            .as_deref()
+            .and_then(|prev| extract_top_level(prev, "calibration"))
+        {
+            json.push_str(",\n  ");
+            json.push_str(&section);
+        }
+    } else {
+        json.push_str(",\n  \"calibration\": [\n");
+        for (i, r) in cal_records.iter().enumerate() {
+            let ops: Vec<String> = r
+                .cal
+                .ops
+                .iter()
+                .map(|c| {
+                    format!(
+                        "{{\"op\": \"{}\", \"vector\": {}, \"latency_cycles\": {:.2}, \
+                         \"throughput_ops_per_cycle\": {:.2}, \"model_cycles\": {:.1}}}",
+                        c.op,
+                        c.vector,
+                        c.latency,
+                        c.throughput,
+                        model_latency_for(r.target, c.op, c.vector)
+                    )
+                })
+                .collect();
+            json.push_str(&format!(
+                "    {{\"target\": \"{}\", \"ops\": [\n      {}\n    ]}}{}\n",
+                r.target.name(),
+                ops.join(",\n      "),
+                if i + 1 < cal_records.len() { "," } else { "" }
             ));
         }
         json.push_str("  ]");

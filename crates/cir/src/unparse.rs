@@ -59,6 +59,201 @@ pub fn digest_c_for(f: &Function, target: Target) -> (u64, usize) {
     out.finish()
 }
 
+/// Configuration for [`to_c_harness`]: per-parameter initial data plus
+/// the timing-loop shape.
+pub struct HarnessOpts<'a> {
+    /// Initial contents for each *parameter* buffer, aligned with the
+    /// [`Function::params`] iteration order. Shorter vectors (or a
+    /// shorter slice) zero-fill the remainder.
+    pub inits: &'a [Vec<f64>],
+    /// Untimed warm-up calls before the first sample.
+    pub warmup: u32,
+    /// Timing repetitions; the harness reports the median over these.
+    pub reps: u32,
+    /// Calls per repetition; each repetition keeps its minimum.
+    pub inner: u32,
+}
+
+/// Render `f` plus a standalone wall-clock timing harness (`main`)
+/// around it, as one self-contained C99 compilation unit.
+///
+/// The harness re-initializes every parameter buffer from a pristine
+/// copy before each call (so in-place kernels like `potrf` time the
+/// same work every iteration), calls the kernel through a `volatile`
+/// function pointer (so the compiler can neither inline nor elide it),
+/// and times each call with the TSC (serialized with `lfence`; a
+/// `clock_gettime` fallback covers non-x86 hosts). The per-call
+/// estimate is a median over `reps` repetitions of the minimum over
+/// `inner` calls, with the measured back-to-back timer overhead
+/// subtracted. The result is printed as one parseable line:
+///
+/// ```text
+/// SLINGEN_MEASURE cycles <f> ns <f> tsc_hz <f> reps <n>
+/// SLINGEN_CHECK <checksum of output buffers>
+/// ```
+pub fn to_c_harness(f: &Function, target: Target, opts: &HarnessOpts<'_>) -> String {
+    let mut out = String::new();
+    // `clock_gettime`/`CLOCK_MONOTONIC` are POSIX, hidden under a strict
+    // `-std=c99`; the feature macro must precede the first libc include,
+    // so it goes above the kernel unit, not in the harness section.
+    out.push_str("#define _POSIX_C_SOURCE 199309L\n");
+    emit_unit(f, target, &mut out);
+    emit_harness(f, opts, &mut out);
+    out
+}
+
+fn emit_harness(f: &Function, opts: &HarnessOpts<'_>, out: &mut String) {
+    use std::fmt::Write;
+    let params: Vec<_> = f.params().collect();
+    let _ = writeln!(out);
+    let _ = writeln!(out, "#include <stdio.h>");
+    let _ = writeln!(out, "#include <stdlib.h>");
+    let _ = writeln!(out, "#include <string.h>");
+    let _ = writeln!(out, "#include <time.h>");
+    let _ = writeln!(out, "#if defined(__x86_64__) || defined(__i386__)");
+    let _ = writeln!(out, "#include <x86intrin.h>");
+    let _ = writeln!(out, "#define SLINGEN_TSC 1");
+    let _ = writeln!(out, "static unsigned long long slingen_now(void) {{");
+    let _ = writeln!(out, "  _mm_lfence();");
+    let _ = writeln!(out, "  return __rdtsc();");
+    let _ = writeln!(out, "}}");
+    let _ = writeln!(out, "#else");
+    let _ = writeln!(out, "#define SLINGEN_TSC 0");
+    let _ = writeln!(out, "static unsigned long long slingen_now(void) {{");
+    let _ = writeln!(out, "  struct timespec ts;");
+    let _ = writeln!(out, "  clock_gettime(CLOCK_MONOTONIC, &ts);");
+    let _ = writeln!(
+        out,
+        "  return (unsigned long long)ts.tv_sec * 1000000000ull + (unsigned long long)ts.tv_nsec;"
+    );
+    let _ = writeln!(out, "}}");
+    let _ = writeln!(out, "#endif");
+    let _ = writeln!(out);
+
+    // Working buffers plus a pristine copy of each; restore by memcpy
+    // before every kernel call. Decimal literals with 17 significant
+    // digits round-trip IEEE-754 doubles exactly.
+    for (i, (_, b)) in params.iter().enumerate() {
+        let len = b.len.max(1);
+        let _ = writeln!(out, "static double slingen_buf{i}[{len}];");
+        let init = opts.inits.get(i);
+        let has_data = init.is_some_and(|v| v.iter().any(|x| *x != 0.0));
+        if has_data {
+            let vals = init.unwrap();
+            let _ = write!(out, "static const double slingen_ref{i}[{len}] = {{");
+            for (j, v) in vals.iter().take(len).enumerate() {
+                if j % 4 == 0 {
+                    let _ = write!(out, "\n  ");
+                }
+                let _ = write!(out, "{v:.17e},");
+            }
+            let _ = writeln!(out, "\n}};");
+        } else {
+            let _ = writeln!(out, "static const double slingen_ref{i}[{len}];");
+        }
+    }
+    let _ = writeln!(out);
+
+    // The typedef mirrors the kernel signature so the volatile pointer
+    // call type-checks exactly.
+    let _ = write!(out, "typedef void (*slingen_fn_t)(");
+    for (i, (_, b)) in params.iter().enumerate() {
+        if i > 0 {
+            let _ = write!(out, ", ");
+        }
+        let qual = if b.kind == BufKind::ParamIn { "const " } else { "" };
+        let _ = write!(out, "{qual}double* restrict");
+    }
+    if params.is_empty() {
+        let _ = write!(out, "void");
+    }
+    let _ = writeln!(out, ");");
+    let _ = writeln!(out, "static volatile slingen_fn_t slingen_kernel = {};", f.name);
+    let _ = writeln!(out);
+    let _ = writeln!(out, "static void slingen_restore(void) {{");
+    for i in 0..params.len() {
+        let _ = writeln!(out, "  memcpy(slingen_buf{i}, slingen_ref{i}, sizeof slingen_buf{i});");
+    }
+    let _ = writeln!(out, "}}");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "static int slingen_cmp(const void* a, const void* b) {{");
+    let _ = writeln!(out, "  double x = *(const double*)a, y = *(const double*)b;");
+    let _ = writeln!(out, "  return (x > y) - (x < y);");
+    let _ = writeln!(out, "}}");
+    let _ = writeln!(out);
+
+    let args = (0..params.len()).map(|i| format!("slingen_buf{i}")).collect::<Vec<_>>().join(", ");
+    let (warmup, reps, inner) = (opts.warmup.max(1), opts.reps.max(1), opts.inner.max(1));
+    let _ = writeln!(out, "int main(void) {{");
+    // TSC frequency against CLOCK_MONOTONIC over a ~10ms window, so
+    // cycle estimates can be reported in nanoseconds too.
+    let _ = writeln!(out, "  double tsc_hz = 1e9;");
+    let _ = writeln!(out, "#if SLINGEN_TSC");
+    let _ = writeln!(out, "  {{");
+    let _ = writeln!(out, "    struct timespec a, b;");
+    let _ = writeln!(out, "    clock_gettime(CLOCK_MONOTONIC, &a);");
+    let _ = writeln!(out, "    unsigned long long t0 = slingen_now();");
+    let _ = writeln!(out, "    long long ns = 0;");
+    let _ = writeln!(out, "    do {{");
+    let _ = writeln!(out, "      clock_gettime(CLOCK_MONOTONIC, &b);");
+    let _ =
+        writeln!(out, "      ns = (b.tv_sec - a.tv_sec) * 1000000000ll + (b.tv_nsec - a.tv_nsec);");
+    let _ = writeln!(out, "    }} while (ns < 10000000ll);");
+    let _ = writeln!(out, "    unsigned long long t1 = slingen_now();");
+    let _ = writeln!(out, "    if (ns > 0) tsc_hz = (double)(t1 - t0) * 1e9 / (double)ns;");
+    let _ = writeln!(out, "  }}");
+    let _ = writeln!(out, "#endif");
+    // Timer overhead: minimum distance between back-to-back reads.
+    let _ = writeln!(out, "  double overhead = 1e300;");
+    let _ = writeln!(out, "  for (int i = 0; i < 1000; i++) {{");
+    let _ = writeln!(out, "    unsigned long long a = slingen_now(), b = slingen_now();");
+    let _ = writeln!(out, "    double d = (double)(b - a);");
+    let _ = writeln!(out, "    if (d < overhead) overhead = d;");
+    let _ = writeln!(out, "  }}");
+    let _ = writeln!(out, "  for (unsigned i = 0; i < {warmup}u; i++) {{");
+    let _ = writeln!(out, "    slingen_restore();");
+    let _ = writeln!(out, "    slingen_kernel({args});");
+    let _ = writeln!(out, "  }}");
+    let _ = writeln!(out, "  static double samples[{reps}];");
+    let _ = writeln!(out, "  for (unsigned r = 0; r < {reps}u; r++) {{");
+    let _ = writeln!(out, "    double best = 1e300;");
+    let _ = writeln!(out, "    for (unsigned i = 0; i < {inner}u; i++) {{");
+    let _ = writeln!(out, "      slingen_restore();");
+    let _ = writeln!(out, "      unsigned long long a = slingen_now();");
+    let _ = writeln!(out, "      slingen_kernel({args});");
+    let _ = writeln!(out, "      unsigned long long b = slingen_now();");
+    let _ = writeln!(out, "      double d = (double)(b - a) - overhead;");
+    let _ = writeln!(out, "      if (d < best) best = d;");
+    let _ = writeln!(out, "    }}");
+    let _ = writeln!(out, "    samples[r] = best > 0.0 ? best : 0.0;");
+    let _ = writeln!(out, "  }}");
+    let _ = writeln!(out, "  qsort(samples, {reps}, sizeof(double), slingen_cmp);");
+    let _ = write!(out, "  double med = ");
+    if reps % 2 == 1 {
+        let _ = writeln!(out, "samples[{}];", reps / 2);
+    } else {
+        let _ = writeln!(out, "0.5 * (samples[{}] + samples[{}]);", reps / 2 - 1, reps / 2);
+    }
+    let _ = writeln!(out, "  double ns = med * 1e9 / tsc_hz;");
+    // Checksum over the output buffers keeps the final kernel results
+    // observable (and lets the caller spot NaNs in the timed runs).
+    let _ = writeln!(out, "  double sink = 0.0;");
+    for (i, (_, b)) in params.iter().enumerate() {
+        if b.kind != BufKind::ParamIn {
+            let len = b.len.max(1);
+            let _ =
+                writeln!(out, "  for (unsigned i = 0; i < {len}u; i++) sink += slingen_buf{i}[i];");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  printf(\"SLINGEN_MEASURE cycles %.17g ns %.17g tsc_hz %.17g reps {reps}\\n\", med, ns, tsc_hz);"
+    );
+    let _ = writeln!(out, "  printf(\"SLINGEN_CHECK %.17g\\n\", sink);");
+    let _ = writeln!(out, "  return 0;");
+    let _ = writeln!(out, "}}");
+}
+
 /// Streaming byte-stream hash implementing [`std::fmt::Write`].
 ///
 /// FxHash-style word folding, but canonical over the byte stream:

@@ -7,7 +7,7 @@
 //!
 //! ```text
 //! slingen-serve [--workers N] [--cache-file PATH] [--cache-max-entries N]
-//!               [--socket PATH] [--target T]
+//!               [--socket PATH] [--target T] [--measure]
 //! ```
 //!
 //! * `--workers N`    worker threads sharing the cache (default 4)
@@ -22,12 +22,17 @@
 //!   the same connection
 //! * `--target T`     default ISA for requests without a `target` field
 //!   (scalar | sse2 | avx2 | avx2fma; default avx2)
+//! * `--measure`      rank winners by hardware timing (two-stage
+//!   measured autotuning); falls back to the model per request, with a
+//!   logged reason, when no C compiler works. Responses carry
+//!   `"cycles_source":"model"|"measured"` either way.
 //!
 //! On shutdown a one-line JSON stats summary is written to stderr, e.g.
-//! `{"cache_entries": 5, ..., "searches": 0}`.
+//! `{"cache_entries": 5, ..., "searches": 0, "served_model": 3,
+//! "served_measured": 2}`.
 
 use slingen::serve::{serve_lines, Engine, ServeSummary};
-use slingen::{Target, TuneCache};
+use slingen::{MeasureConfig, Target, TuneCache};
 use std::io::{BufReader, Write};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -38,6 +43,7 @@ struct Args {
     cache_max_entries: Option<usize>,
     socket: Option<PathBuf>,
     target: Target,
+    measure: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -47,6 +53,7 @@ fn parse_args() -> Result<Args, String> {
         cache_max_entries: None,
         socket: None,
         target: Target::Avx2,
+        measure: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -74,10 +81,11 @@ fn parse_args() -> Result<Args, String> {
                 let t = value("--target")?;
                 args.target = Target::parse(&t).ok_or(format!("unknown target `{t}`"))?;
             }
+            "--measure" => args.measure = true,
             "--help" | "-h" => {
                 println!(
                     "usage: slingen-serve [--workers N] [--cache-file PATH] \
-                     [--cache-max-entries N] [--socket PATH] [--target T]"
+                     [--cache-max-entries N] [--socket PATH] [--target T] [--measure]"
                 );
                 std::process::exit(0);
             }
@@ -107,7 +115,11 @@ fn main() -> ExitCode {
         Some(path) => TuneCache::load(path),
         None => TuneCache::new(),
     };
-    let engine = Engine::new(cache, args.target);
+    let mut engine = Engine::new(cache, args.target);
+    if args.measure {
+        engine = engine.with_measure(MeasureConfig::hardware());
+    }
+    let engine = engine;
 
     let result: std::io::Result<ServeSummary> = match &args.socket {
         None => {

@@ -30,7 +30,7 @@
 //! and a trailing `end <count>` marker so truncation is always detected:
 //!
 //! ```text
-//! slingen-tunecache v1
+//! slingen-tunecache v2
 //! entry
 //! key <bytes>\n<key...>\n
 //! spec <policy> <nu> <threshold>
@@ -40,6 +40,12 @@
 //! code <bytes>\n<emitted C>\n
 //! end <entry-count>
 //! ```
+//!
+//! v2 differs from v1 only in that the report line may carry the
+//! optional trailing measured-time section (`... M <cycles> <ns>
+//! <reps>`) written by the measured-autotuning flow; [`TuneCache::load`]
+//! accepts both versions, so existing v1 files keep warm-loading
+//! unchanged.
 
 use crate::pipeline::Generated;
 use crate::tuner::{TuneStats, VariantSpec};
@@ -59,7 +65,11 @@ use std::sync::{Arc, Condvar, Mutex};
 pub const SHARD_COUNT: usize = 16;
 
 const MAGIC: &str = "slingen-tunecache";
-const VERSION: u32 = 1;
+/// Version written by [`TuneCache::save`].
+const VERSION: u32 = 2;
+/// Versions [`TuneCache::load`] accepts: v1 files (pre-measurement) are
+/// a strict subset of v2, so they parse unchanged.
+const ACCEPTED_VERSIONS: [u32; 2] = [1, 2];
 
 /// The cached outcome of one tuned generation, fully materialized.
 #[derive(Debug, Clone)]
@@ -85,6 +95,7 @@ impl CachedWin {
             db_stats: self.db_stats,
             tuning: TuneStats { cache_hit: true, coalesced, ..self.stats },
             rep_costs: Vec::new(),
+            hw_trials: Vec::new(),
         }
     }
 }
@@ -624,8 +635,9 @@ fn parse_cache_file(src: &str) -> Result<Vec<(String, PersistedWin)>, String> {
         .strip_prefix(MAGIC)
         .and_then(|r| r.strip_prefix(" v"))
         .ok_or_else(|| format!("bad magic: {header:?}"))?;
-    if version.parse::<u32>().map_err(|_| format!("bad version: {version:?}"))? != VERSION {
-        return Err(format!("unsupported version {version} (expected {VERSION})"));
+    let v = version.parse::<u32>().map_err(|_| format!("bad version: {version:?}"))?;
+    if !ACCEPTED_VERSIONS.contains(&v) {
+        return Err(format!("unsupported version {v} (accepted {ACCEPTED_VERSIONS:?})"));
     }
 
     let mut entries = Vec::new();

@@ -31,6 +31,7 @@
 
 pub mod apps;
 pub mod cache;
+pub mod measure;
 pub mod pipeline;
 pub mod serve;
 pub mod tuner;
@@ -38,9 +39,13 @@ pub mod verify;
 pub mod workload;
 
 pub use cache::{CacheTotals, ShardStats, TuneCache, SHARD_COUNT};
+pub use measure::{
+    calibrate, Calibration, HardwareMeasurer, HwError, MeasureConfig, MeasureMode, Measurer,
+    ModelMeasurer, OpCost,
+};
 pub use pipeline::{generate, generate_with_policy, generate_with_spec, Generated, Options};
 pub use slingen_cir::Target;
-pub use tuner::{RepCost, SearchSpace, Strategy, TuneStats, VariantSpec};
+pub use tuner::{HwTrial, RepCost, SearchSpace, Strategy, TuneStats, VariantSpec};
 pub use verify::verify;
 
 use std::fmt;

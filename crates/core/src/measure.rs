@@ -1,0 +1,684 @@
+//! Measured-performance autotuning: run emitted C on real hardware.
+//!
+//! Every ranking signal elsewhere in the crate comes from the modeled
+//! scheduler in `slingen-perf`; the paper's numbers are wall-clock on a
+//! real Sandy Bridge. This module closes that loop with a pluggable
+//! [`Measurer`]:
+//!
+//! * [`ModelMeasurer`] wraps today's modeled-cycle scheduler, so model
+//!   ranking goes through the same interface;
+//! * [`HardwareMeasurer`] compiles the emitted C into a standalone
+//!   timing harness (`slingen_cir::unparse::to_c_harness`) with a C
+//!   compiler shelled out per target, runs it, and parses a
+//!   median-of-min cycle estimate back. Compiled artifacts are cached
+//!   on disk by a digest of the full harness source, so identical
+//!   variants never recompile — within a search *and* across runs.
+//!
+//! The tuner uses these in a two-stage flow (model pruning, hardware
+//! re-ranking of the top-K survivors; see `tuner::tune`), and
+//! [`calibrate`] fits per-op latencies/throughputs from generated
+//! microbenchmark chains to quantify where the shipped cost tables
+//! drift from the host — most importantly the divider, which alone
+//! decides the small-`potrf` winners.
+//!
+//! Everything here degrades gracefully: any failure (no compiler,
+//! compile error, harness crash) is an [`HwError`] with a reason, and
+//! callers fall back to the model-only flow, logging why.
+
+use crate::workload;
+use slingen_cir::unparse::{to_c_harness, HarnessOpts};
+use slingen_cir::{Function, Target};
+use slingen_ir::Program;
+use slingen_lgen::BufferMap;
+use slingen_perf::{Machine, MeasuredTime};
+use slingen_vm::BufferSet;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Which signal ranks variants in the autotuner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MeasureMode {
+    /// Model-only (the historical flow): the scheduler's cycle estimate
+    /// is the final ranking.
+    #[default]
+    Model,
+    /// Two-stage: model for pruning, hardware timing for the final
+    /// ranking of the top-K surviving distinct kernels. Falls back to
+    /// `Model` (with a logged reason) when no C compiler works.
+    Hardware,
+}
+
+/// Configuration for the measured-autotuning path, carried on
+/// `Options::measure`. The default is pure model mode, which
+/// contributes nothing to cache keys and changes no behavior.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasureConfig {
+    /// Ranking mode; see [`MeasureMode`].
+    pub mode: MeasureMode,
+    /// How many top distinct kernels (by modeled cycles) get hardware
+    /// timing in stage two.
+    pub top_k: usize,
+    /// Untimed warm-up calls per harness run.
+    pub warmup: u32,
+    /// Timing repetitions per harness run (median over these).
+    pub reps: u32,
+    /// Calls per repetition (minimum over these).
+    pub inner: u32,
+    /// C compiler to shell out to; `None` uses `cc` from `PATH`.
+    pub compiler: Option<PathBuf>,
+    /// Directory for cached compiled harnesses; `None` uses
+    /// `$TMPDIR/slingen-artifacts`.
+    pub artifact_dir: Option<PathBuf>,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        MeasureConfig {
+            mode: MeasureMode::Model,
+            top_k: 3,
+            warmup: 20,
+            reps: 9,
+            inner: 30,
+            compiler: None,
+            artifact_dir: None,
+        }
+    }
+}
+
+impl MeasureConfig {
+    /// The hardware two-stage configuration with default loop shape.
+    pub fn hardware() -> MeasureConfig {
+        MeasureConfig { mode: MeasureMode::Hardware, ..MeasureConfig::default() }
+    }
+
+    /// Whether the tuner should attempt the hardware re-ranking stage.
+    pub fn wants_hardware(&self) -> bool {
+        self.mode == MeasureMode::Hardware
+    }
+
+    /// The cache-key contribution of this config. Empty in model mode,
+    /// so default keys — and therefore existing persisted caches — are
+    /// byte-identical to the pre-measurement format.
+    pub(crate) fn cache_key_suffix(&self) -> String {
+        match self.mode {
+            MeasureMode::Model => String::new(),
+            MeasureMode::Hardware => format!(
+                "|measure:hw,k{},w{},r{},i{},cc={}",
+                self.top_k,
+                self.warmup,
+                self.reps,
+                self.inner,
+                self.compiler.as_deref().unwrap_or(Path::new("cc")).display()
+            ),
+        }
+    }
+}
+
+/// Why hardware measurement could not produce a number. Callers treat
+/// any `HwError` as "fall back to the model", logging the reason.
+#[derive(Debug, Clone)]
+pub struct HwError(pub String);
+
+impl fmt::Display for HwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for HwError {}
+
+/// A pluggable source of per-kernel timing for the autotuner.
+pub trait Measurer {
+    /// `"model"` or `"measured"` — the tag surfaced in serve responses
+    /// and stats.
+    fn source(&self) -> &'static str;
+
+    /// Time one lowered function on the program's canonical workload
+    /// (deterministic per `seed`).
+    ///
+    /// # Errors
+    ///
+    /// [`HwError`] when no timing could be produced; callers fall back
+    /// to the model.
+    fn measure(
+        &self,
+        program: &Program,
+        function: &Function,
+        seed: u64,
+    ) -> Result<MeasuredTime, HwError>;
+}
+
+/// The modeled-cycle scheduler behind the [`Measurer`] interface.
+/// `ns` is reported as 0 (the model has no time base), `reps` as 1.
+pub struct ModelMeasurer {
+    machine: Machine,
+}
+
+impl ModelMeasurer {
+    pub fn new(machine: Machine) -> ModelMeasurer {
+        ModelMeasurer { machine }
+    }
+}
+
+impl Measurer for ModelMeasurer {
+    fn source(&self) -> &'static str {
+        "model"
+    }
+
+    fn measure(
+        &self,
+        program: &Program,
+        function: &Function,
+        seed: u64,
+    ) -> Result<MeasuredTime, HwError> {
+        let mut bufs = workload_buffers(program, function, seed);
+        let report = slingen_perf::measure(function, &mut bufs, None, &self.machine)
+            .map_err(|e| HwError(format!("model measurement failed: {e}")))?;
+        Ok(MeasuredTime { cycles: report.cycles, ns: 0.0, reps: 1 })
+    }
+}
+
+/// Compiles emitted C into a timing harness and runs it on this host.
+///
+/// Construction probes the compiler once (`--version`); a failing probe
+/// is an immediate [`HwError`], so searches discover "no compiler" once
+/// instead of per candidate.
+pub struct HardwareMeasurer {
+    target: Target,
+    cfg: MeasureConfig,
+    compiler: PathBuf,
+    artifact_dir: PathBuf,
+}
+
+impl HardwareMeasurer {
+    /// Probe the configured compiler and prepare the artifact cache
+    /// directory.
+    ///
+    /// # Errors
+    ///
+    /// [`HwError`] if the compiler does not run or the artifact
+    /// directory cannot be created.
+    pub fn new(target: Target, cfg: &MeasureConfig) -> Result<HardwareMeasurer, HwError> {
+        let compiler = cfg.compiler.clone().unwrap_or_else(|| PathBuf::from("cc"));
+        let probe = Command::new(&compiler).arg("--version").output().map_err(|e| {
+            HwError(format!("C compiler `{}` not runnable: {e}", compiler.display()))
+        })?;
+        if !probe.status.success() {
+            return Err(HwError(format!(
+                "C compiler `{}` failed its version probe",
+                compiler.display()
+            )));
+        }
+        let artifact_dir = cfg
+            .artifact_dir
+            .clone()
+            .unwrap_or_else(|| std::env::temp_dir().join("slingen-artifacts"));
+        std::fs::create_dir_all(&artifact_dir).map_err(|e| {
+            HwError(format!("artifact dir {} not creatable: {e}", artifact_dir.display()))
+        })?;
+        Ok(HardwareMeasurer { target, cfg: cfg.clone(), compiler, artifact_dir })
+    }
+
+    /// The ISA flags the harness needs for this target's intrinsics.
+    fn target_cflags(&self) -> &'static [&'static str] {
+        match self.target {
+            Target::Scalar => &[],
+            Target::Sse2 => &["-msse2"],
+            Target::Avx2 => &["-mavx"],
+            Target::Avx2Fma => &["-mavx2", "-mfma"],
+        }
+    }
+
+    /// Compile `source` (cached by digest) and return the binary path.
+    fn compile(&self, source: &str) -> Result<PathBuf, HwError> {
+        let (hash, len) = digest_str(source);
+        let bin = self.artifact_dir.join(format!("h{hash:016x}-{len}-{}", self.target));
+        if bin.exists() {
+            return Ok(bin); // artifact cache hit: identical harness, no recompile
+        }
+        let src = bin.with_extension("c");
+        std::fs::write(&src, source)
+            .map_err(|e| HwError(format!("write {} failed: {e}", src.display())))?;
+        // Compile to a unique temp name, then atomically rename in, so
+        // concurrent searches never observe a half-written binary.
+        let tmp = self.artifact_dir.join(format!(
+            ".tmp-{}-h{hash:016x}-{len}-{}",
+            std::process::id(),
+            self.target
+        ));
+        let out = Command::new(&self.compiler)
+            .args(["-std=c99", "-O2"])
+            .args(self.target_cflags())
+            .arg("-o")
+            .arg(&tmp)
+            .arg(&src)
+            .arg("-lm")
+            .output()
+            .map_err(|e| HwError(format!("compiler `{}` failed: {e}", self.compiler.display())))?;
+        if !out.status.success() {
+            let _ = std::fs::remove_file(&tmp);
+            // Surface the first real diagnostic, not the "In function"
+            // preamble gcc prints ahead of it.
+            let stderr = String::from_utf8_lossy(&out.stderr);
+            let diag = stderr
+                .lines()
+                .find(|l| l.contains("error:"))
+                .or_else(|| stderr.lines().next())
+                .unwrap_or("(no diagnostics)");
+            return Err(HwError(format!("harness compile failed: {diag}")));
+        }
+        std::fs::rename(&tmp, &bin).map_err(|e| HwError(format!("artifact rename failed: {e}")))?;
+        Ok(bin)
+    }
+
+    /// Run a compiled harness and parse its `SLINGEN_MEASURE` line.
+    fn run(&self, bin: &Path) -> Result<MeasuredTime, HwError> {
+        let out = Command::new(bin)
+            .output()
+            .map_err(|e| HwError(format!("harness {} failed to run: {e}", bin.display())))?;
+        if !out.status.success() {
+            return Err(HwError(format!("harness exited with {}", out.status)));
+        }
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        parse_measure_line(&stdout)
+            .ok_or_else(|| HwError(format!("harness output unparseable: {stdout:?}")))
+    }
+
+    /// Emit, compile (or reuse), and time the harness for one function.
+    ///
+    /// # Errors
+    ///
+    /// [`HwError`] on any compile/run/parse failure.
+    pub fn measure_c(
+        &self,
+        function: &Function,
+        inits: &[Vec<f64>],
+    ) -> Result<MeasuredTime, HwError> {
+        let opts = HarnessOpts {
+            inits,
+            warmup: self.cfg.warmup,
+            reps: self.cfg.reps,
+            inner: self.cfg.inner,
+        };
+        let source = to_c_harness(function, self.target, &opts);
+        let bin = self.compile(&source)?;
+        self.run(&bin)
+    }
+}
+
+impl Measurer for HardwareMeasurer {
+    fn source(&self) -> &'static str {
+        "measured"
+    }
+
+    fn measure(
+        &self,
+        program: &Program,
+        function: &Function,
+        seed: u64,
+    ) -> Result<MeasuredTime, HwError> {
+        let inits = param_inits(program, function, seed);
+        self.measure_c(function, &inits)
+    }
+}
+
+/// The canonical workload mapped onto a function's buffer set — the same
+/// mapping the model measurement uses (`pipeline::measure`), so both
+/// signals time identical inputs.
+fn workload_buffers(program: &Program, function: &Function, seed: u64) -> BufferSet {
+    let mut fb = slingen_cir::FunctionBuilder::new("probe", function.width);
+    let map = BufferMap::build(program, &mut fb);
+    let mut bufs = BufferSet::for_function(function);
+    for (op, data) in workload::inputs(program, seed) {
+        bufs.set(map.buf(op), &data);
+    }
+    bufs
+}
+
+/// Initial contents for each *parameter* buffer, in `Function::params`
+/// order — what the timing harness bakes into its pristine copies.
+pub(crate) fn param_inits(program: &Program, function: &Function, seed: u64) -> Vec<Vec<f64>> {
+    let bufs = workload_buffers(program, function, seed);
+    function.params().map(|(id, _)| bufs.get(id).to_vec()).collect()
+}
+
+fn parse_measure_line(stdout: &str) -> Option<MeasuredTime> {
+    let line = stdout.lines().find(|l| l.starts_with("SLINGEN_MEASURE "))?;
+    let mut toks = line.split_whitespace().skip(1);
+    let mut cycles = None;
+    let mut ns = None;
+    let mut reps = None;
+    while let Some(key) = toks.next() {
+        let val = toks.next()?;
+        match key {
+            "cycles" => cycles = val.parse::<f64>().ok(),
+            "ns" => ns = val.parse::<f64>().ok(),
+            "reps" => reps = val.parse::<u32>().ok(),
+            _ => {} // tsc_hz and future fields: informative only
+        }
+    }
+    Some(MeasuredTime { cycles: cycles?, ns: ns?, reps: reps? })
+}
+
+/// The same streaming digest the tuner uses for emitted C, applied to a
+/// harness source string: `(hash, len)` keys the artifact cache.
+fn digest_str(s: &str) -> (u64, usize) {
+    // FxHash-style word folding over the bytes; collisions additionally
+    // guarded by the length in the artifact file name.
+    const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+    let mut state = 0u64;
+    let bytes = s.as_bytes();
+    let mut chunks = bytes.chunks_exact(8);
+    for c in chunks.by_ref() {
+        let w = u64::from_le_bytes(c.try_into().unwrap());
+        state = (state.rotate_left(5) ^ w).wrapping_mul(K);
+    }
+    let rest = chunks.remainder();
+    if !rest.is_empty() {
+        let mut last = [0u8; 8];
+        last[..rest.len()].copy_from_slice(rest);
+        state = (state.rotate_left(5) ^ u64::from_le_bytes(last)).wrapping_mul(K);
+    }
+    state = (state.rotate_left(5) ^ bytes.len() as u64).wrapping_mul(K);
+    (state, bytes.len())
+}
+
+// ---------------------------------------------------------------------
+// Calibration: fit per-op latencies/throughputs from microbenchmarks.
+// ---------------------------------------------------------------------
+
+/// One fitted per-op cost: dependent-chain latency and independent-
+/// stream throughput, in cycles resp. ops/cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpCost {
+    /// `add` | `mul` | `fma` | `div` | `sqrt`.
+    pub op: &'static str,
+    /// Vector (target width) or scalar form.
+    pub vector: bool,
+    /// Cycles per op on a serially dependent chain.
+    pub latency: f64,
+    /// Ops per cycle across independent streams.
+    pub throughput: f64,
+}
+
+/// Fitted per-op costs for one target on this host, plus the model's
+/// corresponding entries for drift comparison.
+#[derive(Debug, Clone)]
+pub struct Calibration {
+    pub target: Target,
+    pub ops: Vec<OpCost>,
+}
+
+impl Calibration {
+    /// The fitted cost for one `(op, vector)` entry.
+    pub fn get(&self, op: &str, vector: bool) -> Option<&OpCost> {
+        self.ops.iter().find(|c| c.op == op && c.vector == vector)
+    }
+
+    /// A machine model with the fitted divider/latency entries applied —
+    /// the shipped `CostTable` constants (the paper's pinned Sandy
+    /// Bridge numbers) stay untouched; this derives a host-calibrated
+    /// model at runtime.
+    pub fn apply(&self, base: &Machine) -> Machine {
+        let mut m = base.clone();
+        if let Some(c) = self.get("div", false) {
+            m.div_scalar_cycles = c.latency;
+        }
+        if let Some(c) = self.get("div", true) {
+            m.div_vector_cycles = c.latency;
+        }
+        if let Some(c) = self.get("add", false).or_else(|| self.get("add", true)) {
+            m.fadd_latency = c.latency.round().max(1.0);
+        }
+        if let Some(c) = self.get("mul", false).or_else(|| self.get("mul", true)) {
+            m.fmul_latency = c.latency.round().max(1.0);
+        }
+        if let Some(c) = self.get("fma", false).or_else(|| self.get("fma", true)) {
+            m.fma_latency = c.latency.round().max(1.0);
+        }
+        m
+    }
+}
+
+/// Emit one microbenchmark source: a dependent chain (latency) and an
+/// 8-stream independent sweep (throughput) of `op`, timed the same way
+/// as the kernel harness and printed as `SLINGEN_CAL lat <f> thr <f>`.
+fn microbench_source(op: &'static str, vector: bool, width: usize, iters: u32) -> String {
+    let mut s = String::new();
+    use std::fmt::Write;
+    let _ = writeln!(s, "/* slingen calibration microbenchmark: {op} vector={vector} */");
+    let _ = writeln!(s, "#include <stdio.h>");
+    let _ = writeln!(s, "#include <math.h>");
+    if vector {
+        let _ = writeln!(s, "#include <immintrin.h>");
+    }
+    let _ = writeln!(s, "#include <time.h>");
+    let _ = writeln!(s, "#if defined(__x86_64__) || defined(__i386__)");
+    let _ = writeln!(s, "#include <x86intrin.h>");
+    let _ =
+        writeln!(s, "static unsigned long long now(void) {{ _mm_lfence(); return __rdtsc(); }}");
+    let _ = writeln!(s, "#else");
+    let _ = writeln!(s, "static unsigned long long now(void) {{");
+    let _ = writeln!(s, "  struct timespec ts; clock_gettime(CLOCK_MONOTONIC, &ts);");
+    let _ = writeln!(s, "  return (unsigned long long)ts.tv_sec * 1000000000ull + ts.tv_nsec;");
+    let _ = writeln!(s, "}}");
+    let _ = writeln!(s, "#endif");
+
+    // `X` marks the chained value; the latency loop substitutes `x`,
+    // the throughput loop one of 8 independent `y<k>` streams.
+    let (ty, one, template): (String, String, String) = if vector {
+        let (pre, ty) = match width {
+            2 => ("_mm", "__m128d".to_string()),
+            _ => ("_mm256", "__m256d".to_string()),
+        };
+        let one = format!("{pre}_set1_pd(1.0000001)");
+        let t = match op {
+            "add" => format!("{pre}_add_pd(X, c)"),
+            "mul" => format!("{pre}_mul_pd(X, c)"),
+            "fma" => format!("{pre}_fmadd_pd(X, c, c)"),
+            "div" => format!("{pre}_div_pd(X, c)"),
+            _ => format!("{pre}_sqrt_pd({pre}_add_pd(X, c))"),
+        };
+        (ty, one, t)
+    } else {
+        let t = match op {
+            "add" => "X + c",
+            "mul" => "X * c",
+            "fma" => "fma(X, c, c)",
+            "div" => "X / c",
+            _ => "sqrt(X + c)",
+        };
+        ("double".to_string(), "1.0000001".to_string(), t.to_string())
+    };
+    let expr_dep = format!("x = {};", template.replace('X', "x"));
+    let expr_str = format!("y@ = {};", template.replace('X', "y@"));
+
+    let lanes = if vector { width } else { 1 };
+    // GCC enables autovectorization at -O2 since GCC 12; keep the
+    // scalar throughput streams scalar so the fit measures what the
+    // model charges for.
+    let _ = writeln!(s, "#if defined(__GNUC__) && !defined(__clang__)");
+    let _ = writeln!(s, "#define SLINGEN_NOVEC __attribute__((optimize(\"no-tree-vectorize\")))");
+    let _ = writeln!(s, "#else");
+    let _ = writeln!(s, "#define SLINGEN_NOVEC");
+    let _ = writeln!(s, "#endif");
+    // Latency: one dependent chain of `iters` ops.
+    let _ = writeln!(s, "static double SLINGEN_NOVEC bench_lat(void) {{");
+    let _ = writeln!(s, "  volatile {ty} seed; seed = {one};");
+    let _ = writeln!(s, "  {ty} x = seed, c = {one};");
+    let _ = writeln!(s, "  unsigned long long a = now();");
+    let _ = writeln!(s, "  for (unsigned i = 0; i < {iters}u; i++) {{ {expr_dep} }}");
+    let _ = writeln!(s, "  unsigned long long b = now();");
+    let _ = writeln!(s, "  volatile {ty} sink; sink = x; (void)sink;");
+    let _ = writeln!(s, "  return (double)(b - a) / {iters}.0;");
+    let _ = writeln!(s, "}}");
+    // Throughput: 8 independent chains interleaved.
+    let _ = writeln!(s, "static double SLINGEN_NOVEC bench_thr(void) {{");
+    let _ = writeln!(s, "  volatile {ty} seed; seed = {one};");
+    let _ = write!(s, "  {ty} c = {one}");
+    for k in 0..8 {
+        let _ = write!(s, ", y{k} = seed");
+    }
+    let _ = writeln!(s, ";");
+    let _ = writeln!(s, "  unsigned long long a = now();");
+    let _ = writeln!(s, "  for (unsigned i = 0; i < {iters}u; i++) {{");
+    for k in 0..8 {
+        let _ = writeln!(s, "    {}", expr_str.replace('@', &k.to_string()));
+    }
+    let _ = writeln!(s, "  }}");
+    let _ = writeln!(s, "  unsigned long long b = now();");
+    for k in 0..8 {
+        let _ = writeln!(s, "  volatile {ty} sink{k}; sink{k} = y{k}; (void)sink{k};");
+    }
+    let _ = writeln!(s, "  return (double)(8u * {iters}u) / (double)(b - a);");
+    let _ = writeln!(s, "}}");
+    let _ = writeln!(s, "int main(void) {{");
+    let _ = writeln!(s, "  double lat = 1e300, thr = 0.0;");
+    let _ = writeln!(s, "  for (int r = 0; r < 5; r++) {{");
+    let _ = writeln!(s, "    double l = bench_lat(); if (l < lat) lat = l;");
+    let _ = writeln!(s, "    double t = bench_thr(); if (t > thr) thr = t;");
+    let _ = writeln!(s, "  }}");
+    let _ =
+        writeln!(s, "  printf(\"SLINGEN_CAL lat %.17g thr %.17g lanes {lanes}\\n\", lat, thr);");
+    let _ = writeln!(s, "  return 0;");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Fit per-op latencies/throughputs for `target` on this host from
+/// generated microbenchmark chains (add/mul/fma/div/sqrt, scalar and
+/// vector).
+///
+/// # Errors
+///
+/// [`HwError`] when the compiler probe or any microbenchmark fails —
+/// calibration is all-or-nothing so a partial table never masquerades
+/// as a full one.
+pub fn calibrate(target: Target, cfg: &MeasureConfig) -> Result<Calibration, HwError> {
+    let hw = HardwareMeasurer::new(target, cfg)?;
+    let mut ops = Vec::new();
+    let width = target.max_width();
+    for op in ["add", "mul", "fma", "div", "sqrt"] {
+        if op == "fma" && !target.has_fma() {
+            continue;
+        }
+        for vector in [false, true] {
+            if vector && width < 2 {
+                continue;
+            }
+            let src = microbench_source(op, vector, width, 200_000);
+            let bin = hw.compile(&src)?;
+            let out = Command::new(&bin)
+                .output()
+                .map_err(|e| HwError(format!("microbench run failed: {e}")))?;
+            if !out.status.success() {
+                return Err(HwError(format!("microbench {op} exited with {}", out.status)));
+            }
+            let text = String::from_utf8_lossy(&out.stdout);
+            let line = text
+                .lines()
+                .find(|l| l.starts_with("SLINGEN_CAL "))
+                .ok_or_else(|| HwError(format!("microbench {op} output unparseable")))?;
+            let mut lat = None;
+            let mut thr = None;
+            let mut toks = line.split_whitespace().skip(1);
+            while let (Some(k), Some(v)) = (toks.next(), toks.next()) {
+                match k {
+                    "lat" => lat = v.parse::<f64>().ok(),
+                    "thr" => thr = v.parse::<f64>().ok(),
+                    _ => {}
+                }
+            }
+            let (latency, throughput) = match (lat, thr) {
+                (Some(l), Some(t)) if l > 0.0 && t > 0.0 => (l, t),
+                _ => return Err(HwError(format!("microbench {op} reported no numbers"))),
+            };
+            ops.push(OpCost { op, vector, latency, throughput });
+        }
+    }
+    Ok(Calibration { target, ops })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_model_and_keyless() {
+        let cfg = MeasureConfig::default();
+        assert_eq!(cfg.mode, MeasureMode::Model);
+        assert!(!cfg.wants_hardware());
+        assert_eq!(cfg.cache_key_suffix(), "");
+    }
+
+    #[test]
+    fn hardware_config_keys_its_parameters() {
+        let cfg = MeasureConfig::hardware();
+        assert!(cfg.wants_hardware());
+        let key = cfg.cache_key_suffix();
+        assert!(key.starts_with("|measure:hw,"), "{key}");
+        assert!(key.contains("cc=cc"), "{key}");
+    }
+
+    #[test]
+    fn bogus_compiler_fails_fast() {
+        let cfg = MeasureConfig {
+            compiler: Some(PathBuf::from("/nonexistent/slingen-no-such-cc")),
+            ..MeasureConfig::hardware()
+        };
+        let err = HardwareMeasurer::new(Target::Avx2, &cfg).err().expect("must fail");
+        assert!(err.0.contains("not runnable"), "{err}");
+    }
+
+    #[test]
+    fn measure_line_parses() {
+        let m = parse_measure_line(
+            "noise\nSLINGEN_MEASURE cycles 123.5 ns 37.1 tsc_hz 3.3e9 reps 9\nSLINGEN_CHECK 1\n",
+        )
+        .unwrap();
+        assert_eq!(m.cycles, 123.5);
+        assert_eq!(m.ns, 37.1);
+        assert_eq!(m.reps, 9);
+        assert!(parse_measure_line("SLINGEN_MEASURE cycles x ns 1 reps 1").is_none());
+        assert!(parse_measure_line("nothing here").is_none());
+    }
+
+    #[test]
+    fn digest_distinguishes_and_is_stable() {
+        let a = digest_str("int main(void) { return 0; }");
+        let b = digest_str("int main(void) { return 1; }");
+        assert_ne!(a.0, b.0);
+        assert_eq!(a, digest_str("int main(void) { return 0; }"));
+    }
+
+    #[test]
+    fn microbench_sources_are_well_formed() {
+        for op in ["add", "mul", "fma", "div", "sqrt"] {
+            for (vector, width) in [(false, 1), (true, 2), (true, 4)] {
+                let s = microbench_source(op, vector, width, 100);
+                assert!(s.contains("SLINGEN_CAL"), "{op} {vector}");
+                assert!(s.contains("bench_lat"), "{op} {vector}");
+                if vector {
+                    assert!(s.contains("_pd"), "{op} width {width}:\n{s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn calibration_applies_div_entries_without_touching_base() {
+        let base = Machine::sandy_bridge();
+        let cal = Calibration {
+            target: Target::Avx2,
+            ops: vec![
+                OpCost { op: "div", vector: false, latency: 13.0, throughput: 0.25 },
+                OpCost { op: "div", vector: true, latency: 13.5, throughput: 0.2 },
+            ],
+        };
+        let m = cal.apply(&base);
+        assert_eq!(m.div_scalar_cycles, 13.0);
+        assert_eq!(m.div_vector_cycles, 13.5);
+        assert_eq!(base.div_scalar_cycles, 22.0, "shipped model untouched");
+    }
+}

@@ -5,7 +5,10 @@
 //! live in [`Options`]; this module owns the option/result types and the
 //! single-variant path used when the policy is pinned.
 
-use crate::tuner::{self, RepCost, SearchSpace, TuneCache, TuneStats, Variant, VariantSpec};
+use crate::measure::MeasureConfig;
+use crate::tuner::{
+    self, HwTrial, RepCost, SearchSpace, TuneCache, TuneStats, Variant, VariantSpec,
+};
 use crate::workload;
 use crate::Error;
 use slingen_cir::passes::PassConfig;
@@ -50,6 +53,10 @@ pub struct Options {
     /// Tuning cache consulted by `generate()`. Fresh per `Options` by
     /// default; clone one `Options` (or the cache handle) to share it.
     pub cache: TuneCache,
+    /// Measured-autotuning configuration: model-only by default; in
+    /// hardware mode the tuner re-ranks the top-K model survivors by
+    /// compiling and timing their emitted C (see [`crate::measure`]).
+    pub measure: MeasureConfig,
 }
 
 /// The default Stage-2 loop threshold — also the canonical greedy seed
@@ -79,6 +86,7 @@ impl Options {
             seed: 0x51,
             search: SearchSpace::default(),
             cache: TuneCache::new(),
+            measure: MeasureConfig::default(),
         }
     }
 
@@ -111,6 +119,12 @@ pub struct Generated {
     /// in the order the search ran them. Empty on cache hits and on
     /// fixed-spec generation — only a real search pays these costs.
     pub rep_costs: Vec<RepCost>,
+    /// Stage-two hardware timings in model-ranking order (the first
+    /// entry is the model-ranked winner), when the measured flow ran.
+    /// Empty in model mode, on hardware fallback, and on cache hits —
+    /// the winner's own timing survives cache hits on
+    /// `report.measured`.
+    pub hw_trials: Vec<HwTrial>,
 }
 
 impl Generated {
@@ -118,6 +132,17 @@ impl Generated {
     /// flop count.
     pub fn flops_per_cycle(&self) -> f64 {
         self.report.flops_per_cycle()
+    }
+
+    /// Which signal ranked this winner: `"measured"` when hardware
+    /// timing produced it, `"model"` otherwise (including hardware-mode
+    /// fallbacks).
+    pub fn cycles_source(&self) -> &'static str {
+        if self.report.measured.is_some() {
+            "measured"
+        } else {
+            "model"
+        }
     }
 }
 
@@ -129,6 +154,7 @@ pub(crate) fn emit(
     db_stats: (usize, usize),
     tuning: TuneStats,
     rep_costs: Vec<RepCost>,
+    hw_trials: Vec<HwTrial>,
 ) -> Generated {
     let c_code = slingen_cir::unparse::to_c_for(&variant.function, target);
     Generated {
@@ -140,6 +166,7 @@ pub(crate) fn emit(
         db_stats,
         tuning,
         rep_costs,
+        hw_trials,
     }
 }
 
@@ -163,6 +190,7 @@ pub fn generate_with_spec(
         options.target,
         (db.hits(), db.misses()),
         TuneStats { explored: 1, ..TuneStats::default() },
+        Vec::new(),
         Vec::new(),
     ))
 }

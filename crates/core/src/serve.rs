@@ -6,8 +6,11 @@
 //! JSON response line each — the emitted C (or a summary) plus a cache
 //! marker saying how the request was served (`miss` = a search ran,
 //! `hit` = in-memory replay, `persisted` = replayed from a cache file,
-//! `coalesced` = piggybacked on a concurrent identical request). The
-//! JSON codec is hand-rolled — this workspace is offline, no serde.
+//! `coalesced` = piggybacked on a concurrent identical request) and a
+//! `cycles_source` marker saying which signal ranked the winner
+//! (`model` = the scheduler's estimate, `measured` = stage-two hardware
+//! timing; see [`crate::measure`]). The JSON codec is hand-rolled —
+//! this workspace is offline, no serde.
 //!
 //! Request schema (one object per line; unknown keys are ignored):
 //!
@@ -29,10 +32,11 @@
 //! search and distinct requests land on distinct cache shards.
 
 use crate::cache::TuneCache;
+use crate::measure::MeasureConfig;
 use crate::pipeline::{Generated, Options};
 use crate::{apps, Target};
 use std::io::{BufRead, Write};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
 
 /// Largest accepted operand size: the generator is fully unrolled, so
@@ -313,12 +317,32 @@ fn cache_marker(g: &Generated) -> &'static str {
 pub struct Engine {
     cache: TuneCache,
     default_target: Target,
+    /// Measured-autotuning config applied to every request (model-only
+    /// by default). Hardware mode degrades per-request to the model
+    /// when no compiler works, exactly like `generate()`.
+    measure: MeasureConfig,
+    /// Responses whose winner was ranked by the model resp. by hardware
+    /// timing (surfaced in [`Engine::stats_json`]).
+    served_model: AtomicU64,
+    served_measured: AtomicU64,
 }
 
 impl Engine {
     /// An engine over a (possibly warm-loaded) cache.
     pub fn new(cache: TuneCache, default_target: Target) -> Engine {
-        Engine { cache, default_target }
+        Engine {
+            cache,
+            default_target,
+            measure: MeasureConfig::default(),
+            served_model: AtomicU64::new(0),
+            served_measured: AtomicU64::new(0),
+        }
+    }
+
+    /// Use a non-default measurement configuration (builder style).
+    pub fn with_measure(mut self, measure: MeasureConfig) -> Engine {
+        self.measure = measure;
+        self
     }
 
     /// The shared cache (e.g. to `save()` it on shutdown).
@@ -356,10 +380,20 @@ impl Engine {
     /// its response line.
     pub fn handle(&self, req: &Request) -> Result<String, String> {
         let program = req.program()?;
-        let options = Options { cache: self.cache.clone(), ..Options::for_target(req.target) };
+        let options = Options {
+            cache: self.cache.clone(),
+            measure: self.measure.clone(),
+            ..Options::for_target(req.target)
+        };
         let g = crate::generate(&program, &options).map_err(|e| e.to_string())?;
+        let source = g.cycles_source();
+        match source {
+            "measured" => self.served_measured.fetch_add(1, Ordering::Relaxed),
+            _ => self.served_model.fetch_add(1, Ordering::Relaxed),
+        };
         let mut resp = format!(
             "{{\"id\":{},\"ok\":true,\"app\":\"{}\",\"n\":{},\"target\":\"{}\",\"cache\":\"{}\",\
+             \"cycles_source\":\"{source}\",\
              \"winner\":\"{}\",\"cycles\":{:.1},\"flops_per_cycle\":{:.3}",
             req.id,
             req.app,
@@ -383,8 +417,16 @@ impl Engine {
         let t = self.cache.totals();
         format!(
             "{{\"cache_entries\": {}, \"hits\": {}, \"misses\": {}, \"inserts\": {}, \
-             \"coalesced\": {}, \"searches\": {}}}",
-            t.entries, t.hits, t.misses, t.inserts, t.coalesced, t.searches
+             \"coalesced\": {}, \"searches\": {}, \"served_model\": {}, \
+             \"served_measured\": {}}}",
+            t.entries,
+            t.hits,
+            t.misses,
+            t.inserts,
+            t.coalesced,
+            t.searches,
+            self.served_model.load(Ordering::Relaxed),
+            self.served_measured.load(Ordering::Relaxed)
         )
     }
 }

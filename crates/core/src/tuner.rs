@@ -248,6 +248,25 @@ pub struct TuneStats {
     /// pressure bound ([`slingen_perf::pressure_lower_bound`]) already
     /// exceeded the incumbent's cycle budget.
     pub lb_pruned: usize,
+    /// Distinct kernels compiled and timed on real hardware by the
+    /// two-stage measured flow (0 in model mode and when hardware
+    /// measurement fell back to the model).
+    pub hw_ranked: usize,
+}
+
+/// One stage-two hardware timing: a top-K model survivor, its modeled
+/// cycles, and what the host actually measured. The list on
+/// [`Generated::hw_trials`] is in model-ranking order, so the first
+/// entry is always the model-ranked winner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HwTrial {
+    /// The variant that produced this kernel (its lowest-ord spec when
+    /// several specs collapse onto one body).
+    pub spec: VariantSpec,
+    /// The scheduler's cycle estimate.
+    pub model_cycles: f64,
+    /// The harness's median-of-min observation.
+    pub measured: slingen_perf::MeasuredTime,
 }
 
 /// Where one representative's cold time went, in milliseconds: Stage 2
@@ -305,6 +324,9 @@ fn cache_key(program: &Program, options: &Options) -> String {
         options.target, options.machine, options.passes, options.seed
     );
     options.search.fingerprint(&mut key);
+    // Empty in model mode — default keys (and every existing persisted
+    // cache) are byte-identical to the pre-measurement format.
+    key.push_str(&options.measure.cache_key_suffix());
     key
 }
 
@@ -487,9 +509,14 @@ struct Search<'p> {
     /// clones.
     body_fns: HashMap<BodyKey, Function>,
     best: Option<Best>,
+    /// Lowest-ord spec that landed on each measured body — the stage-two
+    /// hardware ranking labels each distinct kernel with this spec.
+    body_best: HashMap<BodyKey, (usize, VariantSpec)>,
     stats: TuneStats,
     /// Per-representative cost ledger, in wave completion order.
     rep_costs: Vec<RepCost>,
+    /// Stage-two hardware timings (empty unless hardware ranking ran).
+    hw_trials: Vec<HwTrial>,
     last_err: Option<Error>,
 }
 
@@ -513,8 +540,10 @@ impl<'p> Search<'p> {
             class_bodies: HashMap::new(),
             body_fns: HashMap::new(),
             best: None,
+            body_best: HashMap::new(),
             stats: TuneStats::default(),
             rep_costs: Vec::new(),
+            hw_trials: Vec::new(),
             last_err: None,
         }
     }
@@ -745,6 +774,14 @@ impl<'p> Search<'p> {
                             }
                             let cycles = report.cycles;
                             let ord = self.order.get(&spec).copied().unwrap_or(usize::MAX);
+                            self.body_best
+                                .entry(key)
+                                .and_modify(|e| {
+                                    if ord < e.0 {
+                                        *e = (ord, spec);
+                                    }
+                                })
+                                .or_insert((ord, spec));
                             let better = match &self.best {
                                 None => true,
                                 Some(b) => {
@@ -778,6 +815,93 @@ impl<'p> Search<'p> {
         self.best.as_ref().map(|b| b.report.cycles)
     }
 
+    /// Stage two of the measured flow: compile and time the top-K
+    /// distinct model survivors on real hardware, then re-rank. Any
+    /// failure — no compiler, a compile error, a bad harness run — keeps
+    /// the model ranking untouched and logs the reason: the measured
+    /// path never degrades below the model-only flow. A full success
+    /// attaches the winner's [`slingen_perf::MeasuredTime`] to its
+    /// report and records every trial for drift tracking.
+    fn rerank_hardware(&mut self) {
+        let cfg = &self.options.measure;
+        // Distinct measured bodies by model ranking (cycles, then ord).
+        let mut candidates: Vec<(f64, usize, BodyKey, VariantSpec)> = self
+            .measured
+            .iter()
+            .filter_map(|(key, outcome)| match outcome {
+                MeasureOutcome::Measured(report) => {
+                    let (ord, spec) = *self.body_best.get(key)?;
+                    Some((report.cycles, ord, *key, spec))
+                }
+                _ => None,
+            })
+            .collect();
+        candidates.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1))
+        });
+        candidates.truncate(cfg.top_k.max(1));
+        if candidates.is_empty() {
+            return;
+        }
+        let hw = match crate::measure::HardwareMeasurer::new(self.options.target, cfg) {
+            Ok(hw) => hw,
+            Err(e) => {
+                eprintln!(
+                    "slingen: hardware measurement unavailable for `{}` ({e}); \
+                     keeping model ranking",
+                    self.program.name()
+                );
+                return;
+            }
+        };
+        let mut trials: Vec<HwTrial> = Vec::with_capacity(candidates.len());
+        for &(model_cycles, _, key, spec) in &candidates {
+            let function = self.body_fns.get(&key).expect("measured bodies are retained");
+            match crate::measure::Measurer::measure(&hw, self.program, function, self.options.seed)
+            {
+                Ok(m) if m.cycles.is_finite() && m.cycles >= 0.0 => {
+                    trials.push(HwTrial { spec, model_cycles, measured: m });
+                }
+                Ok(m) => {
+                    eprintln!(
+                        "slingen: hardware timing for `{}` {spec} was not finite \
+                         ({} cycles); keeping model ranking",
+                        self.program.name(),
+                        m.cycles
+                    );
+                    return;
+                }
+                Err(e) => {
+                    eprintln!(
+                        "slingen: hardware timing failed for `{}` {spec} ({e}); \
+                         keeping model ranking",
+                        self.program.name()
+                    );
+                    return;
+                }
+            }
+        }
+        // Re-rank by measured cycles; ties keep the model (candidate)
+        // order, so equal timings preserve the deterministic winner.
+        let win = (0..trials.len())
+            .min_by(|&a, &b| {
+                trials[a]
+                    .measured
+                    .cycles
+                    .partial_cmp(&trials[b].measured.cycles)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("at least one trial");
+        let (_, ord, key, spec) = candidates[win];
+        let report = match self.measured.get(&key) {
+            Some(MeasureOutcome::Measured(r)) => (**r).clone().with_measured(trials[win].measured),
+            _ => unreachable!("candidates are measured bodies"),
+        };
+        self.stats.hw_ranked = trials.len();
+        self.best = Some(Best { spec, report, ord, key });
+        self.hw_trials = trials;
+    }
+
     fn into_generated(mut self) -> Result<Generated, Error> {
         let db_stats = self.synth.stats();
         let stats = self.stats;
@@ -787,7 +911,14 @@ impl<'p> Search<'p> {
                 let function =
                     self.body_fns.remove(&best.key).expect("the winning body is retained");
                 let variant = Variant { function, spec: best.spec, report: best.report };
-                Ok(crate::pipeline::emit(variant, target, db_stats, stats, self.rep_costs))
+                Ok(crate::pipeline::emit(
+                    variant,
+                    target,
+                    db_stats,
+                    stats,
+                    self.rep_costs,
+                    self.hw_trials,
+                ))
             }
             None => Err(self.last_err.unwrap_or_else(|| {
                 Error::Synth(slingen_synth::SynthError::Unsupported("empty search space".into()))
@@ -943,6 +1074,9 @@ pub(crate) fn tune(program: &Program, options: &Options) -> Result<Generated, Er
     match options.search.strategy() {
         Strategy::Exhaustive => run_exhaustive(&mut search),
         Strategy::Greedy => run_greedy(&mut search),
+    }
+    if options.measure.wants_hardware() {
+        search.rerank_hardware();
     }
     match search.into_generated() {
         Ok(g) => {

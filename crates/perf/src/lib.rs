@@ -36,7 +36,7 @@ pub mod report;
 pub mod sched;
 
 pub use machine::{Machine, Resource};
-pub use report::Report;
+pub use report::{MeasuredTime, Report};
 pub use sched::{pressure_lower_bound, Scheduler};
 
 use slingen_cir::Function;

@@ -5,6 +5,21 @@ use slingen_cir::InstrClass;
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// A wall-clock observation of the same kernel on real hardware,
+/// attached to a modeled [`Report`] by the measured-autotuning path.
+/// `cycles` is the median-of-min TSC cycle estimate per call, `ns` the
+/// same sample converted through the measured TSC frequency, and `reps`
+/// the number of timing repetitions that produced the median.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasuredTime {
+    /// Median-of-min cycles per kernel call (TSC ticks on x86).
+    pub cycles: f64,
+    /// The same estimate in nanoseconds.
+    pub ns: f64,
+    /// Number of timing repetitions behind the median.
+    pub reps: u32,
+}
+
 /// The result of measuring one function execution.
 #[derive(Debug, Clone)]
 pub struct Report {
@@ -17,6 +32,9 @@ pub struct Report {
     pub instructions: u64,
     res_units: BTreeMap<Resource, f64>,
     counts: BTreeMap<InstrClass, u64>,
+    /// Hardware timing for this kernel, when the measured-autotuning
+    /// path ran it. `None` for the model-only flow.
+    pub measured: Option<MeasuredTime>,
 }
 
 impl Report {
@@ -28,7 +46,24 @@ impl Report {
         res_units: BTreeMap<Resource, f64>,
         counts: BTreeMap<InstrClass, u64>,
     ) -> Report {
-        Report { machine, cycles, flops, instructions, res_units, counts }
+        Report { machine, cycles, flops, instructions, res_units, counts, measured: None }
+    }
+
+    /// Attach a hardware timing observation (builder style).
+    pub fn with_measured(mut self, m: MeasuredTime) -> Report {
+        self.measured = Some(m);
+        self
+    }
+
+    /// Measured performance in flops per cycle, when hardware timing is
+    /// available.
+    pub fn measured_flops_per_cycle(&self) -> Option<f64> {
+        let m = self.measured?;
+        if m.cycles == 0.0 {
+            None
+        } else {
+            Some(self.flops as f64 / m.cycles)
+        }
     }
 
     /// Performance in flops per cycle (the paper's y-axis).
@@ -139,6 +174,12 @@ impl Report {
         for (c, n) in &self.counts {
             let _ = write!(s, " {c}={n}");
         }
+        // Hardware timing is an optional trailing section: reports
+        // without it serialize to exactly the original v1 line, so
+        // model-only caches stay byte-identical across versions.
+        if let Some(m) = self.measured {
+            let _ = write!(s, " M {:016x} {:016x} {}", m.cycles.to_bits(), m.ns.to_bits(), m.reps);
+        }
         s
     }
 
@@ -166,10 +207,22 @@ impl Report {
             let (name, n) = toks.next()?.split_once('=')?;
             counts.insert(InstrClass::parse(name)?, n.parse().ok()?);
         }
+        let measured = match toks.next() {
+            None => None,
+            Some("M") => {
+                let cycles = f64::from_bits(u64::from_str_radix(toks.next()?, 16).ok()?);
+                let ns = f64::from_bits(u64::from_str_radix(toks.next()?, 16).ok()?);
+                let reps: u32 = toks.next()?.parse().ok()?;
+                Some(MeasuredTime { cycles, ns, reps })
+            }
+            Some(_) => return None, // trailing garbage: corrupt
+        };
         if toks.next().is_some() {
             return None; // trailing garbage: corrupt
         }
-        Some(Report::new(machine, cycles, flops, instructions, res_units, counts))
+        let mut r = Report::new(machine, cycles, flops, instructions, res_units, counts);
+        r.measured = measured;
+        Some(r)
     }
 }
 
@@ -277,9 +330,35 @@ mod tests {
             "v1 0 0 0 R1 bogus=0 C0",
             "v1 0 0 0 R0 C1 nosuchclass=3",
             "v1 0 0 0 R0 C0 trailing",
+            "v1 0 0 0 R0 C0 M",
+            "v1 0 0 0 R0 C0 M 0",
+            "v1 0 0 0 R0 C0 M 0 0",
+            "v1 0 0 0 R0 C0 M zz 0 3",
+            "v1 0 0 0 R0 C0 M 0 0 3 extra",
         ] {
             assert!(Report::from_wire(Machine::sandy_bridge(), bad).is_none(), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn wire_measured_section_round_trips_and_is_optional() {
+        let base = report_with(&[(Resource::FMul, 10.0)], 800, 100.0);
+        let plain_wire = base.to_wire();
+        assert!(!plain_wire.contains(" M "), "no measured section when absent");
+
+        let m = MeasuredTime { cycles: 123.75, ns: 41.25, reps: 9 };
+        let measured = base.clone().with_measured(m);
+        let wire = measured.to_wire();
+        assert!(wire.starts_with(&plain_wire), "measured section is a pure suffix");
+        let back = Report::from_wire(Machine::sandy_bridge(), &wire).expect("round trip");
+        let got = back.measured.expect("measured survives the wire");
+        assert_eq!(got.cycles.to_bits(), m.cycles.to_bits());
+        assert_eq!(got.ns.to_bits(), m.ns.to_bits());
+        assert_eq!(got.reps, m.reps);
+        assert_eq!(back.to_wire(), wire, "re-serialization is stable");
+
+        let plain_back = Report::from_wire(Machine::sandy_bridge(), &plain_wire).unwrap();
+        assert!(plain_back.measured.is_none());
     }
 
     #[test]

@@ -73,7 +73,8 @@ fn corrupt_files_load_empty_and_never_panic() {
     let _ = fs::remove_file(&valid_path);
 
     let truncated = &valid[..valid.len() / 2];
-    let wrong_version = valid.replacen("slingen-tunecache v1", "slingen-tunecache v99", 1);
+    assert!(valid.starts_with("slingen-tunecache v2\n"), "saves write the v2 header");
+    let wrong_version = valid.replacen("slingen-tunecache v2", "slingen-tunecache v99", 1);
     let lying_length = valid.replacen("code ", "code 9", 1); // inflates the blob length
     let no_end_marker = valid[..valid.rfind("end ").unwrap()].to_string();
     let trailing_garbage = format!("{valid}junk after the end marker\n");
@@ -210,6 +211,80 @@ fn save_capped_evicts_least_recently_hit() {
     }
     assert_eq!(loaded.searches(), 0);
     let _ = fs::remove_file(&path);
+}
+
+/// Mixed-version compatibility: a v1-headed file (the pre-measured
+/// format) still loads and replays. Model-only entries carry no `M`
+/// report section, so rewriting the header is exactly what an old
+/// writer would have produced.
+#[test]
+fn v1_files_still_load_and_replay() {
+    let opts = Options::default();
+    let cold = slingen::generate(&apps::potrf(4), &opts).unwrap();
+    let path = tmp("v1-compat");
+    opts.cache.save(&path).unwrap();
+
+    let contents = fs::read_to_string(&path).unwrap();
+    assert!(
+        !contents.contains(" M "),
+        "model-only reports must serialize without a measured section"
+    );
+    let v1 = contents.replacen("slingen-tunecache v2", "slingen-tunecache v1", 1);
+    assert_ne!(v1, contents, "the header must actually have been rewritten");
+    fs::write(&path, v1).unwrap();
+
+    let loaded = TuneCache::load_checked(&path).unwrap();
+    assert_eq!(loaded.len(), 1, "a v1 file is accepted");
+    let replay = Options { cache: loaded, ..Options::default() };
+    let g = slingen::generate(&apps::potrf(4), &replay).unwrap();
+    assert!(g.tuning.cache_hit && g.tuning.persisted);
+    assert_eq!(g.c_code, cold.c_code);
+    assert_eq!(g.report.measured, None);
+
+    // and re-saving upgrades the file to the current header
+    assert_eq!(replay.cache.save(&path).unwrap(), 1);
+    assert!(fs::read_to_string(&path).unwrap().starts_with("slingen-tunecache v2\n"));
+    let _ = fs::remove_file(&path);
+}
+
+/// v2 round trip with a *measured* report: the optional `M` section
+/// survives save → load bit-exactly. Needs a working C compiler; skips
+/// (trivially passes) without one.
+#[test]
+fn measured_reports_round_trip_through_the_cache() {
+    if !cc_available() {
+        eprintln!("skipping: no C compiler on PATH");
+        return;
+    }
+    let opts = Options { measure: slingen::MeasureConfig::hardware(), ..Options::default() };
+    let cold = slingen::generate(&apps::potrf(4), &opts).unwrap();
+    let Some(measured) = cold.report.measured else {
+        eprintln!("skipping: hardware measurement fell back to the model");
+        return;
+    };
+
+    let path = tmp("v2-measured");
+    opts.cache.save(&path).unwrap();
+    assert!(
+        fs::read_to_string(&path).unwrap().contains(" M "),
+        "a measured report must persist its M section"
+    );
+
+    let loaded = TuneCache::load_checked(&path).unwrap();
+    let replay = Options { cache: loaded, measure: opts.measure.clone(), ..Options::default() };
+    let g = slingen::generate(&apps::potrf(4), &replay).unwrap();
+    assert!(g.tuning.cache_hit && g.tuning.persisted);
+    assert_eq!(g.report.measured, Some(measured), "measured timing must round-trip bit-exactly");
+    assert_eq!(g.cycles_source(), "measured");
+    let _ = fs::remove_file(&path);
+}
+
+fn cc_available() -> bool {
+    std::process::Command::new("cc")
+        .arg("--version")
+        .output()
+        .map(|o| o.status.success())
+        .unwrap_or(false)
 }
 
 /// A cap at or above the entry count is a no-op: nothing evicted, and
